@@ -1,0 +1,102 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! reports the IPC and IQ/ROB AVF sensitivity of one knob while measuring
+//! the run cost.
+
+use avf_core::StructureId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::{SimBudget, SimResult};
+use sim_workload::table2;
+use smt_avf::runner::run_workload_on;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn mem4() -> sim_workload::SmtWorkload {
+    table2().into_iter().find(|w| w.name == "4T-MEM-A").unwrap()
+}
+
+fn budget() -> SimBudget {
+    SimBudget::total_instructions(12_000).with_warmup(8_000)
+}
+
+fn run(cfg: &MachineConfig) -> SimResult {
+    run_workload_on(cfg, &mem4(), budget())
+}
+
+fn report(tag: &str, r: &SimResult) {
+    eprintln!(
+        "[ablation] {tag}: IPC={:.3} IQ={:.1}% ROB={:.1}% Reg={:.1}%",
+        r.ipc(),
+        r.report.structure(StructureId::Iq).avf * 100.0,
+        r.report.structure(StructureId::Rob).avf * 100.0,
+        r.report.structure(StructureId::RegFile).avf * 100.0,
+    );
+}
+
+fn bench_fetch_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fetch_width");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for threads_per_cycle in [1u32, 2, 4] {
+        let mut cfg = MachineConfig::ispass07_baseline().with_contexts(4);
+        cfg.fetch_threads_per_cycle = threads_per_cycle;
+        report(&format!("icount.{threads_per_cycle}.8"), &run(&cfg));
+        g.bench_function(format!("icount_{threads_per_cycle}_8"), |b| {
+            b.iter(|| black_box(run(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_regpool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_regpool");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for pool in [192u32, 320, 512] {
+        let mut cfg = MachineConfig::ispass07_baseline().with_contexts(4);
+        cfg.int_phys_regs = pool;
+        cfg.fp_phys_regs = pool;
+        report(&format!("regpool_{pool}"), &run(&cfg));
+        g.bench_function(format!("pool_{pool}"), |b| b.iter(|| black_box(run(&cfg))));
+    }
+    g.finish();
+}
+
+fn bench_dg_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dg_threshold");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for threshold in [1u32, 2, 4] {
+        let mut cfg = MachineConfig::ispass07_baseline()
+            .with_contexts(4)
+            .with_fetch_policy(FetchPolicyKind::DataGating);
+        cfg.dg_threshold = threshold;
+        report(&format!("dg_threshold_{threshold}"), &run(&cfg));
+        g.bench_function(format!("threshold_{threshold}"), |b| {
+            b.iter(|| black_box(run(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_iq_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_iq_size");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for iq in [48u32, 96, 192] {
+        let mut cfg = MachineConfig::ispass07_baseline().with_contexts(4);
+        cfg.iq_entries = iq;
+        report(&format!("iq_{iq}"), &run(&cfg));
+        g.bench_function(format!("iq_{iq}"), |b| b.iter(|| black_box(run(&cfg))));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fetch_width,
+    bench_regpool,
+    bench_dg_threshold,
+    bench_iq_size
+);
+criterion_main!(benches);

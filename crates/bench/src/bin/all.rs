@@ -1,0 +1,30 @@
+//! Regenerate every table and figure in sequence (the EXPERIMENTS.md
+//! source of truth). Set `SMT_AVF_SCALE=paper` for the longest runs.
+use smt_avf::experiments as ex;
+
+fn main() {
+    let scale = smt_avf_bench::scale_from_env();
+    let t0 = std::time::Instant::now();
+    println!("{}", ex::table1());
+    println!("{}", ex::table2_listing());
+    println!("{}", ex::figure1(scale));
+    println!("{}", ex::figure2(scale));
+    for t in ex::figure3(scale) {
+        println!("{t}");
+    }
+    for t in ex::figure4(scale) {
+        println!("{t}");
+    }
+    let (a, b) = ex::figure5(scale);
+    println!("{a}\n{b}");
+    // Share one policy sweep between Figures 6, 7 and 8.
+    let sweep = ex::policy_sweep(&[4, 8], scale);
+    for t in ex::fig6::figure6_from(&sweep) {
+        println!("{t}");
+    }
+    println!("{}", ex::fig7::figure7_from(&sweep));
+    let (a, b) = ex::fig8::figure8_from(&sweep, scale);
+    println!("{a}\n{b}");
+    println!("{}", ex::extensions(scale));
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,7 @@
+//! Characterize every synthetic benchmark (the Section 3 categorization).
+fn main() {
+    println!(
+        "{}",
+        smt_avf::experiments::characterize(smt_avf_bench::scale_from_env())
+    );
+}

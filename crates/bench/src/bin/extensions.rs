@@ -1,0 +1,7 @@
+//! Run the Section 5 extension study (PSTALL / RAFT / IQ partitioning).
+fn main() {
+    println!(
+        "{}",
+        smt_avf::experiments::extensions(smt_avf_bench::scale_from_env())
+    );
+}

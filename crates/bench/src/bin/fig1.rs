@@ -1,0 +1,7 @@
+//! Regenerate Figure 1: the SMT microarchitecture vulnerability profile.
+fn main() {
+    println!(
+        "{}",
+        smt_avf::experiments::figure1(smt_avf_bench::scale_from_env())
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 2: reliability efficiency (IPC/AVF) per structure.
+fn main() {
+    println!(
+        "{}",
+        smt_avf::experiments::figure2(smt_avf_bench::scale_from_env())
+    );
+}

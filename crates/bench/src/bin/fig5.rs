@@ -1,0 +1,6 @@
+//! Regenerate Figure 5: AVF vs number of thread contexts.
+fn main() {
+    let (a, b) = smt_avf::experiments::figure5(smt_avf_bench::scale_from_env());
+    println!("{a}");
+    println!("{b}");
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6: AVF under the six fetch policies (4 & 8 contexts).
+fn main() {
+    for t in smt_avf::experiments::figure6(smt_avf_bench::scale_from_env()) {
+        println!("{t}");
+    }
+}

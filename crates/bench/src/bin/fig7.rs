@@ -1,0 +1,7 @@
+//! Regenerate Figure 7: IPC/AVF of the advanced policies vs ICOUNT.
+fn main() {
+    println!(
+        "{}",
+        smt_avf::experiments::figure7(smt_avf_bench::scale_from_env())
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 8: fairness-aware reliability efficiency.
+fn main() {
+    let (a, b) = smt_avf::experiments::figure8(smt_avf_bench::scale_from_env());
+    println!("{a}");
+    println!("{b}");
+}

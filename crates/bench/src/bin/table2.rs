@@ -1,0 +1,4 @@
+//! Print Table 2 (the studied SMT workloads).
+fn main() {
+    print!("{}", smt_avf::experiments::table2_listing());
+}

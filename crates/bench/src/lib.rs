@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # smt-avf-bench — benchmark harness for the paper's tables and figures
+//!
+//! One binary per experiment (`cargo run --release -p smt-avf-bench --bin
+//! fig1`, ..., `--bin all`) regenerating the corresponding table or figure
+//! of the paper, and one Criterion bench per experiment measuring its
+//! regeneration cost (plus the ablation benches DESIGN.md calls out).
+//!
+//! Binaries honor the `SMT_AVF_SCALE` environment variable:
+//! `quick` | `default` (the default) | `paper` (longest; closest to the
+//! paper's 25M-instructions-per-thread methodology, scaled down ~100×).
+
+use smt_avf::ExperimentScale;
+
+/// Resolve the experiment scale from `SMT_AVF_SCALE`.
+pub fn scale_from_env() -> ExperimentScale {
+    match std::env::var("SMT_AVF_SCALE").as_deref() {
+        Ok("quick") => ExperimentScale::quick(),
+        Ok("paper") => ExperimentScale {
+            warmup_per_thread: 100_000,
+            measure_per_thread: 250_000,
+        },
+        _ => ExperimentScale::default_scale(),
+    }
+}
+
+/// The micro scale used inside Criterion benches (kept small so a full
+/// `cargo bench` pass stays in the minutes range).
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        warmup_per_thread: 2_000,
+        measure_per_thread: 3_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_default() {
+        // Only valid when the env var is unset, which is the test default.
+        if std::env::var("SMT_AVF_SCALE").is_err() {
+            assert_eq!(scale_from_env(), ExperimentScale::default_scale());
+        }
+    }
+
+    #[test]
+    fn bench_scale_is_tiny() {
+        assert!(bench_scale().measure_per_thread < ExperimentScale::quick().measure_per_thread);
+    }
+}

@@ -1,0 +1,274 @@
+//! ACE-bit classification of dynamic instructions.
+//!
+//! Classification happens **at deallocation time** — when an entry leaves a
+//! structure we finally know whether the occupying instruction committed or
+//! was squashed, which is what decides vulnerability:
+//!
+//! * **Squashed / wrong-path** instructions never affect architectural state:
+//!   all of their bits are un-ACE (the paper's Section 2 lists "uncommitted
+//!   instructions" among un-ACE state).
+//! * **NOPs** keep only their opcode field ACE — a particle strike that
+//!   changes a NOP's opcode can turn it into an effectful instruction, but
+//!   its (nonexistent) operands cannot matter.
+//! * **First-order dynamically dead** instructions produce a value nobody
+//!   reads: the operand/result-carrying fields are un-ACE, the opcode field
+//!   stays ACE (a strike could morph the instruction into one with visible
+//!   side effects).
+//! * **Committed live** instructions are ACE in every field they actually
+//!   use; unused fields (a missing second source, the immediate of a
+//!   register-register op) are un-ACE.
+
+use crate::budgets;
+use sim_model::{Inst, OpClass};
+
+/// Why an entry is leaving a structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeallocKind {
+    /// The instruction retired architecturally.
+    Committed,
+    /// The instruction was squashed (branch misprediction recovery, FLUSH
+    /// fetch policy, or end-of-simulation drain).
+    Squashed,
+}
+
+/// The lifecycle classes an instruction can fall into for ACE analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AceClass {
+    UnAce,
+    OpcodeOnly,
+    Live,
+}
+
+fn ace_class(inst: &Inst, kind: DeallocKind) -> AceClass {
+    if kind == DeallocKind::Squashed || inst.wrong_path {
+        AceClass::UnAce
+    } else if inst.op == OpClass::Nop || inst.dyn_dead {
+        AceClass::OpcodeOnly
+    } else {
+        AceClass::Live
+    }
+}
+
+/// ACE bits an instruction contributes to an **issue queue** entry.
+pub fn iq_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
+    match ace_class(inst, kind) {
+        AceClass::UnAce => 0,
+        AceClass::OpcodeOnly => budgets::iq::OPCODE,
+        AceClass::Live => {
+            let srcs = inst.src_count() as u64 * budgets::iq::SRC_TAG;
+            let dest = if inst.dest.is_some() {
+                budgets::iq::DEST_TAG
+            } else {
+                0
+            };
+            let imm = if inst.op.is_mem() || inst.op.is_branch() {
+                budgets::iq::IMMEDIATE
+            } else {
+                0
+            };
+            budgets::iq::OPCODE + srcs + dest + imm + budgets::iq::STATUS
+        }
+    }
+}
+
+/// ACE bits an instruction contributes to a **reorder buffer** entry.
+pub fn rob_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
+    match ace_class(inst, kind) {
+        AceClass::UnAce => 0,
+        // A NOP / dead instruction still occupies an in-order retirement
+        // slot: its opcode and sequencing status must survive, but the PC
+        // and register-mapping fields carry no architecturally live value.
+        AceClass::OpcodeOnly => budgets::rob::OPCODE + budgets::rob::STATUS,
+        AceClass::Live => {
+            let dest = if inst.dest.is_some() {
+                budgets::rob::DEST_ARCH + budgets::rob::DEST_PHYS + budgets::rob::OLD_PHYS
+            } else {
+                0
+            };
+            let branch = if inst.op.is_branch() {
+                budgets::rob::BRANCH
+            } else {
+                0
+            };
+            budgets::rob::PC + budgets::rob::OPCODE + budgets::rob::STATUS + dest + branch
+        }
+    }
+}
+
+/// ACE bits in the **LSQ address/tag** part for a load or store.
+///
+/// Returns 0 for non-memory instructions (they never allocate LSQ entries).
+pub fn lsq_tag_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
+    if !inst.op.is_mem() {
+        return 0;
+    }
+    match ace_class(inst, kind) {
+        AceClass::UnAce => 0,
+        // A dead load's address still drives a real cache access, but its
+        // value never matters; count control bits only.
+        AceClass::OpcodeOnly => budgets::lsq::CTRL,
+        AceClass::Live => budgets::lsq::TAG_ENTRY,
+    }
+}
+
+/// ACE bits in the **LSQ data** part for a load or store.
+pub fn lsq_data_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
+    if !inst.op.is_mem() {
+        return 0;
+    }
+    match ace_class(inst, kind) {
+        AceClass::UnAce | AceClass::OpcodeOnly => 0,
+        AceClass::Live => {
+            // Only the bytes actually transferred are ACE.
+            inst.mem.map_or(0, |m| m.size as u64 * 8)
+        }
+    }
+}
+
+/// ACE bits latched in a **functional unit** while executing `inst`.
+pub fn fu_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
+    match ace_class(inst, kind) {
+        AceClass::UnAce | AceClass::OpcodeOnly => 0,
+        AceClass::Live => budgets::fu::ENTRY,
+    }
+}
+
+/// Convenience: the ACE bit count for a whole (structure, instruction,
+/// outcome) triple, used by tests and by the pipeline's banked accounting.
+pub fn lifecycle_ace_bits(structure: crate::StructureId, inst: &Inst, kind: DeallocKind) -> u64 {
+    use crate::StructureId as S;
+    match structure {
+        S::Iq => iq_ace_bits(inst, kind),
+        S::Rob => rob_ace_bits(inst, kind),
+        S::LsqTag => lsq_tag_ace_bits(inst, kind),
+        S::LsqData => lsq_data_ace_bits(inst, kind),
+        S::Fu => fu_ace_bits(inst, kind),
+        // Register file, caches and TLBs use interval tracking at their
+        // point of use, not instruction-lifecycle classification.
+        S::RegFile
+        | S::Dl1Data
+        | S::Dl1Tag
+        | S::Dtlb
+        | S::Itlb
+        | S::Il1Data
+        | S::Il1Tag
+        | S::L2Data
+        | S::L2Tag => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_model::{ArchReg, Inst, MemRef, OpClass, SeqNum};
+
+    fn alu(dead: bool) -> Inst {
+        let mut i = Inst::nop(0x100, SeqNum(1));
+        i.op = OpClass::IntAlu;
+        i.srcs = [Some(ArchReg::int(1)), Some(ArchReg::int(2))];
+        i.dest = Some(ArchReg::int(3));
+        i.dyn_dead = dead;
+        i
+    }
+
+    fn load() -> Inst {
+        let mut i = Inst::nop(0x104, SeqNum(2));
+        i.op = OpClass::Load;
+        i.srcs = [Some(ArchReg::int(1)), None];
+        i.dest = Some(ArchReg::int(4));
+        i.mem = Some(MemRef::new(0x2000, 8));
+        i
+    }
+
+    #[test]
+    fn squashed_instructions_are_unace_everywhere() {
+        let i = alu(false);
+        for s in crate::StructureId::ALL {
+            assert_eq!(lifecycle_ace_bits(s, &i, DeallocKind::Squashed), 0);
+        }
+    }
+
+    #[test]
+    fn wrong_path_is_unace_even_if_marked_committed() {
+        let mut i = alu(false);
+        i.wrong_path = true;
+        assert_eq!(iq_ace_bits(&i, DeallocKind::Committed), 0);
+        assert_eq!(rob_ace_bits(&i, DeallocKind::Committed), 0);
+    }
+
+    #[test]
+    fn nop_keeps_only_opcode_in_iq() {
+        let n = Inst::nop(0, SeqNum(0));
+        assert_eq!(iq_ace_bits(&n, DeallocKind::Committed), budgets::iq::OPCODE);
+    }
+
+    #[test]
+    fn dead_instruction_is_mostly_unace() {
+        let live = iq_ace_bits(&alu(false), DeallocKind::Committed);
+        let dead = iq_ace_bits(&alu(true), DeallocKind::Committed);
+        assert!(dead < live / 4, "dead={dead} live={live}");
+        assert!(dead > 0);
+    }
+
+    #[test]
+    fn committed_alu_iq_bits_counts_used_fields() {
+        // opcode + 2 src tags + dest tag + status, no immediate.
+        let expect = budgets::iq::OPCODE
+            + 2 * budgets::iq::SRC_TAG
+            + budgets::iq::DEST_TAG
+            + budgets::iq::STATUS;
+        assert_eq!(iq_ace_bits(&alu(false), DeallocKind::Committed), expect);
+    }
+
+    #[test]
+    fn load_uses_immediate_and_lsq_fields() {
+        let l = load();
+        let iq = iq_ace_bits(&l, DeallocKind::Committed);
+        assert!(iq > iq_ace_bits(&alu(false), DeallocKind::Committed) - budgets::iq::SRC_TAG);
+        assert_eq!(
+            lsq_tag_ace_bits(&l, DeallocKind::Committed),
+            budgets::lsq::TAG_ENTRY
+        );
+        assert_eq!(lsq_data_ace_bits(&l, DeallocKind::Committed), 64);
+    }
+
+    #[test]
+    fn narrow_store_data_is_partially_ace() {
+        let mut s = load();
+        s.op = OpClass::Store;
+        s.dest = None;
+        s.mem = Some(MemRef::new(0x2000, 2));
+        assert_eq!(lsq_data_ace_bits(&s, DeallocKind::Committed), 16);
+    }
+
+    #[test]
+    fn non_memory_ops_never_touch_lsq() {
+        let a = alu(false);
+        assert_eq!(lsq_tag_ace_bits(&a, DeallocKind::Committed), 0);
+        assert_eq!(lsq_data_ace_bits(&a, DeallocKind::Committed), 0);
+    }
+
+    #[test]
+    fn fu_latches_are_all_or_nothing() {
+        assert_eq!(
+            fu_ace_bits(&alu(false), DeallocKind::Committed),
+            budgets::fu::ENTRY
+        );
+        assert_eq!(fu_ace_bits(&alu(true), DeallocKind::Committed), 0);
+        assert_eq!(fu_ace_bits(&alu(false), DeallocKind::Squashed), 0);
+    }
+
+    #[test]
+    fn ace_bits_never_exceed_entry_budget() {
+        let cases = [alu(false), alu(true), load(), Inst::nop(0, SeqNum(0))];
+        for i in &cases {
+            for k in [DeallocKind::Committed, DeallocKind::Squashed] {
+                assert!(iq_ace_bits(i, k) <= budgets::iq::ENTRY);
+                assert!(rob_ace_bits(i, k) <= budgets::rob::ENTRY);
+                assert!(lsq_tag_ace_bits(i, k) <= budgets::lsq::TAG_ENTRY);
+                assert!(lsq_data_ace_bits(i, k) <= budgets::lsq::DATA_ENTRY);
+                assert!(fu_ace_bits(i, k) <= budgets::fu::ENTRY);
+            }
+        }
+    }
+}

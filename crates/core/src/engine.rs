@@ -1,0 +1,298 @@
+//! Banked residency accounting with per-thread attribution.
+//!
+//! Trackers accumulate **ACE-bit-cycles**: when an entry leaves a structure
+//! (or an interval of a long-lived entry closes — register freed, cache line
+//! evicted), the instrumentation *banks* `ace_bits × cycles` against the
+//! owning thread. At the end of simulation the engine turns the banked
+//! totals into AVFs by dividing by `structure_bits × total_cycles`.
+//!
+//! This deferred scheme is exact and O(1) per event; it is how ACE analysis
+//! deals with classifications that are only known in hindsight (squashes,
+//! last-reads, evictions).
+
+use crate::report::{AvfReport, StructureAvf};
+use crate::structure::StructureId;
+use sim_model::ThreadId;
+
+/// Accumulates banked ACE-bit-cycles for one structure.
+#[derive(Debug, Clone)]
+pub struct ResidencyTracker {
+    structure: StructureId,
+    /// Total bits across the whole structure (all threads' instances for
+    /// per-thread structures). Zero until configured.
+    total_bits: u64,
+    /// Banked ACE-bit-cycles per thread.
+    ace_bit_cycles: Vec<u128>,
+    /// Banked *occupied*-bit-cycles per thread (ACE or not) — used for
+    /// utilization diagnostics, not for AVF itself.
+    occupied_bit_cycles: Vec<u128>,
+}
+
+impl ResidencyTracker {
+    /// A tracker for `structure` with `contexts` attribution slots.
+    pub fn new(structure: StructureId, contexts: usize) -> ResidencyTracker {
+        ResidencyTracker {
+            structure,
+            total_bits: 0,
+            ace_bit_cycles: vec![0; contexts],
+            occupied_bit_cycles: vec![0; contexts],
+        }
+    }
+
+    /// The structure this tracker covers.
+    pub fn structure(&self) -> StructureId {
+        self.structure
+    }
+
+    /// Set the structure's total bit count (the AVF denominator's bits term).
+    pub fn set_total_bits(&mut self, bits: u64) {
+        self.total_bits = bits;
+    }
+
+    /// Total bits configured for this structure.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Bank `ace_bits` ACE bits that were resident for `cycles` cycles on
+    /// behalf of `thread`. Also counts toward occupancy.
+    #[inline]
+    pub fn bank(&mut self, thread: ThreadId, ace_bits: u64, cycles: u64) {
+        let t = thread.index();
+        self.ace_bit_cycles[t] += ace_bits as u128 * cycles as u128;
+        self.occupied_bit_cycles[t] += ace_bits as u128 * cycles as u128;
+    }
+
+    /// Bank an interval whose ACE and occupied bit counts differ (e.g. a
+    /// squashed instruction occupied a full entry but contributes zero ACE
+    /// bits).
+    #[inline]
+    pub fn bank_split(&mut self, thread: ThreadId, ace_bits: u64, occupied_bits: u64, cycles: u64) {
+        debug_assert!(ace_bits <= occupied_bits);
+        let t = thread.index();
+        self.ace_bit_cycles[t] += ace_bits as u128 * cycles as u128;
+        self.occupied_bit_cycles[t] += occupied_bits as u128 * cycles as u128;
+    }
+
+    /// Total banked ACE-bit-cycles across threads.
+    pub fn total_ace_bit_cycles(&self) -> u128 {
+        self.ace_bit_cycles.iter().sum()
+    }
+
+    /// Banked ACE-bit-cycles for one thread.
+    pub fn thread_ace_bit_cycles(&self, thread: ThreadId) -> u128 {
+        self.ace_bit_cycles[thread.index()]
+    }
+
+    /// Aggregate AVF over `total_cycles` cycles.
+    ///
+    /// Returns 0 for an unconfigured or never-used structure rather than
+    /// dividing by zero.
+    pub fn avf(&self, total_cycles: u64) -> f64 {
+        let denom = self.total_bits as u128 * total_cycles as u128;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.total_ace_bit_cycles() as f64 / denom as f64
+    }
+
+    /// Per-thread AVF contribution: the thread's banked ACE-bit-cycles over
+    /// the *whole structure's* bit-cycle budget. Contributions across
+    /// threads sum to the aggregate AVF.
+    pub fn thread_avf(&self, thread: ThreadId, total_cycles: u64) -> f64 {
+        let denom = self.total_bits as u128 * total_cycles as u128;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.ace_bit_cycles[thread.index()] as f64 / denom as f64
+    }
+
+    /// Zero the banked accumulators (start of a measurement window after
+    /// warm-up).
+    pub fn reset(&mut self) {
+        self.ace_bit_cycles.iter_mut().for_each(|c| *c = 0);
+        self.occupied_bit_cycles.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Average fraction of the structure's bits occupied (utilization
+    /// diagnostic).
+    pub fn utilization(&self, total_cycles: u64) -> f64 {
+        let denom = self.total_bits as u128 * total_cycles as u128;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.occupied_bit_cycles.iter().sum::<u128>() as f64 / denom as f64
+    }
+}
+
+/// The per-run AVF accounting engine: one [`ResidencyTracker`] per tracked
+/// structure.
+#[derive(Debug, Clone)]
+pub struct AvfEngine {
+    contexts: usize,
+    trackers: Vec<ResidencyTracker>,
+}
+
+impl AvfEngine {
+    /// An engine for a machine with `contexts` hardware threads.
+    pub fn new(contexts: usize) -> AvfEngine {
+        AvfEngine {
+            contexts,
+            trackers: StructureId::ALL
+                .iter()
+                .map(|&s| ResidencyTracker::new(s, contexts))
+                .collect(),
+        }
+    }
+
+    /// Number of thread contexts being attributed.
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Configure the total bit count of a structure.
+    pub fn set_total_bits(&mut self, structure: StructureId, bits: u64) {
+        self.trackers[structure.index()].set_total_bits(bits);
+    }
+
+    /// Bank an ACE interval. See [`ResidencyTracker::bank`].
+    #[inline]
+    pub fn bank(&mut self, structure: StructureId, thread: ThreadId, ace_bits: u64, cycles: u64) {
+        self.trackers[structure.index()].bank(thread, ace_bits, cycles);
+    }
+
+    /// Bank an interval with distinct ACE and occupancy widths. See
+    /// [`ResidencyTracker::bank_split`].
+    #[inline]
+    pub fn bank_split(
+        &mut self,
+        structure: StructureId,
+        thread: ThreadId,
+        ace_bits: u64,
+        occupied_bits: u64,
+        cycles: u64,
+    ) {
+        self.trackers[structure.index()].bank_split(thread, ace_bits, occupied_bits, cycles);
+    }
+
+    /// Zero every tracker's accumulators (start of a measurement window
+    /// after warm-up; bit budgets are preserved).
+    pub fn reset(&mut self) {
+        self.trackers.iter_mut().for_each(ResidencyTracker::reset);
+    }
+
+    /// Borrow a structure's tracker.
+    pub fn tracker(&self, structure: StructureId) -> &ResidencyTracker {
+        &self.trackers[structure.index()]
+    }
+
+    /// Produce the final report for a run of `cycles` cycles in which each
+    /// thread committed `committed[t]` instructions.
+    ///
+    /// # Panics
+    /// Panics if `committed.len()` differs from the engine's context count.
+    pub fn finish(&self, cycles: u64, committed: Vec<u64>) -> AvfReport {
+        assert_eq!(
+            committed.len(),
+            self.contexts,
+            "committed counts must cover every context"
+        );
+        let structures = self
+            .trackers
+            .iter()
+            .map(|t| StructureAvf {
+                structure: t.structure(),
+                avf: t.avf(cycles),
+                per_thread: (0..self.contexts)
+                    .map(|i| t.thread_avf(ThreadId(i as u8), cycles))
+                    .collect(),
+                utilization: t.utilization(cycles),
+                total_bits: t.total_bits(),
+            })
+            .collect();
+        AvfReport::new(cycles, committed, structures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avf_is_ace_cycles_over_bit_cycles() {
+        let mut t = ResidencyTracker::new(StructureId::Iq, 2);
+        t.set_total_bits(100);
+        t.bank(ThreadId(0), 50, 10); // 500 ACE-bit-cycles
+        t.bank(ThreadId(1), 25, 20); // 500 ACE-bit-cycles
+                                     // 1000 / (100 bits * 100 cycles) = 0.1
+        assert!((t.avf(100) - 0.1).abs() < 1e-12);
+        assert!((t.thread_avf(ThreadId(0), 100) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_thread_avfs_sum_to_aggregate() {
+        let mut t = ResidencyTracker::new(StructureId::Rob, 4);
+        t.set_total_bits(4 * 96 * 80);
+        for i in 0..4u8 {
+            t.bank(ThreadId(i), 80 * (i as u64 + 1), 37);
+        }
+        let total: f64 = (0..4).map(|i| t.thread_avf(ThreadId(i), 1000)).sum();
+        assert!((total - t.avf(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconfigured_tracker_reports_zero() {
+        let mut t = ResidencyTracker::new(StructureId::Fu, 1);
+        t.bank(ThreadId(0), 10, 10);
+        assert_eq!(t.avf(100), 0.0);
+        assert_eq!(t.utilization(100), 0.0);
+    }
+
+    #[test]
+    fn zero_cycles_reports_zero() {
+        let mut t = ResidencyTracker::new(StructureId::Fu, 1);
+        t.set_total_bits(64);
+        assert_eq!(t.avf(0), 0.0);
+    }
+
+    #[test]
+    fn split_banking_separates_ace_from_occupancy() {
+        let mut t = ResidencyTracker::new(StructureId::Iq, 1);
+        t.set_total_bits(64);
+        t.bank_split(ThreadId(0), 0, 64, 10); // squashed: occupied but un-ACE
+        assert_eq!(t.avf(10), 0.0);
+        assert!((t.utilization(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_covers_all_structures() {
+        let mut e = AvfEngine::new(2);
+        for s in StructureId::ALL {
+            e.set_total_bits(s, 1000);
+            e.bank(s, ThreadId(1), 10, 10);
+        }
+        let r = e.finish(100, vec![1, 2]);
+        for s in StructureId::ALL {
+            let sa = r.structure(s);
+            assert!(sa.avf > 0.0, "{s} should have nonzero AVF");
+            assert!((sa.per_thread[1] - sa.avf).abs() < 1e-12);
+            assert_eq!(sa.per_thread[0], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "committed counts")]
+    fn finish_rejects_wrong_thread_count() {
+        let e = AvfEngine::new(2);
+        let _ = e.finish(10, vec![1]);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow() {
+        let mut t = ResidencyTracker::new(StructureId::Dl1Data, 1);
+        t.set_total_bits(u64::MAX / 2);
+        t.bank(ThreadId(0), u64::MAX / 2, 1_000_000);
+        let v = t.avf(1_000_000);
+        assert!(v > 0.0 && v <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Absolute failure-rate estimation from AVF.
+//!
+//! The paper (Section 2) notes that a structure's soft error rate is the
+//! product of its device **raw error rate** — set by circuit and process
+//! technology — and its AVF, and that the whole processor's rate is the
+//! bit-count-weighted sum over structures. This module turns an
+//! [`AvfReport`] into FIT and MTTF estimates given a raw per-bit FIT rate.
+//!
+//! FIT (Failures In Time) counts failures per 10⁹ device-hours; typical
+//! mid-2000s raw rates are around 0.001-0.01 FIT/bit for latches and SRAM.
+
+use crate::report::AvfReport;
+use crate::structure::StructureId;
+
+/// Hours per 10⁹ hours (the FIT normalization constant).
+const FIT_HOURS: f64 = 1e9;
+
+/// A structure's contribution to the processor failure rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureFit {
+    /// Which structure.
+    pub structure: StructureId,
+    /// Estimated FIT for the structure (`raw_fit_per_bit × bits × AVF`).
+    pub fit: f64,
+}
+
+/// A whole-processor soft-error estimate derived from one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitEstimate {
+    /// Per-structure FIT contributions, in [`StructureId::ALL`] order.
+    pub per_structure: Vec<StructureFit>,
+    /// Total FIT over the tracked structures.
+    pub total_fit: f64,
+    /// Mean time to failure implied by `total_fit`, in hours
+    /// (`f64::INFINITY` if the total FIT is zero).
+    pub mttf_hours: f64,
+}
+
+/// The bit-weighted **overall AVF** across all tracked structures — the
+/// paper's "add the AVF values of all of the hardware structures together
+/// by weighting them by the number of bits within each structure".
+pub fn overall_avf(report: &AvfReport) -> f64 {
+    let mut ace = 0.0;
+    let mut bits = 0.0;
+    for s in report.structures() {
+        ace += s.avf * s.total_bits as f64;
+        bits += s.total_bits as f64;
+    }
+    if bits == 0.0 {
+        0.0
+    } else {
+        ace / bits
+    }
+}
+
+/// Estimate FIT and MTTF for a run given a uniform raw error rate of
+/// `raw_fit_per_bit` (FIT per storage bit).
+///
+/// # Panics
+/// Panics if `raw_fit_per_bit` is negative or not finite.
+pub fn fit_estimate(report: &AvfReport, raw_fit_per_bit: f64) -> FitEstimate {
+    assert!(
+        raw_fit_per_bit.is_finite() && raw_fit_per_bit >= 0.0,
+        "raw FIT rate must be a nonnegative finite number"
+    );
+    let per_structure: Vec<StructureFit> = report
+        .structures()
+        .iter()
+        .map(|s| StructureFit {
+            structure: s.structure,
+            fit: raw_fit_per_bit * s.total_bits as f64 * s.avf,
+        })
+        .collect();
+    let total_fit: f64 = per_structure.iter().map(|s| s.fit).sum();
+    FitEstimate {
+        per_structure,
+        total_fit,
+        mttf_hours: if total_fit > 0.0 {
+            FIT_HOURS / total_fit
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::StructureAvf;
+
+    fn report(avfs: &[(StructureId, f64, u64)]) -> AvfReport {
+        AvfReport::new(
+            1_000,
+            vec![1_000],
+            avfs.iter()
+                .map(|&(structure, avf, total_bits)| StructureAvf {
+                    structure,
+                    avf,
+                    per_thread: vec![avf],
+                    utilization: avf,
+                    total_bits,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn overall_avf_is_bit_weighted() {
+        let r = report(&[
+            (StructureId::Iq, 0.5, 1_000),
+            (StructureId::Rob, 0.1, 3_000),
+        ]);
+        // (0.5*1000 + 0.1*3000) / 4000 = 0.2
+        assert!((overall_avf(&r) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_avf_empty_report_is_zero() {
+        let r = report(&[]);
+        assert_eq!(overall_avf(&r), 0.0);
+    }
+
+    #[test]
+    fn fit_scales_with_bits_and_avf() {
+        let r = report(&[
+            (StructureId::Iq, 0.5, 1_000),
+            (StructureId::Rob, 0.25, 2_000),
+        ]);
+        let est = fit_estimate(&r, 0.01);
+        assert!((est.per_structure[0].fit - 5.0).abs() < 1e-9);
+        assert!((est.per_structure[1].fit - 5.0).abs() < 1e-9);
+        assert!((est.total_fit - 10.0).abs() < 1e-9);
+        assert!((est.mttf_hours - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_rate_means_infinite_mttf() {
+        let r = report(&[(StructureId::Iq, 0.5, 1_000)]);
+        let est = fit_estimate(&r, 0.0);
+        assert_eq!(est.total_fit, 0.0);
+        assert!(est.mttf_hours.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_rate_rejected() {
+        let r = report(&[]);
+        let _ = fit_estimate(&r, -1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Reliability/performance tradeoff metrics.
+//!
+//! Raw AVF can be misleading — it is deflated by stretched execution (the
+//! paper, Section 3). The paper therefore evaluates design points with
+//! **MITF** (Mean Instructions To Failure), which at fixed frequency and raw
+//! error rate is proportional to `IPC / AVF`, and with fairness-aware
+//! variants built on weighted speedup and the harmonic mean of weighted IPC
+//! (Luo et al.; Figures 7-8).
+
+/// Instructions per cycle.
+///
+/// Returns 0 when `cycles` is 0.
+pub fn ipc(committed: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        0.0
+    } else {
+        committed as f64 / cycles as f64
+    }
+}
+
+/// Reliability efficiency `IPC / AVF` (∝ MITF).
+///
+/// A higher value means more work completed between soft-error failures.
+/// Returns `f64::INFINITY` when `avf` is zero and IPC is positive, and 0
+/// when both are zero.
+pub fn reliability_efficiency(ipc: f64, avf: f64) -> f64 {
+    if avf <= 0.0 {
+        if ipc > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        ipc / avf
+    }
+}
+
+/// Weighted speedup: `Σ_i IPC_smt,i / IPC_st,i`.
+///
+/// Each thread's SMT-mode IPC is normalized to its single-thread IPC on the
+/// same machine; the sum is the effective throughput relative to
+/// time-sharing a superscalar.
+///
+/// # Panics
+/// Panics if the slices have different lengths or any single-thread IPC is
+/// non-positive.
+pub fn weighted_speedup(smt_ipc: &[f64], st_ipc: &[f64]) -> f64 {
+    assert_eq!(smt_ipc.len(), st_ipc.len(), "thread count mismatch");
+    smt_ipc
+        .iter()
+        .zip(st_ipc)
+        .map(|(&s, &b)| {
+            assert!(b > 0.0, "single-thread IPC must be positive");
+            s / b
+        })
+        .sum()
+}
+
+/// Harmonic mean of weighted IPC: `n / Σ_i (IPC_st,i / IPC_smt,i)`.
+///
+/// Rewards both throughput and fairness: a thread that is starved (tiny
+/// `IPC_smt,i`) drags the harmonic mean down much harder than it drags the
+/// weighted-speedup sum.
+///
+/// # Panics
+/// Panics if the slices have different lengths, are empty, or any SMT IPC is
+/// non-positive (a fully starved thread has undefined harmonic IPC; callers
+/// should clamp or report separately).
+pub fn harmonic_weighted_ipc(smt_ipc: &[f64], st_ipc: &[f64]) -> f64 {
+    assert_eq!(smt_ipc.len(), st_ipc.len(), "thread count mismatch");
+    assert!(!smt_ipc.is_empty(), "need at least one thread");
+    let denom: f64 = smt_ipc
+        .iter()
+        .zip(st_ipc)
+        .map(|(&s, &b)| {
+            assert!(s > 0.0, "SMT IPC must be positive for the harmonic mean");
+            b / s
+        })
+        .sum();
+    smt_ipc.len() as f64 / denom
+}
+
+/// Normalize a metric series to a baseline value (used for Figures 7-8,
+/// which plot everything relative to ICOUNT).
+///
+/// Returns 0 for entries whose baseline is non-positive.
+pub fn normalize_to(values: &[f64], baseline: f64) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| if baseline > 0.0 { v / baseline } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_basic() {
+        assert!((ipc(300, 100) - 3.0).abs() < 1e-12);
+        assert_eq!(ipc(300, 0), 0.0);
+    }
+
+    #[test]
+    fn efficiency_guards() {
+        assert!((reliability_efficiency(2.0, 0.5) - 4.0).abs() < 1e-12);
+        assert!(reliability_efficiency(2.0, 0.0).is_infinite());
+        assert_eq!(reliability_efficiency(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn weighted_speedup_of_equal_runs_is_thread_count() {
+        let smt = [1.0, 2.0, 0.5];
+        assert!((weighted_speedup(&smt, &smt) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_mixed() {
+        // Thread 0 runs at half its ST speed, thread 1 at full speed.
+        let ws = weighted_speedup(&[1.0, 2.0], &[2.0, 2.0]);
+        assert!((ws - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_penalizes_starvation() {
+        let st = [2.0, 2.0];
+        let fair = harmonic_weighted_ipc(&[1.0, 1.0], &st);
+        let unfair = harmonic_weighted_ipc(&[1.9, 0.1], &st);
+        // Same total throughput, but starvation tanks the harmonic mean.
+        assert!(unfair < fair);
+        // Each weighted IPC is 0.5, so their harmonic mean is 0.5.
+        assert!((fair - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn weighted_speedup_length_check() {
+        let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_rejects_starved_thread() {
+        let _ = harmonic_weighted_ipc(&[0.0, 1.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_basics() {
+        assert_eq!(normalize_to(&[2.0, 4.0], 2.0), vec![1.0, 2.0]);
+        assert_eq!(normalize_to(&[2.0], 0.0), vec![0.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! AVF phase behavior: per-interval vulnerability time series.
+//!
+//! Program AVF is not stationary — it moves with program phases, and that
+//! phase behavior is itself predictable (Fu, Poe, Li, Fortes, MASCOTS
+//! 2006, the companion work the paper builds on). The [`PhaseRecorder`]
+//! samples the engine's banked accumulators on a fixed cycle interval and
+//! differentiates them into per-interval AVFs.
+//!
+//! Because classification is banked when an entry *ends* its residency, a
+//! long-lived entry's vulnerability is attributed to the interval where it
+//! ends; phase edges therefore smear by roughly one structure-residency
+//! time, and a single interval's value can exceed 1.0 when long
+//! residencies end inside it (the time-weighted mean over all intervals
+//! still equals the cumulative AVF). This matches how deferred ACE
+//! analyses are typically windowed.
+
+use crate::engine::AvfEngine;
+use crate::structure::StructureId;
+
+/// One sampled interval of the vulnerability time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePoint {
+    /// First cycle of the interval.
+    pub start_cycle: u64,
+    /// One past the last cycle of the interval.
+    pub end_cycle: u64,
+    /// Per-structure AVF over this interval, in [`StructureId::ALL`] order.
+    pub avf: Vec<f64>,
+}
+
+impl PhasePoint {
+    /// The interval AVF of one structure.
+    pub fn structure(&self, s: StructureId) -> f64 {
+        self.avf[s.index()]
+    }
+}
+
+/// Samples an [`AvfEngine`] every `interval` cycles into a time series.
+#[derive(Debug, Clone)]
+pub struct PhaseRecorder {
+    interval: u64,
+    last_cycle: u64,
+    last_ace: Vec<u128>,
+    points: Vec<PhasePoint>,
+}
+
+impl PhaseRecorder {
+    /// A recorder sampling every `interval` cycles.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> PhaseRecorder {
+        assert!(interval > 0, "phase interval must be nonzero");
+        PhaseRecorder {
+            interval,
+            last_cycle: 0,
+            last_ace: vec![0; StructureId::ALL.len()],
+            points: Vec::new(),
+        }
+    }
+
+    /// The sampling interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Offer the current cycle; records a point whenever a full interval
+    /// has elapsed. Call once per cycle (cheap when no boundary is hit).
+    pub fn tick(&mut self, engine: &AvfEngine, cycle: u64) {
+        if cycle < self.last_cycle + self.interval {
+            return;
+        }
+        let span = cycle - self.last_cycle;
+        let avf = StructureId::ALL
+            .iter()
+            .map(|&s| {
+                let t = engine.tracker(s);
+                let now_ace = t.total_ace_bit_cycles();
+                // Saturating: an engine reset can move accumulators below
+                // the last snapshot (callers should resync, but a stale
+                // snapshot must not wrap).
+                let delta = now_ace.saturating_sub(self.last_ace[s.index()]);
+                self.last_ace[s.index()] = now_ace;
+                let denom = t.total_bits() as u128 * span as u128;
+                if denom == 0 {
+                    0.0
+                } else {
+                    delta as f64 / denom as f64
+                }
+            })
+            .collect();
+        self.points.push(PhasePoint {
+            start_cycle: self.last_cycle,
+            end_cycle: cycle,
+            avf,
+        });
+        self.last_cycle = cycle;
+    }
+
+    /// Re-baseline on the engine's current accumulators and cycle without
+    /// emitting a point. Call after [`AvfEngine::reset`] (e.g. when a
+    /// measurement window opens) so the next interval starts clean.
+    pub fn resync(&mut self, engine: &AvfEngine, cycle: u64) {
+        for &s in &StructureId::ALL {
+            self.last_ace[s.index()] = engine.tracker(s).total_ace_bit_cycles();
+        }
+        self.last_cycle = cycle;
+    }
+
+    /// The recorded time series so far.
+    pub fn points(&self) -> &[PhasePoint] {
+        &self.points
+    }
+
+    /// Consume the recorder, returning the time series.
+    pub fn into_points(self) -> Vec<PhasePoint> {
+        self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_model::ThreadId;
+
+    #[test]
+    fn records_interval_deltas() {
+        let mut e = AvfEngine::new(1);
+        e.set_total_bits(StructureId::Iq, 100);
+        let mut rec = PhaseRecorder::new(100);
+        // Interval 1: 50 ACE bits × 100 cycles worth banked.
+        e.bank(StructureId::Iq, ThreadId(0), 50, 100);
+        rec.tick(&e, 100);
+        // Interval 2: nothing banked.
+        rec.tick(&e, 200);
+        let pts = rec.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].structure(StructureId::Iq) - 0.5).abs() < 1e-12);
+        assert_eq!(pts[1].structure(StructureId::Iq), 0.0);
+        assert_eq!(pts[0].start_cycle, 0);
+        assert_eq!(pts[1].end_cycle, 200);
+    }
+
+    #[test]
+    fn tick_between_boundaries_is_a_no_op() {
+        let e = AvfEngine::new(1);
+        let mut rec = PhaseRecorder::new(100);
+        for c in 0..99 {
+            rec.tick(&e, c);
+        }
+        assert!(rec.points().is_empty());
+    }
+
+    #[test]
+    fn phase_avfs_sum_to_cumulative() {
+        let mut e = AvfEngine::new(1);
+        e.set_total_bits(StructureId::Rob, 1_000);
+        let mut rec = PhaseRecorder::new(10);
+        let mut cycle = 0;
+        for step in 0..20u64 {
+            e.bank(StructureId::Rob, ThreadId(0), 100, step % 7);
+            cycle += 10;
+            rec.tick(&e, cycle);
+        }
+        let from_phases: f64 = rec
+            .points()
+            .iter()
+            .map(|p| p.structure(StructureId::Rob) * (p.end_cycle - p.start_cycle) as f64)
+            .sum::<f64>()
+            / cycle as f64;
+        let cumulative = e.tracker(StructureId::Rob).avf(cycle);
+        assert!((from_phases - cumulative).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resync_rebases_after_engine_reset() {
+        let mut e = AvfEngine::new(1);
+        e.set_total_bits(StructureId::Iq, 100);
+        let mut rec = PhaseRecorder::new(100);
+        e.bank(StructureId::Iq, ThreadId(0), 100, 100);
+        rec.tick(&e, 100);
+        e.reset();
+        rec.resync(&e, 100);
+        e.bank(StructureId::Iq, ThreadId(0), 25, 100);
+        rec.tick(&e, 200);
+        let pts = rec.points();
+        assert!((pts[1].structure(StructureId::Iq) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_interval_rejected() {
+        let _ = PhaseRecorder::new(0);
+    }
+}

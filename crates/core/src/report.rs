@@ -1,0 +1,226 @@
+//! The per-run vulnerability and performance report.
+
+use crate::structure::StructureId;
+use std::fmt;
+
+/// AVF results for one structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureAvf {
+    /// Which structure.
+    pub structure: StructureId,
+    /// Aggregate AVF across all threads.
+    pub avf: f64,
+    /// Per-thread AVF contributions (sum to `avf`).
+    pub per_thread: Vec<f64>,
+    /// Average fraction of the structure's bits occupied (diagnostic).
+    /// Meaningful for entry-based structures (IQ/ROB/LSQ/FU), whose squashed
+    /// occupancy is banked separately; for interval-tracked structures
+    /// (register file, caches, TLBs) only ACE intervals are banked, so this
+    /// equals `avf` there.
+    pub utilization: f64,
+    /// Structure bit budget used as denominator.
+    pub total_bits: u64,
+}
+
+/// The complete output of one simulation: performance counters plus the
+/// AVF profile of every tracked structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvfReport {
+    cycles: u64,
+    committed: Vec<u64>,
+    structures: Vec<StructureAvf>,
+}
+
+impl AvfReport {
+    /// Assemble a report. Intended to be called by
+    /// [`AvfEngine::finish`](crate::AvfEngine::finish).
+    pub fn new(cycles: u64, committed: Vec<u64>, structures: Vec<StructureAvf>) -> AvfReport {
+        AvfReport {
+            cycles,
+            committed,
+            structures,
+        }
+    }
+
+    /// Simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Committed instruction count per thread.
+    pub fn committed(&self) -> &[u64] {
+        &self.committed
+    }
+
+    /// Total committed instructions across threads.
+    pub fn total_committed(&self) -> u64 {
+        self.committed.iter().sum()
+    }
+
+    /// Aggregate instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// One thread's instructions per cycle.
+    pub fn thread_ipc(&self, thread: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed[thread] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Number of thread contexts in the run.
+    pub fn contexts(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Results for one structure.
+    ///
+    /// # Panics
+    /// Panics if the structure was not tracked (all [`StructureId::ALL`]
+    /// members always are).
+    pub fn structure(&self, s: StructureId) -> &StructureAvf {
+        self.structures
+            .iter()
+            .find(|x| x.structure == s)
+            .unwrap_or_else(|| panic!("structure {s} missing from report"))
+    }
+
+    /// All structures' results in canonical order.
+    pub fn structures(&self) -> &[StructureAvf] {
+        &self.structures
+    }
+
+    /// Reliability efficiency `IPC / AVF` for a structure (∝ MITF, the Mean
+    /// Instructions To Failure — Section 3 of the paper). Returns
+    /// `f64::INFINITY` when the AVF is zero (no vulnerable state at all).
+    pub fn reliability_efficiency(&self, s: StructureId) -> f64 {
+        crate::metrics::reliability_efficiency(self.ipc(), self.structure(s).avf)
+    }
+
+    /// Render the per-structure results as CSV: one row per structure with
+    /// aggregate AVF, utilization, bit budget and per-thread AVFs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("structure,avf,utilization,bits");
+        for t in 0..self.contexts() {
+            out.push_str(&format!(",avf_t{t}"));
+        }
+        out.push('\n');
+        for s in &self.structures {
+            out.push_str(&format!(
+                "{},{},{},{}",
+                s.structure.label(),
+                s.avf,
+                s.utilization,
+                s.total_bits
+            ));
+            for v in &s.per_thread {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for AvfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={}  committed={}  IPC={:.3}",
+            self.cycles,
+            self.total_committed(),
+            self.ipc()
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>8} {:>10}  per-thread AVF",
+            "structure", "AVF%", "util%", "bits"
+        )?;
+        for s in &self.structures {
+            let per: Vec<String> = s
+                .per_thread
+                .iter()
+                .map(|v| format!("{:.2}", v * 100.0))
+                .collect();
+            writeln!(
+                f,
+                "{:<10} {:>7.2}% {:>7.2}% {:>10}  [{}]",
+                s.structure.label(),
+                s.avf * 100.0,
+                s.utilization * 100.0,
+                s.total_bits,
+                per.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> AvfReport {
+        AvfReport::new(
+            1000,
+            vec![1500, 500],
+            StructureId::ALL
+                .iter()
+                .map(|&s| StructureAvf {
+                    structure: s,
+                    avf: 0.25,
+                    per_thread: vec![0.2, 0.05],
+                    utilization: 0.5,
+                    total_bits: 4096,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let r = report();
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.thread_ipc(0) - 1.5).abs() < 1e-12);
+        assert!((r.thread_ipc(1) - 0.5).abs() < 1e-12);
+        assert_eq!(r.total_committed(), 2000);
+        assert_eq!(r.contexts(), 2);
+    }
+
+    #[test]
+    fn reliability_efficiency_is_ipc_over_avf() {
+        let r = report();
+        assert!((r.reliability_efficiency(StructureId::Iq) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_labels() {
+        let text = format!("{}", report());
+        for s in StructureId::ALL {
+            assert!(text.contains(s.label()), "missing {s}");
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_structure() {
+        let r = report();
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 1 + StructureId::ALL.len());
+        assert!(csv.starts_with("structure,avf,utilization,bits,avf_t0,avf_t1"));
+        assert!(csv.contains("IQ,0.25,0.5,4096,0.2,0.05"));
+    }
+
+    #[test]
+    fn zero_cycle_report_is_safe() {
+        let r = AvfReport::new(0, vec![0], vec![]);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.thread_ipc(0), 0.0);
+    }
+}

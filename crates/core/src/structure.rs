@@ -1,0 +1,182 @@
+//! The microarchitecture structures whose vulnerability is analyzed.
+
+use std::fmt;
+
+/// A microarchitecture structure tracked by the AVF framework.
+///
+/// The set matches the paper's Section 3: "our SMT reliability analysis
+/// framework covers a wide range of shared and non-shared microarchitecture
+/// components including the instruction queue, register file, function unit,
+/// reorder buffer, L1 data cache, TLB and load/store queue". The L1 data
+/// cache and LSQ are split into tag/address and data arrays, which the paper
+/// reports separately (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StructureId {
+    /// Shared issue queue (instruction queue, "IQ").
+    Iq,
+    /// Shared functional-unit pipeline latches ("FU").
+    Fu,
+    /// Shared physical register file pool ("Reg").
+    RegFile,
+    /// L1 data cache data array ("DL1_data"). Shared.
+    Dl1Data,
+    /// L1 data cache tag array ("DL1_tag"). Shared.
+    Dl1Tag,
+    /// Data TLB. Shared.
+    Dtlb,
+    /// Instruction TLB. Shared.
+    Itlb,
+    /// Per-thread reorder buffer ("ROB").
+    Rob,
+    /// Per-thread load/store queue data fields ("LSQ_data").
+    LsqData,
+    /// Per-thread load/store queue address/tag fields ("LSQ_tag").
+    LsqTag,
+    /// L1 instruction cache data array (extension; not in the paper's
+    /// figures). Shared.
+    Il1Data,
+    /// L1 instruction cache tag array (extension). Shared.
+    Il1Tag,
+    /// Unified L2 cache data array (extension). Shared.
+    L2Data,
+    /// Unified L2 cache tag array (extension). Shared.
+    L2Tag,
+}
+
+impl StructureId {
+    /// All tracked structures, in the order Figure 1 of the paper groups
+    /// them: shared pipeline structures, shared memory structures, then
+    /// non-shared (per-thread) structures.
+    pub const ALL: [StructureId; 14] = [
+        StructureId::Iq,
+        StructureId::Fu,
+        StructureId::RegFile,
+        StructureId::Dl1Data,
+        StructureId::Dl1Tag,
+        StructureId::Dtlb,
+        StructureId::Itlb,
+        StructureId::Rob,
+        StructureId::LsqData,
+        StructureId::LsqTag,
+        StructureId::Il1Data,
+        StructureId::Il1Tag,
+        StructureId::L2Data,
+        StructureId::L2Tag,
+    ];
+
+    /// The eight structures shown in the paper's Figures 1, 2, 6 and 8.
+    pub const FIGURE_SET: [StructureId; 8] = [
+        StructureId::Iq,
+        StructureId::Fu,
+        StructureId::RegFile,
+        StructureId::Dl1Data,
+        StructureId::Dl1Tag,
+        StructureId::Rob,
+        StructureId::LsqData,
+        StructureId::LsqTag,
+    ];
+
+    /// Whether the structure is dynamically shared among threads (true) or
+    /// replicated per context (false).
+    pub fn is_shared(self) -> bool {
+        !matches!(
+            self,
+            StructureId::Rob | StructureId::LsqData | StructureId::LsqTag
+        )
+    }
+
+    /// Whether this structure is part of the paper's study (false for the
+    /// IL1/L2 extension structures this crate adds on top).
+    pub fn in_paper_study(self) -> bool {
+        !matches!(
+            self,
+            StructureId::Il1Data | StructureId::Il1Tag | StructureId::L2Data | StructureId::L2Tag
+        )
+    }
+
+    /// Label used in reports, matching the paper's figure axis labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            StructureId::Iq => "IQ",
+            StructureId::Fu => "FU",
+            StructureId::RegFile => "Reg",
+            StructureId::Dl1Data => "DL1_data",
+            StructureId::Dl1Tag => "DL1_tag",
+            StructureId::Dtlb => "DTLB",
+            StructureId::Itlb => "ITLB",
+            StructureId::Rob => "ROB",
+            StructureId::LsqData => "LSQ_data",
+            StructureId::LsqTag => "LSQ_tag",
+            StructureId::Il1Data => "IL1_data",
+            StructureId::Il1Tag => "IL1_tag",
+            StructureId::L2Data => "L2_data",
+            StructureId::L2Tag => "L2_tag",
+        }
+    }
+
+    /// Index into dense per-structure tables.
+    pub fn index(self) -> usize {
+        StructureId::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("StructureId::ALL is exhaustive")
+    }
+}
+
+impl fmt::Display for StructureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_exhaustive_and_indexable() {
+        for (i, s) in StructureId::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn extension_structures_are_flagged() {
+        assert!(!StructureId::L2Data.in_paper_study());
+        assert!(!StructureId::Il1Tag.in_paper_study());
+        assert!(StructureId::Iq.in_paper_study());
+        for s in StructureId::FIGURE_SET {
+            assert!(s.in_paper_study());
+        }
+    }
+
+    #[test]
+    fn sharing_classification_matches_paper() {
+        // Figure 1 groups IQ/FU/Reg as shared pipeline structures,
+        // DL1/TLB as shared memory structures, ROB/LSQ as non-shared.
+        assert!(StructureId::Iq.is_shared());
+        assert!(StructureId::Fu.is_shared());
+        assert!(StructureId::RegFile.is_shared());
+        assert!(StructureId::Dl1Data.is_shared());
+        assert!(StructureId::Dl1Tag.is_shared());
+        assert!(StructureId::Dtlb.is_shared());
+        assert!(!StructureId::Rob.is_shared());
+        assert!(!StructureId::LsqData.is_shared());
+        assert!(!StructureId::LsqTag.is_shared());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = StructureId::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), StructureId::ALL.len());
+    }
+
+    #[test]
+    fn figure_set_is_subset_of_all() {
+        for s in StructureId::FIGURE_SET {
+            assert!(StructureId::ALL.contains(&s));
+        }
+    }
+}

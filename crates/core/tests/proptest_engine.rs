@@ -1,0 +1,125 @@
+//! Property tests for the AVF accounting engine and ACE classification.
+
+use avf_core::{budgets, classify, AvfEngine, DeallocKind, ResidencyTracker, StructureId};
+use proptest::prelude::*;
+use sim_model::{ArchReg, BranchKind, Inst, MemRef, OpClass, SeqNum, ThreadId};
+
+prop_compose! {
+    fn arb_inst()(
+        op_idx in 0usize..OpClass::ALL.len(),
+        src1 in proptest::option::of(0u8..31),
+        src2 in proptest::option::of(0u8..31),
+        dest in proptest::option::of(1u8..31),
+        addr in 0u64..1_000_000,
+        size_idx in 0usize..4,
+        dead in any::<bool>(),
+        wrong in any::<bool>(),
+        taken in any::<bool>(),
+    ) -> Inst {
+        let op = OpClass::ALL[op_idx];
+        let mut i = Inst::nop(0x1000, SeqNum(0));
+        i.op = op;
+        i.wrong_path = wrong;
+        match op {
+            OpClass::Nop => {}
+            OpClass::Load => {
+                i.srcs = [src1.map(ArchReg::int), None];
+                i.dest = Some(ArchReg::int(dest.unwrap_or(1)));
+                i.mem = Some(MemRef::new(addr, [1u8, 2, 4, 8][size_idx]));
+                i.dyn_dead = dead;
+            }
+            OpClass::Store => {
+                i.srcs = [Some(ArchReg::int(src1.unwrap_or(0))), src2.map(ArchReg::int)];
+                i.mem = Some(MemRef::new(addr, [1u8, 2, 4, 8][size_idx]));
+            }
+            OpClass::Branch => {
+                i.branch_kind = BranchKind::Conditional;
+                i.taken = taken;
+                i.target = 0x2000;
+                i.srcs = [src1.map(ArchReg::int), None];
+            }
+            _ => {
+                i.srcs = [src1.map(ArchReg::int), src2.map(ArchReg::int)];
+                i.dest = Some(ArchReg::int(dest.unwrap_or(2)));
+                i.dyn_dead = dead;
+            }
+        }
+        i
+    }
+}
+
+proptest! {
+    #[test]
+    fn ace_bits_never_exceed_entry_budgets(inst in arb_inst(), committed in any::<bool>()) {
+        let kind = if committed { DeallocKind::Committed } else { DeallocKind::Squashed };
+        prop_assert!(classify::iq_ace_bits(&inst, kind) <= budgets::iq::ENTRY);
+        prop_assert!(classify::rob_ace_bits(&inst, kind) <= budgets::rob::ENTRY);
+        prop_assert!(classify::lsq_tag_ace_bits(&inst, kind) <= budgets::lsq::TAG_ENTRY);
+        prop_assert!(classify::lsq_data_ace_bits(&inst, kind) <= budgets::lsq::DATA_ENTRY);
+        prop_assert!(classify::fu_ace_bits(&inst, kind) <= budgets::fu::ENTRY);
+    }
+
+    #[test]
+    fn squashed_is_always_unace(inst in arb_inst()) {
+        for s in StructureId::ALL {
+            prop_assert_eq!(classify::lifecycle_ace_bits(s, &inst, DeallocKind::Squashed), 0);
+        }
+    }
+
+    #[test]
+    fn committed_ace_dominates_dead_variant(inst in arb_inst()) {
+        // Marking an instruction dynamically dead can only reduce ACE bits.
+        if inst.dest.is_some() && !inst.wrong_path {
+            let mut dead = inst.clone();
+            dead.dyn_dead = true;
+            let mut live = inst;
+            live.dyn_dead = false;
+            for s in StructureId::ALL {
+                prop_assert!(
+                    classify::lifecycle_ace_bits(s, &dead, DeallocKind::Committed)
+                        <= classify::lifecycle_ace_bits(s, &live, DeallocKind::Committed)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_avf_is_bounded_and_additive(
+        intervals in proptest::collection::vec((0u8..4, 1u64..100, 1u64..50), 0..50),
+        total_bits in 100u64..10_000,
+        cycles in 1_000u64..10_000,
+    ) {
+        let mut t = ResidencyTracker::new(StructureId::Iq, 4);
+        t.set_total_bits(total_bits);
+        let mut expected: u128 = 0;
+        for (thread, bits, dur) in intervals {
+            let bits = bits.min(total_bits); // physical bound
+            t.bank(ThreadId(thread), bits, dur);
+            expected += bits as u128 * dur as u128;
+        }
+        prop_assert_eq!(t.total_ace_bit_cycles(), expected);
+        let per_thread: f64 = (0..4).map(|i| t.thread_avf(ThreadId(i), cycles)).sum();
+        prop_assert!((per_thread - t.avf(cycles)).abs() < 1e-9);
+        prop_assert!(t.avf(cycles) >= 0.0);
+    }
+
+    #[test]
+    fn engine_reset_zeroes_accumulators(
+        bankings in proptest::collection::vec((0usize..10, 0u8..2, 1u64..100, 1u64..50), 1..30),
+    ) {
+        let mut e = AvfEngine::new(2);
+        for s in StructureId::ALL {
+            e.set_total_bits(s, 1_000);
+        }
+        for (s_idx, th, bits, dur) in bankings {
+            e.bank(StructureId::ALL[s_idx], ThreadId(th), bits, dur);
+        }
+        e.reset();
+        let r = e.finish(1_000, vec![10, 10]);
+        for s in StructureId::ALL {
+            prop_assert_eq!(r.structure(s).avf, 0.0);
+            // Budgets survive the reset.
+            prop_assert_eq!(r.structure(s).total_bits, 1_000);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Branch target buffer.
+
+/// A set-associative branch target buffer with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    index_mask: u64,
+    clock: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: u64,
+}
+
+impl Btb {
+    /// A BTB with `entries` total entries organized `assoc` ways per set.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not divisible by `assoc` or the set count is
+    /// not a power of two.
+    pub fn new(entries: u32, assoc: u32) -> Btb {
+        assert!(
+            assoc > 0 && entries.is_multiple_of(assoc),
+            "bad BTB geometry"
+        );
+        let sets = entries / assoc;
+        assert!(sets.is_power_of_two(), "BTB sets must be a power of two");
+        Btb {
+            sets: (0..sets)
+                .map(|_| {
+                    (0..assoc)
+                        .map(|_| BtbEntry {
+                            valid: false,
+                            tag: 0,
+                            target: 0,
+                            lru: 0,
+                        })
+                        .collect()
+                })
+                .collect(),
+            index_mask: sets as u64 - 1,
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        let word = pc >> 2;
+        (
+            (word & self.index_mask) as usize,
+            word >> self.index_mask.count_ones(),
+        )
+    }
+
+    /// Predicted target for the branch at `pc`, if this PC is known to be a
+    /// branch.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.set_and_tag(pc);
+        self.sets[set]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+            .map(|e| {
+                e.lru = clock;
+                e.target
+            })
+    }
+
+    /// Record the resolved target of a taken branch.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.set_and_tag(pc);
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = clock;
+            return;
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("BTB sets are never empty");
+        *victim = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: clock,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remembers_targets() {
+        let mut b = Btb::new(2048, 4);
+        assert_eq!(b.lookup(0x100), None);
+        b.update(0x100, 0x2000);
+        assert_eq!(b.lookup(0x100), Some(0x2000));
+    }
+
+    #[test]
+    fn updates_existing_entry() {
+        let mut b = Btb::new(2048, 4);
+        b.update(0x100, 0x2000);
+        b.update(0x100, 0x3000);
+        assert_eq!(b.lookup(0x100), Some(0x3000));
+    }
+
+    #[test]
+    fn evicts_lru_within_a_set() {
+        let mut b = Btb::new(16, 2); // 8 sets, 2 ways
+                                     // Three PCs mapping to the same set (stride = sets * 4 bytes).
+        let stride = 8 * 4;
+        b.update(0x0, 1);
+        b.update(stride, 2);
+        let _ = b.lookup(0x0); // refresh
+        b.update(2 * stride, 3); // evicts `stride`
+        assert_eq!(b.lookup(0x0), Some(1));
+        assert_eq!(b.lookup(stride), None);
+        assert_eq!(b.lookup(2 * stride), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad BTB geometry")]
+    fn rejects_bad_geometry() {
+        let _ = Btb::new(10, 3);
+    }
+}

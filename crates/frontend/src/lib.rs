@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # sim-frontend — branch prediction and SMT fetch policies
+//!
+//! The front-end machinery of the simulated SMT processor:
+//!
+//! * per-thread branch predictors matching Table 1 of the paper — a 2K-entry
+//!   gshare with 10-bit global history, a 2K-entry 4-way BTB and a 32-entry
+//!   return address stack ([`ThreadPredictor`]);
+//! * an L1-data-miss predictor used by the PDG fetch policy
+//!   ([`MissPredictor`]);
+//! * the fetch-policy engine ([`policy`]) implementing ICOUNT (baseline),
+//!   FLUSH, STALL, DG, PDG and DWARN — the policies whose reliability
+//!   impact Section 4.3 of the paper studies.
+//!
+//! ```
+//! use sim_frontend::{ThreadPredictor, PredictorConfigExt};
+//! use sim_model::MachineConfig;
+//!
+//! let cfg = MachineConfig::ispass07_baseline();
+//! let mut pred = ThreadPredictor::new(&cfg.predictor);
+//! // Train past history saturation: branch at 0x40 is always taken.
+//! for _ in 0..16 { pred.update_conditional(0x40, true); }
+//! assert!(pred.predict_conditional(0x40));
+//! ```
+
+pub mod btb;
+pub mod gshare;
+pub mod miss_predictor;
+pub mod policy;
+pub mod predictor;
+pub mod ras;
+
+pub use btb::Btb;
+pub use gshare::Gshare;
+pub use miss_predictor::MissPredictor;
+pub use policy::{fetch_priority, FetchPolicyEngine, ThreadTelemetry};
+pub use predictor::{PredictorConfigExt, ThreadPredictor};
+pub use ras::Ras;

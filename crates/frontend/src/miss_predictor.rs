@@ -1,0 +1,90 @@
+//! L1 data-cache miss predictor used by the PDG fetch policy.
+//!
+//! PDG (predictive data gating, El-Moursy & Albonesi HPCA'03) gates fetch
+//! as soon as a thread is *predicted* to have too many outstanding L1
+//! misses, instead of waiting for the misses to be detected in the cache —
+//! "P predicts L1 cache misses to minimize the delay of decision making"
+//! (the paper, Section 4.3).
+
+/// A PC-indexed table of 2-bit saturating miss counters.
+#[derive(Debug, Clone)]
+pub struct MissPredictor {
+    counters: Vec<u8>,
+    index_mask: u64,
+}
+
+impl MissPredictor {
+    /// A predictor with `entries` counters.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: u32) -> MissPredictor {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "miss predictor entries must be a nonzero power of two"
+        );
+        MissPredictor {
+            counters: vec![0; entries as usize], // strongly predict hit
+            index_mask: entries as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    /// Predict whether the load at `pc` will miss the DL1.
+    pub fn predict_miss(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Train with the actual outcome of the load at `pc`.
+    pub fn update(&mut self, pc: u64, missed: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if missed {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+impl Default for MissPredictor {
+    fn default() -> Self {
+        MissPredictor::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_missing_load() {
+        let mut p = MissPredictor::new(256);
+        assert!(!p.predict_miss(0x40), "cold table predicts hit");
+        p.update(0x40, true);
+        p.update(0x40, true);
+        assert!(p.predict_miss(0x40));
+    }
+
+    #[test]
+    fn recovers_after_hits() {
+        let mut p = MissPredictor::new(256);
+        for _ in 0..3 {
+            p.update(0x40, true);
+        }
+        for _ in 0..3 {
+            p.update(0x40, false);
+        }
+        assert!(!p.predict_miss(0x40));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_size() {
+        let _ = MissPredictor::new(100);
+    }
+}

@@ -1,0 +1,328 @@
+//! The SMT fetch-policy engine.
+//!
+//! Each cycle the fetch stage asks the policy engine for a priority-ordered
+//! list of threads allowed to fetch, given per-thread telemetry. The six
+//! policies of the paper's study differ in how they react to long-latency
+//! loads:
+//!
+//! | Policy | Reaction to cache misses |
+//! |--------|--------------------------|
+//! | ICOUNT | none — priority by fewest in-flight instructions |
+//! | FLUSH  | squash + fetch-stall the offending thread on an L2 miss |
+//! | STALL  | fetch-stall threads with an L2 miss, ≥1 thread always fetches |
+//! | DG     | gate threads with ≥ threshold outstanding L1 misses |
+//! | PDG    | DG, but counting *predicted* L1 misses at fetch |
+//! | DWARN  | threads with outstanding data-cache misses get lower priority |
+//!
+//! The squashing action of FLUSH lives in the pipeline; this module only
+//! decides who may fetch.
+
+use sim_model::{FetchPolicyKind, ThreadId};
+
+/// Per-thread state the policy engine consumes each cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadTelemetry {
+    /// The thread exists and has trace left to fetch.
+    pub active: bool,
+    /// Instructions fetched but not yet issued (the ICOUNT counter).
+    pub in_flight: u32,
+    /// Outstanding DL1 load misses (detected).
+    pub outstanding_l1_misses: u32,
+    /// Outstanding L2 misses (detected).
+    pub outstanding_l2_misses: u32,
+    /// Outstanding *predicted* L1 misses (PDG's early counter).
+    pub predicted_l1_misses: u32,
+    /// Outstanding *predicted* L2 misses (PSTALL's early counter).
+    pub predicted_l2_misses: u32,
+    /// Issue-queue entries currently held by the thread (RAFT's
+    /// vulnerability proxy: IQ residency is where long-latency ACE bits
+    /// accumulate).
+    pub iq_occupancy: u32,
+}
+
+/// Stateful wrapper holding the round-robin rotation pointer.
+#[derive(Debug, Clone)]
+pub struct FetchPolicyEngine {
+    policy: FetchPolicyKind,
+    dg_threshold: u32,
+    iq_quota: u32,
+    rr_next: usize,
+}
+
+impl FetchPolicyEngine {
+    /// An engine for `policy` with the configured DG/PDG gating threshold
+    /// and RAFT's per-thread IQ quota (typically `iq_entries / contexts`).
+    pub fn new(policy: FetchPolicyKind, dg_threshold: u32, iq_quota: u32) -> FetchPolicyEngine {
+        FetchPolicyEngine {
+            policy,
+            dg_threshold,
+            iq_quota: iq_quota.max(1),
+            rr_next: 0,
+        }
+    }
+
+    /// The policy being applied.
+    pub fn policy(&self) -> FetchPolicyKind {
+        self.policy
+    }
+
+    /// Compute this cycle's fetch priority order. Threads not in the
+    /// returned vector must not fetch this cycle.
+    pub fn priority(&mut self, telemetry: &[ThreadTelemetry]) -> Vec<ThreadId> {
+        let order = fetch_priority(
+            self.policy,
+            self.dg_threshold,
+            self.iq_quota,
+            self.rr_next,
+            telemetry,
+        );
+        if self.policy == FetchPolicyKind::RoundRobin && !telemetry.is_empty() {
+            self.rr_next = (self.rr_next + 1) % telemetry.len();
+        }
+        order
+    }
+}
+
+/// Pure function computing the fetch priority order for one cycle.
+///
+/// `rr_start` is only used by the round-robin policy. Inactive threads are
+/// never included. See the module docs for per-policy semantics.
+pub fn fetch_priority(
+    policy: FetchPolicyKind,
+    dg_threshold: u32,
+    iq_quota: u32,
+    rr_start: usize,
+    telemetry: &[ThreadTelemetry],
+) -> Vec<ThreadId> {
+    let n = telemetry.len();
+    let active = |i: usize| telemetry[i].active;
+    let by_icount = |ids: &mut Vec<usize>| {
+        ids.sort_by_key(|&i| (telemetry[i].in_flight, i));
+    };
+
+    let mut ids: Vec<usize> = (0..n).filter(|&i| active(i)).collect();
+    match policy {
+        FetchPolicyKind::RoundRobin => {
+            ids.sort_by_key(|&i| ((i + n - rr_start % n.max(1)) % n.max(1), i));
+        }
+        FetchPolicyKind::Icount => by_icount(&mut ids),
+        FetchPolicyKind::Flush => {
+            // Threads with an outstanding L2 miss were flushed and must not
+            // fetch until the miss returns.
+            ids.retain(|&i| telemetry[i].outstanding_l2_misses == 0);
+            by_icount(&mut ids);
+        }
+        FetchPolicyKind::Stall => {
+            let mut allowed: Vec<usize> = ids
+                .iter()
+                .copied()
+                .filter(|&i| telemetry[i].outstanding_l2_misses == 0)
+                .collect();
+            if allowed.is_empty() && !ids.is_empty() {
+                // "always allows at least one thread to continue fetching"
+                by_icount(&mut ids);
+                allowed.push(ids[0]);
+            }
+            ids = allowed;
+            by_icount(&mut ids);
+        }
+        FetchPolicyKind::DataGating => {
+            ids.retain(|&i| telemetry[i].outstanding_l1_misses < dg_threshold);
+            by_icount(&mut ids);
+        }
+        FetchPolicyKind::PredictiveDataGating => {
+            ids.retain(|&i| telemetry[i].predicted_l1_misses < dg_threshold);
+            by_icount(&mut ids);
+        }
+        FetchPolicyKind::PredictiveStall => {
+            // STALL, but reacting to predicted as well as detected L2
+            // misses; like STALL it never starves every thread.
+            let gated = |i: usize| {
+                telemetry[i].outstanding_l2_misses > 0 || telemetry[i].predicted_l2_misses > 0
+            };
+            let mut allowed: Vec<usize> = ids.iter().copied().filter(|&i| !gated(i)).collect();
+            if allowed.is_empty() && !ids.is_empty() {
+                by_icount(&mut ids);
+                allowed.push(ids[0]);
+            }
+            ids = allowed;
+            by_icount(&mut ids);
+        }
+        FetchPolicyKind::VulnerabilityAware => {
+            // Soft dynamic partitioning: a thread holding more than its
+            // fair share of IQ entries is parking ACE bits in the shared
+            // structure — throttle it until it drains back under quota.
+            // Among the rest, prioritize the least resident vulnerability.
+            ids.retain(|&i| telemetry[i].iq_occupancy < iq_quota);
+            ids.sort_by_key(|&i| (telemetry[i].iq_occupancy, telemetry[i].in_flight, i));
+        }
+        FetchPolicyKind::DWarn => {
+            // Two tiers: miss-free threads first, ICOUNT within each tier.
+            ids.sort_by_key(|&i| {
+                (
+                    (telemetry[i].outstanding_l1_misses > 0
+                        || telemetry[i].outstanding_l2_misses > 0) as u32,
+                    telemetry[i].in_flight,
+                    i,
+                )
+            });
+        }
+    }
+    ids.into_iter().map(|i| ThreadId(i as u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tele(n: usize) -> Vec<ThreadTelemetry> {
+        (0..n)
+            .map(|_| ThreadTelemetry {
+                active: true,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn icount_prefers_fewest_in_flight() {
+        let mut t = tele(3);
+        t[0].in_flight = 20;
+        t[1].in_flight = 5;
+        t[2].in_flight = 10;
+        let order = fetch_priority(FetchPolicyKind::Icount, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(1), ThreadId(2), ThreadId(0)]);
+    }
+
+    #[test]
+    fn icount_ties_break_by_id() {
+        let t = tele(4);
+        let order = fetch_priority(FetchPolicyKind::Icount, 2, 24, 0, &t);
+        assert_eq!(
+            order,
+            vec![ThreadId(0), ThreadId(1), ThreadId(2), ThreadId(3)]
+        );
+    }
+
+    #[test]
+    fn inactive_threads_never_fetch() {
+        let mut t = tele(3);
+        t[1].active = false;
+        for p in FetchPolicyKind::STUDIED {
+            let order = fetch_priority(p, 2, 24, 0, &t);
+            assert!(!order.contains(&ThreadId(1)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn flush_excludes_l2_missing_threads() {
+        let mut t = tele(2);
+        t[0].outstanding_l2_misses = 1;
+        let order = fetch_priority(FetchPolicyKind::Flush, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(1)]);
+    }
+
+    #[test]
+    fn flush_can_exclude_everyone() {
+        let mut t = tele(2);
+        t[0].outstanding_l2_misses = 1;
+        t[1].outstanding_l2_misses = 1;
+        assert!(fetch_priority(FetchPolicyKind::Flush, 2, 24, 0, &t).is_empty());
+    }
+
+    #[test]
+    fn stall_always_keeps_one_thread() {
+        let mut t = tele(2);
+        t[0].outstanding_l2_misses = 1;
+        t[1].outstanding_l2_misses = 1;
+        t[1].in_flight = 3;
+        let order = fetch_priority(FetchPolicyKind::Stall, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(0)], "fewest in-flight survives");
+    }
+
+    #[test]
+    fn dg_gates_at_threshold() {
+        let mut t = tele(2);
+        t[0].outstanding_l1_misses = 2;
+        let order = fetch_priority(FetchPolicyKind::DataGating, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(1)]);
+        // Below threshold is allowed.
+        t[0].outstanding_l1_misses = 1;
+        let order = fetch_priority(FetchPolicyKind::DataGating, 2, 24, 0, &t);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn pdg_gates_on_predictions_not_detections() {
+        let mut t = tele(2);
+        t[0].outstanding_l1_misses = 5; // detected — PDG ignores these
+        t[1].predicted_l1_misses = 5; // predicted — PDG gates on these
+        let order = fetch_priority(FetchPolicyKind::PredictiveDataGating, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(0)]);
+    }
+
+    #[test]
+    fn dwarn_demotes_but_never_excludes() {
+        let mut t = tele(3);
+        t[0].outstanding_l1_misses = 1;
+        t[0].in_flight = 0;
+        t[1].in_flight = 50;
+        t[2].in_flight = 10;
+        let order = fetch_priority(FetchPolicyKind::DWarn, 2, 24, 0, &t);
+        // Miss-free threads (2 then 1, by ICOUNT) before the missing thread.
+        assert_eq!(order, vec![ThreadId(2), ThreadId(1), ThreadId(0)]);
+    }
+
+    #[test]
+    fn pstall_gates_on_predicted_l2_misses() {
+        let mut t = tele(2);
+        t[0].predicted_l2_misses = 1;
+        let order = fetch_priority(FetchPolicyKind::PredictiveStall, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(1)]);
+        // But never starves everyone.
+        t[1].outstanding_l2_misses = 1;
+        let order = fetch_priority(FetchPolicyKind::PredictiveStall, 2, 24, 0, &t);
+        assert_eq!(order.len(), 1);
+    }
+
+    #[test]
+    fn raft_throttles_over_quota_threads() {
+        let mut t = tele(2);
+        t[0].iq_occupancy = 40;
+        t[1].iq_occupancy = 10;
+        let order = fetch_priority(FetchPolicyKind::VulnerabilityAware, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(1)], "over-quota thread is throttled");
+        // Back under quota: allowed again, ordered by occupancy.
+        t[0].iq_occupancy = 20;
+        let order = fetch_priority(FetchPolicyKind::VulnerabilityAware, 2, 24, 0, &t);
+        assert_eq!(order, vec![ThreadId(1), ThreadId(0)]);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let t = tele(3);
+        let mut e = FetchPolicyEngine::new(FetchPolicyKind::RoundRobin, 2, 24);
+        assert_eq!(e.priority(&t)[0], ThreadId(0));
+        assert_eq!(e.priority(&t)[0], ThreadId(1));
+        assert_eq!(e.priority(&t)[0], ThreadId(2));
+        assert_eq!(e.priority(&t)[0], ThreadId(0));
+    }
+
+    #[test]
+    fn priority_is_always_a_permutation_of_allowed_threads() {
+        let mut t = tele(8);
+        for (i, x) in t.iter_mut().enumerate() {
+            x.in_flight = (37 * i as u32) % 11;
+            x.outstanding_l1_misses = (i as u32) % 3;
+            x.outstanding_l2_misses = (i as u32) % 2;
+            x.predicted_l1_misses = (i as u32) % 4;
+        }
+        for p in FetchPolicyKind::STUDIED {
+            let order = fetch_priority(p, 2, 24, 0, &t);
+            let mut seen = std::collections::HashSet::new();
+            for id in &order {
+                assert!(seen.insert(*id), "{p:?} duplicated {id}");
+            }
+        }
+    }
+}

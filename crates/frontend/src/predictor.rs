@@ -1,0 +1,212 @@
+//! The per-thread branch prediction bundle.
+
+use crate::btb::Btb;
+use crate::gshare::Gshare;
+use crate::ras::Ras;
+use sim_model::{BranchKind, Inst, PredictorConfig};
+
+/// Extension trait constructing front-end components from a
+/// [`PredictorConfig`].
+pub trait PredictorConfigExt {
+    /// Build the per-thread predictor bundle this configuration describes.
+    fn build(&self) -> ThreadPredictor;
+}
+
+impl PredictorConfigExt for PredictorConfig {
+    fn build(&self) -> ThreadPredictor {
+        ThreadPredictor::new(self)
+    }
+}
+
+/// Outcome of predicting one branch against its trace-recorded resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPrediction {
+    /// Predicted direction.
+    pub predicted_taken: bool,
+    /// Whether direction AND target were predicted correctly — a wrong
+    /// target on a correctly-predicted-taken branch is still a misfetch.
+    pub correct: bool,
+}
+
+/// Per-thread predictor bundle: gshare + BTB + RAS (Table 1 of the paper:
+/// "2K entries Gshare, 10-bit global history per thread; BTB 2K entries,
+/// 4-way per thread; Return Address Stack 32 entries").
+#[derive(Debug, Clone)]
+pub struct ThreadPredictor {
+    gshare: Gshare,
+    btb: Btb,
+    ras: Ras,
+    predicts: u64,
+    mispredicts: u64,
+}
+
+impl ThreadPredictor {
+    /// Build from configuration.
+    pub fn new(cfg: &PredictorConfig) -> ThreadPredictor {
+        ThreadPredictor {
+            gshare: Gshare::new(cfg.gshare_entries, cfg.history_bits),
+            btb: Btb::new(cfg.btb_entries, cfg.btb_assoc),
+            ras: Ras::new(cfg.ras_entries),
+            predicts: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Predict the branch `inst` (which carries its actual resolution) and
+    /// immediately train the structures, as a fetch-stage predictor does.
+    ///
+    /// Returns what the front end would have done and whether it was right.
+    /// Non-branches trivially return a correct, not-taken prediction.
+    pub fn predict_and_train(&mut self, inst: &Inst) -> BranchPrediction {
+        if !inst.op.is_branch() {
+            return BranchPrediction {
+                predicted_taken: false,
+                correct: true,
+            };
+        }
+        self.predicts += 1;
+        let (predicted_taken, target_ok) = match inst.branch_kind {
+            BranchKind::Conditional => {
+                let dir = self.gshare.predict(inst.pc);
+                self.gshare.update(inst.pc, inst.taken);
+                let target_ok = if dir && inst.taken {
+                    let hit = self.btb.lookup(inst.pc) == Some(inst.target);
+                    self.btb.update(inst.pc, inst.target);
+                    hit
+                } else {
+                    if inst.taken {
+                        self.btb.update(inst.pc, inst.target);
+                    }
+                    true
+                };
+                (dir, target_ok)
+            }
+            BranchKind::Unconditional => {
+                let hit = self.btb.lookup(inst.pc) == Some(inst.target);
+                self.btb.update(inst.pc, inst.target);
+                (true, hit)
+            }
+            BranchKind::Call => {
+                let hit = self.btb.lookup(inst.pc) == Some(inst.target);
+                self.btb.update(inst.pc, inst.target);
+                self.ras.push(inst.pc + 4);
+                (true, hit)
+            }
+            BranchKind::Return => {
+                let hit = self.ras.pop() == Some(inst.target);
+                (true, hit)
+            }
+            BranchKind::None => unreachable!("branch op with BranchKind::None"),
+        };
+        let correct = predicted_taken == inst.taken && (!inst.taken || target_ok);
+        if !correct {
+            self.mispredicts += 1;
+        }
+        BranchPrediction {
+            predicted_taken,
+            correct,
+        }
+    }
+
+    /// Predict only the direction of a conditional branch at `pc` (no
+    /// training). Exposed for tests and diagnostics.
+    pub fn predict_conditional(&self, pc: u64) -> bool {
+        self.gshare.predict(pc)
+    }
+
+    /// Train the direction predictor for the conditional branch at `pc`.
+    pub fn update_conditional(&mut self, pc: u64, taken: bool) {
+        self.gshare.update(pc, taken);
+    }
+
+    /// Branches predicted so far.
+    pub fn predictions(&self) -> u64 {
+        self.predicts
+    }
+
+    /// Mispredictions (direction or target) so far.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Misprediction rate in `[0, 1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predicts == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.predicts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_model::{MachineConfig, OpClass, SeqNum};
+
+    fn branch(pc: u64, kind: BranchKind, taken: bool, target: u64) -> Inst {
+        let mut i = Inst::nop(pc, SeqNum(0));
+        i.op = OpClass::Branch;
+        i.branch_kind = kind;
+        i.taken = taken;
+        i.target = target;
+        i
+    }
+
+    fn predictor() -> ThreadPredictor {
+        ThreadPredictor::new(&MachineConfig::ispass07_baseline().predictor)
+    }
+
+    #[test]
+    fn biased_branch_becomes_predictable() {
+        let mut p = predictor();
+        let b = branch(0x40, BranchKind::Conditional, true, 0x100);
+        // Train past global-history saturation.
+        for _ in 0..40 {
+            p.predict_and_train(&b);
+        }
+        let r = p.predict_and_train(&b);
+        assert!(r.correct);
+        assert!(r.predicted_taken);
+        assert!(p.mispredict_rate() < 0.5);
+    }
+
+    #[test]
+    fn call_return_pairs_use_ras() {
+        let mut p = predictor();
+        // Warm the BTB for the call.
+        let call = branch(0x100, BranchKind::Call, true, 0x4000);
+        p.predict_and_train(&call);
+        p.predict_and_train(&call);
+        // The matching return targets call.pc + 4.
+        let ret = branch(0x4010, BranchKind::Return, true, 0x104);
+        let r = p.predict_and_train(&ret);
+        assert!(r.correct, "RAS should predict the return target");
+    }
+
+    #[test]
+    fn return_with_empty_ras_mispredicts() {
+        let mut p = predictor();
+        let ret = branch(0x4010, BranchKind::Return, true, 0x104);
+        let r = p.predict_and_train(&ret);
+        assert!(!r.correct);
+        assert_eq!(p.mispredictions(), 1);
+    }
+
+    #[test]
+    fn unconditional_needs_btb_warmup() {
+        let mut p = predictor();
+        let j = branch(0x200, BranchKind::Unconditional, true, 0x900);
+        assert!(!p.predict_and_train(&j).correct, "cold BTB misfetches");
+        assert!(p.predict_and_train(&j).correct, "warm BTB hits");
+    }
+
+    #[test]
+    fn non_branches_are_trivially_correct() {
+        let mut p = predictor();
+        let mut i = Inst::nop(0, SeqNum(0));
+        i.op = OpClass::IntAlu;
+        assert!(p.predict_and_train(&i).correct);
+        assert_eq!(p.predictions(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Return address stack.
+
+/// A fixed-depth circular return address stack.
+///
+/// Overflowing pushes wrap around and clobber the oldest entry (standard
+/// hardware behavior); popping an empty stack returns `None`.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    entries: Vec<u64>,
+    top: usize,
+    occupied: usize,
+}
+
+impl Ras {
+    /// A stack of `depth` entries.
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero.
+    pub fn new(depth: u32) -> Ras {
+        assert!(depth > 0, "RAS depth must be nonzero");
+        Ras {
+            entries: vec![0; depth as usize],
+            top: 0,
+            occupied: 0,
+        }
+    }
+
+    /// Push a return address (on a call).
+    pub fn push(&mut self, return_addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = return_addr;
+        self.occupied = (self.occupied + 1).min(self.entries.len());
+    }
+
+    /// Pop the predicted return address (on a return).
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.occupied == 0 {
+            return None;
+        }
+        let v = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.occupied -= 1;
+        Some(v)
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(4);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_clobbers_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // clobbers 1
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut r = Ras::new(3);
+        assert!(r.is_empty());
+        r.push(9);
+        assert!(!r.is_empty());
+        let _ = r.pop();
+        assert!(r.is_empty());
+    }
+}

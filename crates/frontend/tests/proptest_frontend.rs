@@ -1,0 +1,126 @@
+//! Property tests for fetch policies and predictors under arbitrary
+//! telemetry and training streams.
+
+use proptest::prelude::*;
+use sim_frontend::{fetch_priority, Btb, Gshare, Ras, ThreadTelemetry};
+use sim_model::FetchPolicyKind;
+use std::collections::HashSet;
+
+prop_compose! {
+    fn arb_telemetry()(
+        n in 1usize..=8,
+        raw in proptest::collection::vec((any::<bool>(), 0u32..200, 0u32..4, 0u32..3, 0u32..4, 0u32..3), 8),
+    ) -> Vec<ThreadTelemetry> {
+        raw.into_iter().take(n).map(|(active, in_flight, l1, l2, p1, p2)| ThreadTelemetry {
+            active,
+            in_flight,
+            outstanding_l1_misses: l1,
+            outstanding_l2_misses: l2,
+            predicted_l1_misses: p1,
+            predicted_l2_misses: p2,
+            iq_occupancy: in_flight.min(96),
+        }).collect()
+    }
+}
+
+fn all_policies() -> Vec<FetchPolicyKind> {
+    FetchPolicyKind::STUDIED
+        .into_iter()
+        .chain(FetchPolicyKind::EXTENSIONS)
+        .chain([FetchPolicyKind::RoundRobin])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn priority_is_a_duplicate_free_subset_of_active_threads(
+        tele in arb_telemetry(),
+        rr in 0usize..8,
+        threshold in 1u32..4,
+    ) {
+        for policy in all_policies() {
+            let order = fetch_priority(policy, threshold, 12, rr, &tele);
+            let mut seen = HashSet::new();
+            for id in &order {
+                prop_assert!(seen.insert(*id), "{policy:?}: duplicate {id}");
+                prop_assert!(id.index() < tele.len());
+                prop_assert!(tele[id.index()].active, "{policy:?}: inactive thread fetched");
+            }
+        }
+    }
+
+    #[test]
+    fn stall_like_policies_never_starve_everyone(
+        tele in arb_telemetry(),
+        threshold in 1u32..4,
+    ) {
+        let any_active = tele.iter().any(|t| t.active);
+        for policy in [FetchPolicyKind::Stall, FetchPolicyKind::PredictiveStall, FetchPolicyKind::DWarn, FetchPolicyKind::Icount] {
+            let order = fetch_priority(policy, threshold, 12, 0, &tele);
+            prop_assert_eq!(
+                order.is_empty(),
+                !any_active,
+                "{:?} starved all active threads", policy
+            );
+        }
+    }
+
+    #[test]
+    fn icount_order_is_sorted_by_in_flight(tele in arb_telemetry()) {
+        let order = fetch_priority(FetchPolicyKind::Icount, 2, 12, 0, &tele);
+        for pair in order.windows(2) {
+            prop_assert!(
+                tele[pair[0].index()].in_flight <= tele[pair[1].index()].in_flight
+            );
+        }
+    }
+
+    #[test]
+    fn gshare_counters_stay_saturated(updates in proptest::collection::vec((0u64..4096, any::<bool>()), 0..2_000)) {
+        let mut g = Gshare::new(1024, 10);
+        for (pc, taken) in updates {
+            g.update(pc * 4, taken);
+            // predict never panics and history stays masked.
+            let _ = g.predict(pc * 4);
+            prop_assert!(g.history() < 1024);
+        }
+    }
+
+    #[test]
+    fn btb_returns_what_was_stored_most_recently(
+        ops in proptest::collection::vec((0u64..256, 0u64..100_000), 1..200),
+    ) {
+        let mut btb = Btb::new(2048, 4);
+        let mut last = std::collections::HashMap::new();
+        for (pc, target) in ops {
+            btb.update(pc * 4, target);
+            last.insert(pc * 4, target);
+        }
+        // A 2048-entry BTB holds all 256 distinct PCs: lookups must match.
+        for (pc, target) in last {
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+
+    #[test]
+    fn ras_behaves_like_a_bounded_stack(ops in proptest::collection::vec(proptest::option::of(1u64..1_000_000), 0..200)) {
+        let mut ras = Ras::new(32);
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    ras.push(addr);
+                    model.push(addr);
+                    if model.len() > 32 {
+                        model.remove(0); // oldest clobbered
+                    }
+                }
+                None => {
+                    let expect = model.pop();
+                    prop_assert_eq!(ras.pop(), expect);
+                }
+            }
+            prop_assert_eq!(ras.len(), model.len());
+        }
+    }
+}

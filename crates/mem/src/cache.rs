@@ -1,0 +1,563 @@
+//! A set-associative, write-back, LRU cache with word-granular ACE
+//! interval tracking.
+
+use avf_core::{budgets, AvfEngine, StructureId};
+use sim_model::{CacheConfig, ThreadId};
+
+/// Whether an access reads or writes the data array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load (or instruction fetch): consumes the resident value.
+    Read,
+    /// Store: overwrites part of the line and marks it dirty.
+    Write,
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Per-word ACE tracking state: the cycle of the last event touching the
+/// word. (Dirtiness is tracked per line: dirty lines are written back
+/// whole, so every word of a dirty line shares the line's fate.)
+#[derive(Debug, Clone, Copy)]
+struct WordState {
+    last_event: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    owner: ThreadId,
+    lru: u64,
+    /// Cycle of the last event relevant to tag ACE (fill or set lookup).
+    tag_last: u64,
+    words: Vec<WordState>,
+}
+
+impl Line {
+    fn empty(words_per_line: usize) -> Line {
+        Line {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            owner: ThreadId(0),
+            lru: 0,
+            tag_last: 0,
+            words: vec![WordState { last_event: 0 }; words_per_line],
+        }
+    }
+}
+
+/// A set-associative write-back cache.
+///
+/// If constructed with AVF targets (see [`Cache::new`]), every access banks
+/// exact ACE intervals for the tag and data arrays into the provided
+/// [`AvfEngine`].
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    offset_bits: u32,
+    index_mask: u64,
+    words_per_line: usize,
+    lru_clock: u64,
+    stats: CacheStats,
+    data_target: Option<StructureId>,
+    tag_target: Option<StructureId>,
+}
+
+/// Result of a single cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty victim was written back to service a miss fill.
+    pub writeback: bool,
+    /// Base address of the written-back victim line, when `writeback` is
+    /// set (lets the next level absorb the write-back).
+    pub writeback_addr: Option<u64>,
+    /// Thread that owned the written-back victim line, when `writeback` is
+    /// set (so the next level attributes the line correctly).
+    pub writeback_owner: Option<ThreadId>,
+}
+
+impl Cache {
+    /// Build a cache from its configuration.
+    ///
+    /// `data_target`/`tag_target` name the AVF structures this cache's data
+    /// and tag arrays are accounted under (e.g. `Dl1Data`/`Dl1Tag` for the
+    /// L1 data cache); pass `None` for levels the study does not track.
+    pub fn new(
+        name: &'static str,
+        cfg: CacheConfig,
+        data_target: Option<StructureId>,
+        tag_target: Option<StructureId>,
+    ) -> Cache {
+        let sets = cfg.num_sets();
+        let words_per_line = (cfg.line_bytes / 8).max(1) as usize;
+        Cache {
+            name,
+            cfg,
+            sets: (0..sets)
+                .map(|_| {
+                    (0..cfg.assoc)
+                        .map(|_| Line::empty(words_per_line))
+                        .collect()
+                })
+                .collect(),
+            offset_bits: cfg.line_bytes.trailing_zeros(),
+            index_mask: sets - 1,
+            words_per_line,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+            data_target,
+            tag_target,
+        }
+    }
+
+    /// The cache's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Register this cache's total tag/data bit budgets with the engine.
+    pub fn configure_avf(&self, engine: &mut AvfEngine) {
+        let lines = self.cfg.num_lines();
+        if let Some(t) = self.data_target {
+            engine.set_total_bits(t, lines * self.cfg.line_bytes as u64 * 8);
+        }
+        if let Some(t) = self.tag_target {
+            engine.set_total_bits(t, lines * budgets::dl1::TAG_ENTRY);
+        }
+    }
+
+    #[inline]
+    fn index_of(&self, addr: u64) -> usize {
+        ((addr >> self.offset_bits) & self.index_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.offset_bits >> self.index_mask.count_ones()
+    }
+
+    /// Word range `[first, last]` covered by an access of `size` bytes at
+    /// `addr` within its line.
+    /// The model tracks accesses within a single line; accesses must not
+    /// cross a line boundary (the built-in generators emit 8-byte-aligned
+    /// references, which never do).
+    fn word_range(&self, addr: u64, size: u32) -> (usize, usize) {
+        debug_assert!(size > 0, "zero-sized access");
+        let off = (addr & ((self.cfg.line_bytes as u64) - 1)) as usize;
+        debug_assert!(
+            off + size as usize <= self.cfg.line_bytes as usize,
+            "access at {addr:#x} (size {size}) crosses a line boundary"
+        );
+        let first = off / 8;
+        let last = (off + size as usize - 1) / 8;
+        (first, last.min(self.words_per_line - 1))
+    }
+
+    /// Perform an architecturally live access. See [`Cache::access_with`].
+    pub fn access(
+        &mut self,
+        thread: ThreadId,
+        addr: u64,
+        size: u32,
+        kind: AccessKind,
+        now: u64,
+        engine: &mut AvfEngine,
+    ) -> LookupResult {
+        self.access_with(thread, addr, size, kind, now, true, engine)
+    }
+
+    /// Perform an access. Returns whether it hit and whether a dirty victim
+    /// was written back.
+    ///
+    /// On a miss the line is filled immediately (the caller models the fill
+    /// latency); the victim's remaining ACE intervals are banked before it
+    /// is replaced. With `ace: false` (a wrong-path access) the cache state
+    /// — hit/miss, LRU, fills, pollution — changes as usual, but no ACE
+    /// interval is banked and the per-word/tag clocks are not advanced: a
+    /// squashed consumer does not make the resident bits matter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_with(
+        &mut self,
+        thread: ThreadId,
+        addr: u64,
+        size: u32,
+        kind: AccessKind,
+        now: u64,
+        ace: bool,
+        engine: &mut AvfEngine,
+    ) -> LookupResult {
+        self.stats.accesses += 1;
+        self.lru_clock += 1;
+        let lru_now = self.lru_clock;
+        let set = self.index_of(addr);
+        let tag = self.tag_of(addr);
+        let (w0, w1) = self.word_range(addr, size);
+
+        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == tag) {
+            let data_target = self.data_target;
+            let tag_target = self.tag_target;
+            let line = &mut self.sets[set][way];
+            line.lru = lru_now;
+            // The tag had to match correctly for this hit: it is ACE from
+            // its previous exercise (fill or last hit) to now. Wrong-path
+            // hits consume nothing architecturally and leave the clocks
+            // untouched.
+            if ace {
+                if let Some(t) = tag_target {
+                    if now > line.tag_last {
+                        engine.bank(t, line.owner, budgets::dl1::TAG_ENTRY, now - line.tag_last);
+                    }
+                }
+                line.tag_last = now;
+            }
+            match kind {
+                AccessKind::Read => {
+                    // The interval since each word's previous event is ACE:
+                    // the value had to survive to be consumed now.
+                    if ace {
+                        for w in w0..=w1 {
+                            let ws = &mut line.words[w];
+                            if now > ws.last_event {
+                                if let Some(t) = data_target {
+                                    engine.bank(t, line.owner, 64, now - ws.last_event);
+                                }
+                            }
+                            ws.last_event = now;
+                        }
+                    }
+                }
+                AccessKind::Write => {
+                    // Overwritten: the preceding interval was un-ACE for
+                    // these words. The new value is dirty, and the line's
+                    // eventual write-back belongs to the writing thread.
+                    line.dirty = true;
+                    line.owner = thread;
+                    for w in w0..=w1 {
+                        line.words[w].last_event = now;
+                    }
+                }
+            }
+            return LookupResult {
+                hit: true,
+                writeback: false,
+                writeback_addr: None,
+                writeback_owner: None,
+            };
+        }
+
+        // Miss: choose LRU victim, retire its ACE state, fill.
+        self.stats.misses += 1;
+        let victim = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("cache sets are never empty");
+        let (writeback, writeback_addr, writeback_owner) = {
+            let data_target = self.data_target;
+            let tag_target = self.tag_target;
+            let index_bits = self.index_mask.count_ones();
+            let offset_bits = self.offset_bits;
+            let line = &mut self.sets[set][victim];
+            let wb = line.valid && line.dirty;
+            let wb_addr = if wb {
+                Some(((line.tag << index_bits) | set as u64) << offset_bits)
+            } else {
+                None
+            };
+            let wb_owner = if wb { Some(line.owner) } else { None };
+            if wb {
+                self.stats.writebacks += 1;
+                // The *entire* line is written back, so every word must
+                // survive until now — a strike on a clean word would be
+                // propagated over the good copy below. The tag too (it
+                // addresses the write-back).
+                for ws in &mut line.words {
+                    if now > ws.last_event {
+                        if let Some(t) = data_target {
+                            engine.bank(t, line.owner, 64, now - ws.last_event);
+                        }
+                        ws.last_event = now;
+                    }
+                }
+                if let Some(t) = tag_target {
+                    if now > line.tag_last {
+                        engine.bank(t, line.owner, budgets::dl1::TAG_ENTRY, now - line.tag_last);
+                    }
+                }
+            }
+            // Fill the new line.
+            line.valid = true;
+            line.dirty = kind == AccessKind::Write;
+            line.tag = tag;
+            line.owner = thread;
+            line.lru = lru_now;
+            line.tag_last = now;
+            for ws in &mut line.words {
+                ws.last_event = now;
+            }
+            (wb, wb_addr, wb_owner)
+        };
+        LookupResult {
+            hit: false,
+            writeback,
+            writeback_addr,
+            writeback_owner,
+        }
+    }
+
+    /// Probe without updating state or accounting (used by PDG's miss
+    /// predictor training and by tests).
+    pub fn would_hit(&self, addr: u64) -> bool {
+        let set = self.index_of(addr);
+        let tag = self.tag_of(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Start a measurement window at `now`: clamp every resident line's
+    /// interval timestamps so residency accrued during warm-up is not
+    /// banked into the measurement.
+    pub fn reset_epoch(&mut self, now: u64) {
+        for set in &mut self.sets {
+            for line in set {
+                if line.valid {
+                    line.tag_last = line.tag_last.max(now);
+                    for ws in &mut line.words {
+                        ws.last_event = ws.last_event.max(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bank the final ACE intervals of still-resident dirty state at the end
+    /// of simulation (`now`), as if everything dirty were written back.
+    pub fn finalize(&mut self, now: u64, engine: &mut AvfEngine) {
+        let (data_target, tag_target) = (self.data_target, self.tag_target);
+        for set in &mut self.sets {
+            for line in set {
+                if !line.valid || !line.dirty {
+                    continue;
+                }
+                for ws in &mut line.words {
+                    if now > ws.last_event {
+                        if let Some(t) = data_target {
+                            engine.bank(t, line.owner, 64, now - ws.last_event);
+                        }
+                        ws.last_event = now;
+                    }
+                }
+                if let Some(t) = tag_target {
+                    if now > line.tag_last {
+                        engine.bank(t, line.owner, budgets::dl1::TAG_ENTRY, now - line.tag_last);
+                        line.tag_last = now;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avf_core::AvfEngine;
+    use sim_model::MachineConfig;
+
+    fn dl1() -> (Cache, AvfEngine) {
+        let cfg = MachineConfig::ispass07_baseline().dl1;
+        let c = Cache::new(
+            "dl1",
+            cfg,
+            Some(StructureId::Dl1Data),
+            Some(StructureId::Dl1Tag),
+        );
+        let mut e = AvfEngine::new(1);
+        c.configure_avf(&mut e);
+        (c, e)
+    }
+
+    const T0: ThreadId = ThreadId(0);
+
+    #[test]
+    fn miss_then_hit() {
+        let (mut c, mut e) = dl1();
+        let r = c.access(T0, 0x1000, 8, AccessKind::Read, 0, &mut e);
+        assert!(!r.hit);
+        let r = c.access(T0, 0x1000, 8, AccessKind::Read, 5, &mut e);
+        assert!(r.hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_line_different_words_share_a_line() {
+        let (mut c, mut e) = dl1();
+        c.access(T0, 0x1000, 8, AccessKind::Read, 0, &mut e);
+        let r = c.access(T0, 0x1038, 8, AccessKind::Read, 1, &mut e);
+        assert!(r.hit, "0x1038 is in the same 64-byte line as 0x1000");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (mut c, mut e) = dl1();
+        let sets = c.config().num_sets();
+        let stride = sets * 64; // same set, different tags
+                                // Fill all 4 ways of set 0, then touch way 0 to refresh it.
+        for i in 0..4u64 {
+            c.access(T0, i * stride, 8, AccessKind::Read, i, &mut e);
+        }
+        c.access(T0, 0, 8, AccessKind::Read, 10, &mut e);
+        // A 5th line evicts the LRU line (tag 1), not tag 0.
+        c.access(T0, 4 * stride, 8, AccessKind::Read, 11, &mut e);
+        assert!(c.would_hit(0));
+        assert!(!c.would_hit(stride));
+    }
+
+    #[test]
+    fn read_interval_is_ace_write_interval_is_not() {
+        let (mut c, mut e) = dl1();
+        // Fill at t=0, read at t=100: one word ACE for 100 cycles.
+        c.access(T0, 0x2000, 8, AccessKind::Read, 0, &mut e);
+        c.access(T0, 0x2000, 8, AccessKind::Read, 100, &mut e);
+        let ace = e.tracker(StructureId::Dl1Data).total_ace_bit_cycles();
+        assert_eq!(ace, 64 * 100);
+
+        // Overwriting after another 100 cycles banks nothing more for data.
+        c.access(T0, 0x2000, 8, AccessKind::Write, 200, &mut e);
+        let ace2 = e.tracker(StructureId::Dl1Data).total_ace_bit_cycles();
+        assert_eq!(ace2, ace);
+    }
+
+    #[test]
+    fn dirty_data_is_ace_until_writeback() {
+        let (mut c, mut e) = dl1();
+        c.access(T0, 0x3000, 8, AccessKind::Write, 0, &mut e);
+        let before = e.tracker(StructureId::Dl1Data).total_ace_bit_cycles();
+        // Evict by filling the same set with 4 more tags.
+        let stride = c.config().num_sets() * 64;
+        for i in 1..=4u64 {
+            c.access(T0, 0x3000 + i * stride, 8, AccessKind::Read, 50, &mut e);
+        }
+        let after = e.tracker(StructureId::Dl1Data).total_ace_bit_cycles();
+        // The full line is written back, so all 8 words' tails are ACE.
+        assert_eq!(after - before, 8 * 64 * 50, "full line ACE until writeback");
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_banks_no_data_tail() {
+        let (mut c, mut e) = dl1();
+        c.access(T0, 0x4000, 8, AccessKind::Read, 0, &mut e);
+        let before = e.tracker(StructureId::Dl1Data).total_ace_bit_cycles();
+        let stride = c.config().num_sets() * 64;
+        for i in 1..=4u64 {
+            c.access(T0, 0x4000 + i * stride, 8, AccessKind::Read, 80, &mut e);
+        }
+        let after = e.tracker(StructureId::Dl1Data).total_ace_bit_cycles();
+        assert_eq!(after, before, "unread-then-evicted data is un-ACE");
+    }
+
+    #[test]
+    fn tag_ace_accrues_between_hits_of_a_line() {
+        let (mut c, mut e) = dl1();
+        c.access(T0, 0x5000, 8, AccessKind::Read, 0, &mut e);
+        // A lookup of the same set but a different line does not exercise
+        // this line's tag interval under the per-line model.
+        let stride = c.config().num_sets() * 64;
+        c.access(T0, 0x5000 + stride, 8, AccessKind::Read, 20, &mut e);
+        assert_eq!(e.tracker(StructureId::Dl1Tag).total_ace_bit_cycles(), 0);
+        // A hit on the line itself banks fill -> hit.
+        c.access(T0, 0x5000, 8, AccessKind::Read, 40, &mut e);
+        let tag_ace = e.tracker(StructureId::Dl1Tag).total_ace_bit_cycles();
+        assert_eq!(tag_ace, budgets::dl1::TAG_ENTRY as u128 * 40);
+    }
+
+    #[test]
+    fn finalize_banks_dirty_tails() {
+        let (mut c, mut e) = dl1();
+        c.access(T0, 0x6000, 8, AccessKind::Write, 0, &mut e);
+        c.finalize(1000, &mut e);
+        let data_ace = e.tracker(StructureId::Dl1Data).total_ace_bit_cycles();
+        // Finalize treats the dirty line as written back whole: all 8
+        // words' tails are ACE.
+        assert_eq!(data_ace, 8 * 64 * 1000);
+        // finalize is idempotent
+        c.finalize(1000, &mut e);
+        assert_eq!(
+            e.tracker(StructureId::Dl1Data).total_ace_bit_cycles(),
+            data_ace
+        );
+    }
+
+    #[test]
+    fn narrow_access_touches_one_word() {
+        let (mut c, mut e) = dl1();
+        c.access(T0, 0x7000, 1, AccessKind::Read, 0, &mut e);
+        c.access(T0, 0x7000, 1, AccessKind::Read, 10, &mut e);
+        assert_eq!(
+            e.tracker(StructureId::Dl1Data).total_ace_bit_cycles(),
+            64 * 10,
+            "only the containing word is tracked"
+        );
+    }
+
+    #[test]
+    fn unaligned_access_spanning_words() {
+        let (c, _) = dl1();
+        // 8 bytes starting at offset 4 touch words 0 and 1.
+        assert_eq!(c.word_range(0x7004, 8), (0, 1));
+        assert_eq!(c.word_range(0x7000, 8), (0, 0));
+        assert_eq!(c.word_range(0x7038, 8), (7, 7));
+    }
+
+    #[test]
+    fn il1_without_targets_banks_nothing() {
+        let cfg = MachineConfig::ispass07_baseline().il1;
+        let mut c = Cache::new("il1", cfg, None, None);
+        let mut e = AvfEngine::new(1);
+        c.access(T0, 0x100, 4, AccessKind::Read, 0, &mut e);
+        c.access(T0, 0x100, 4, AccessKind::Read, 50, &mut e);
+        for s in StructureId::ALL {
+            assert_eq!(e.tracker(s).total_ace_bit_cycles(), 0);
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Machine configuration — the parameterizable SMT architecture.
+//!
+//! [`MachineConfig::ispass07_baseline`] reproduces Table 1 of the paper
+//! ("Simulated Machine Configuration"). Every field can be overridden to run
+//! the ablation studies listed in DESIGN.md.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Set associativity (number of ways).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access (hit) latency in cycles.
+    pub hit_latency: u32,
+    /// Number of access ports per cycle.
+    pub ports: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (capacity not divisible by
+    /// `assoc * line_bytes`, or any parameter zero / not a power of two
+    /// where required).
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.assoc > 0 && self.line_bytes > 0, "degenerate cache");
+        let way_bytes = self.assoc as u64 * self.line_bytes as u64;
+        assert!(
+            self.size_bytes.is_multiple_of(way_bytes),
+            "cache size {} not divisible by assoc*line {}",
+            self.size_bytes,
+            way_bytes
+        );
+        let sets = self.size_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            (self.line_bytes as u64).is_power_of_two(),
+            "line size must be a power of two"
+        );
+        sets
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> u64 {
+        self.num_sets() * self.assoc as u64
+    }
+}
+
+/// Geometry and miss latency of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Set associativity.
+    pub assoc: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Miss (page-walk) latency in cycles.
+    pub miss_latency: u32,
+}
+
+impl TlbConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not divisible by `assoc` or the set count is
+    /// not a power of two.
+    pub fn num_sets(&self) -> u32 {
+        assert!(self.assoc > 0, "degenerate TLB");
+        assert!(
+            self.entries.is_multiple_of(self.assoc),
+            "entries not divisible by assoc"
+        );
+        let sets = self.entries / self.assoc;
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
+        sets
+    }
+}
+
+/// Branch predictor configuration (per thread, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Gshare pattern-history table entries (2-bit counters).
+    pub gshare_entries: u32,
+    /// Global history length in bits.
+    pub history_bits: u32,
+    /// Branch target buffer entries.
+    pub btb_entries: u32,
+    /// BTB associativity.
+    pub btb_assoc: u32,
+    /// Return address stack depth.
+    pub ras_entries: u32,
+}
+
+/// Functional-unit pool sizes and latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalUnitConfig {
+    /// Number of integer ALUs (1-cycle).
+    pub int_alu: u32,
+    /// Number of integer multiply/divide units.
+    pub int_mul_div: u32,
+    /// Number of load/store ports (address generation).
+    pub load_store: u32,
+    /// Number of FP ALUs.
+    pub fp_alu: u32,
+    /// Number of FP multiply/divide/sqrt units.
+    pub fp_mul_div: u32,
+    /// Integer multiply latency (pipelined).
+    pub int_mul_latency: u32,
+    /// Integer divide latency (unpipelined).
+    pub int_div_latency: u32,
+    /// FP ALU latency (pipelined).
+    pub fp_alu_latency: u32,
+    /// FP multiply latency (pipelined).
+    pub fp_mul_latency: u32,
+    /// FP divide/sqrt latency (unpipelined).
+    pub fp_div_latency: u32,
+}
+
+/// Instruction fetch policy selecting which threads fetch each cycle.
+///
+/// The paper uses ICOUNT as the baseline (Section 3) and studies five
+/// advanced policies reacting to long-latency loads (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchPolicyKind {
+    /// Round-robin across active threads (sanity baseline, not in the paper's
+    /// study but standard in the SMT literature).
+    RoundRobin,
+    /// ICOUNT [Tullsen et al., ISCA'96]: highest priority to the thread with
+    /// the fewest in-flight (fetched but not yet issued) instructions.
+    Icount,
+    /// FLUSH [Tullsen & Brown, MICRO'01]: on an L2 miss, squash the offending
+    /// thread's instructions after the miss and stall its fetch until the
+    /// miss returns.
+    Flush,
+    /// STALL [Tullsen & Brown, MICRO'01]: stop fetching for threads with an
+    /// outstanding L2 miss, but always let at least one thread fetch.
+    Stall,
+    /// DG (data gating) [El-Moursy & Albonesi, HPCA'03]: stop fetching once a
+    /// thread has more than a threshold of outstanding L1 data misses.
+    DataGating,
+    /// PDG (predictive data gating): like DG but gates on *predicted* L1
+    /// misses at fetch to cut the reaction delay.
+    PredictiveDataGating,
+    /// DWarn [Cazorla et al., IPDPS'04]: threads with outstanding data-cache
+    /// misses get lower fetch priority rather than being gated outright.
+    DWarn,
+    /// PSTALL (extension, paper Section 5): STALL enhanced with an L2-miss
+    /// predictor — fetch is gated as soon as a load *predicted* to miss the
+    /// L2 enters the pipeline, removing STALL's detection delay ("if the L2
+    /// cache misses can be predicted when the offending instruction enters
+    /// the pipeline, fetch can be stalled immediately").
+    PredictiveStall,
+    /// RAFT (extension, paper Section 5): reliability-aware fetch
+    /// throttling — threads holding more than their fair share of issue-
+    /// queue entries while missing in the L2 are throttled, so no thread
+    /// can flood shared structures with long-latency ACE bits ("dynamically
+    /// distributing resources among threads based on their vulnerability
+    /// profile").
+    VulnerabilityAware,
+}
+
+impl FetchPolicyKind {
+    /// The five advanced policies studied in Section 4.3 plus the ICOUNT
+    /// baseline, in the order the paper's figures present them.
+    pub const STUDIED: [FetchPolicyKind; 6] = [
+        FetchPolicyKind::Icount,
+        FetchPolicyKind::Flush,
+        FetchPolicyKind::Stall,
+        FetchPolicyKind::DataGating,
+        FetchPolicyKind::PredictiveDataGating,
+        FetchPolicyKind::DWarn,
+    ];
+
+    /// The extension policies proposed by the paper's Section 5 discussion
+    /// and implemented here as future-work reproductions.
+    pub const EXTENSIONS: [FetchPolicyKind; 2] = [
+        FetchPolicyKind::PredictiveStall,
+        FetchPolicyKind::VulnerabilityAware,
+    ];
+
+    /// Short label used in reports (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            FetchPolicyKind::RoundRobin => "RR",
+            FetchPolicyKind::Icount => "ICOUNT",
+            FetchPolicyKind::Flush => "FLUSH",
+            FetchPolicyKind::Stall => "STALL",
+            FetchPolicyKind::DataGating => "DG",
+            FetchPolicyKind::PredictiveDataGating => "PDG",
+            FetchPolicyKind::DWarn => "DWARN",
+            FetchPolicyKind::PredictiveStall => "PSTALL",
+            FetchPolicyKind::VulnerabilityAware => "RAFT",
+        }
+    }
+}
+
+/// Complete machine configuration for one simulation.
+///
+/// Defaults come from [`MachineConfig::ispass07_baseline`]; see Table 1 of
+/// the paper. Physical register pool sizes are not given in Table 1 — we use
+/// M-Sim-style shared pools sized so that a single thread can comfortably
+/// fill its ROB but 4-8 threads contend (this contention produces the
+/// paper's ROB-AVF inversion, Section 4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of hardware thread contexts (1 = superscalar mode).
+    pub contexts: usize,
+    /// Fetch width (instructions per cycle).
+    pub fetch_width: u32,
+    /// Maximum number of threads fetched from per cycle (ICOUNT.t.w).
+    pub fetch_threads_per_cycle: u32,
+    /// Decode/rename front-end depth in cycles (pipeline depth 7 total).
+    pub frontend_depth: u32,
+    /// Issue width (instructions per cycle).
+    pub issue_width: u32,
+    /// Commit width (instructions per cycle, shared across threads).
+    pub commit_width: u32,
+    /// Shared issue-queue (IQ) entries.
+    pub iq_entries: u32,
+    /// Reorder-buffer entries per thread.
+    pub rob_entries_per_thread: u32,
+    /// Load/store-queue entries per thread.
+    pub lsq_entries_per_thread: u32,
+    /// Shared integer physical register pool size.
+    pub int_phys_regs: u32,
+    /// Shared floating-point physical register pool size.
+    pub fp_phys_regs: u32,
+    /// Functional units.
+    pub fus: FunctionalUnitConfig,
+    /// Per-thread branch predictor.
+    pub predictor: PredictorConfig,
+    /// L1 instruction cache.
+    pub il1: CacheConfig,
+    /// L1 data cache.
+    pub dl1: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Main-memory access latency in cycles.
+    pub memory_latency: u32,
+    /// Fetch policy.
+    pub fetch_policy: FetchPolicyKind,
+    /// DG/PDG outstanding-L1-miss gating threshold.
+    pub dg_threshold: u32,
+    /// Statically partition the shared IQ: each thread may hold at most
+    /// `iq_entries / contexts` entries (the paper's Section 5
+    /// "reliability-aware resource allocation" proposal).
+    pub iq_partitioned: bool,
+    /// FLUSH trigger variant: squash from the offending load itself rather
+    /// than from the first instruction following it (the paper notes
+    /// "several alternative schemes to determine when to flush"). In this
+    /// simulator's eager-fill cache model the replayed load hits the line
+    /// its first execution filled, so this variant captures the scheme's
+    /// best case (immediate refetch) rather than re-paying the miss.
+    pub flush_from_offender: bool,
+    /// Branch misprediction front-end redirect penalty (extra cycles after
+    /// resolution before correct-path fetch resumes).
+    pub mispredict_redirect_penalty: u32,
+}
+
+impl MachineConfig {
+    /// The baseline configuration of Table 1 of the paper with the requested
+    /// number of thread contexts.
+    ///
+    /// ```
+    /// use sim_model::MachineConfig;
+    /// let cfg = MachineConfig::ispass07_baseline().with_contexts(4);
+    /// assert_eq!(cfg.contexts, 4);
+    /// assert_eq!(cfg.iq_entries, 96);
+    /// assert_eq!(cfg.l2.size_bytes, 2 * 1024 * 1024);
+    /// ```
+    pub fn ispass07_baseline() -> MachineConfig {
+        MachineConfig {
+            contexts: 1,
+            fetch_width: 8,
+            fetch_threads_per_cycle: 2,
+            frontend_depth: 5, // fetch + 5 front-end stages + commit = 7-deep pipe
+            issue_width: 8,
+            commit_width: 8,
+            iq_entries: 96,
+            rob_entries_per_thread: 96,
+            lsq_entries_per_thread: 48,
+            int_phys_regs: 512,
+            fp_phys_regs: 512,
+            fus: FunctionalUnitConfig {
+                int_alu: 8,
+                int_mul_div: 4,
+                load_store: 4,
+                fp_alu: 8,
+                fp_mul_div: 4,
+                int_mul_latency: 3,
+                int_div_latency: 20,
+                fp_alu_latency: 2,
+                fp_mul_latency: 4,
+                fp_div_latency: 12,
+            },
+            predictor: PredictorConfig {
+                gshare_entries: 2048,
+                history_bits: 10,
+                btb_entries: 2048,
+                btb_assoc: 4,
+                ras_entries: 32,
+            },
+            il1: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 2,
+                line_bytes: 32,
+                hit_latency: 1,
+                ports: 2,
+            },
+            dl1: CacheConfig {
+                size_bytes: 64 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 1,
+                ports: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 4,
+                line_bytes: 128,
+                hit_latency: 12,
+                ports: 1,
+            },
+            itlb: TlbConfig {
+                entries: 128,
+                assoc: 4,
+                page_bytes: 4096,
+                miss_latency: 200,
+            },
+            dtlb: TlbConfig {
+                entries: 256,
+                assoc: 4,
+                page_bytes: 4096,
+                miss_latency: 200,
+            },
+            memory_latency: 200,
+            fetch_policy: FetchPolicyKind::Icount,
+            dg_threshold: 2,
+            iq_partitioned: false,
+            flush_from_offender: false,
+            mispredict_redirect_penalty: 2,
+        }
+    }
+
+    /// Builder-style override of the context count.
+    pub fn with_contexts(mut self, contexts: usize) -> MachineConfig {
+        self.contexts = contexts;
+        self
+    }
+
+    /// Builder-style override of the fetch policy.
+    pub fn with_fetch_policy(mut self, policy: FetchPolicyKind) -> MachineConfig {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first inconsistency
+    /// found (zero widths, degenerate cache geometry, more fetch threads
+    /// than contexts, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.contexts == 0 || self.contexts > 8 {
+            return Err(format!("contexts must be 1..=8, got {}", self.contexts));
+        }
+        if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be nonzero".into());
+        }
+        if self.fetch_threads_per_cycle == 0 {
+            return Err("fetch_threads_per_cycle must be nonzero".into());
+        }
+        if self.iq_entries == 0 || self.rob_entries_per_thread == 0 {
+            return Err("IQ and ROB must be nonzero".into());
+        }
+        if (self.int_phys_regs as usize) < 32 || (self.fp_phys_regs as usize) < 32 {
+            return Err("physical register pools must cover the architectural state".into());
+        }
+        for (name, c) in [("il1", &self.il1), ("dl1", &self.dl1), ("l2", &self.l2)] {
+            let _ = std::panic::catch_unwind(|| c.num_sets())
+                .map_err(|_| format!("{name}: inconsistent cache geometry"))?;
+        }
+        if self.l2.line_bytes < self.dl1.line_bytes || self.l2.line_bytes < self.il1.line_bytes {
+            return Err("L2 line size must be at least the L1 line sizes".into());
+        }
+        let _ = std::panic::catch_unwind(|| self.itlb.num_sets())
+            .map_err(|_| "itlb: inconsistent geometry".to_string())?;
+        let _ = std::panic::catch_unwind(|| self.dtlb.num_sets())
+            .map_err(|_| "dtlb: inconsistent geometry".to_string())?;
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::ispass07_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = MachineConfig::ispass07_baseline();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.iq_entries, 96);
+        assert_eq!(c.rob_entries_per_thread, 96);
+        assert_eq!(c.lsq_entries_per_thread, 48);
+        assert_eq!(c.fus.int_alu, 8);
+        assert_eq!(c.fus.int_mul_div, 4);
+        assert_eq!(c.fus.fp_alu, 8);
+        assert_eq!(c.il1.size_bytes, 32 * 1024);
+        assert_eq!(c.il1.line_bytes, 32);
+        assert_eq!(c.dl1.size_bytes, 64 * 1024);
+        assert_eq!(c.dl1.assoc, 4);
+        assert_eq!(c.dl1.line_bytes, 64);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.line_bytes, 128);
+        assert_eq!(c.l2.hit_latency, 12);
+        assert_eq!(c.itlb.entries, 128);
+        assert_eq!(c.dtlb.entries, 256);
+        assert_eq!(c.dtlb.miss_latency, 200);
+        assert_eq!(c.memory_latency, 200);
+        assert_eq!(c.predictor.gshare_entries, 2048);
+        assert_eq!(c.predictor.history_bits, 10);
+        assert_eq!(c.predictor.btb_entries, 2048);
+        assert_eq!(c.predictor.ras_entries, 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = MachineConfig::ispass07_baseline();
+        assert_eq!(c.dl1.num_sets(), 64 * 1024 / (4 * 64));
+        assert_eq!(c.dl1.num_lines(), 1024);
+        assert_eq!(c.il1.num_sets(), 512);
+        assert_eq!(c.itlb.num_sets(), 32);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = MachineConfig::ispass07_baseline();
+        c.contexts = 0;
+        assert!(c.validate().is_err());
+        c.contexts = 9;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::ispass07_baseline();
+        c.int_phys_regs = 16;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::ispass07_baseline();
+        c.fetch_width = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = MachineConfig::ispass07_baseline()
+            .with_contexts(4)
+            .with_fetch_policy(FetchPolicyKind::Flush);
+        assert_eq!(c.contexts, 4);
+        assert_eq!(c.fetch_policy, FetchPolicyKind::Flush);
+    }
+
+    #[test]
+    fn policy_labels_unique() {
+        let mut labels: Vec<_> = FetchPolicyKind::STUDIED.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FetchPolicyKind::STUDIED.len());
+    }
+}

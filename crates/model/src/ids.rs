@@ -1,0 +1,188 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! Newtypes keep thread contexts, architectural registers, physical
+//! registers, and dynamic-instruction sequence numbers from being confused
+//! with one another (they are all small integers underneath).
+
+use std::fmt;
+
+/// A hardware thread context identifier (0-based).
+///
+/// ```
+/// use sim_model::ThreadId;
+/// let t = ThreadId(2);
+/// assert_eq!(t.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// The context index as a `usize`, for indexing per-thread tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over the first `n` thread identifiers.
+    ///
+    /// ```
+    /// use sim_model::ThreadId;
+    /// let all: Vec<_> = ThreadId::all(3).collect();
+    /// assert_eq!(all, vec![ThreadId(0), ThreadId(1), ThreadId(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ThreadId> {
+        (0..n).map(|i| ThreadId(i as u8))
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// An architectural register name.
+///
+/// The register file is split into an integer namespace (`r0..r31`) and a
+/// floating-point namespace (`f0..f31`), encoded as `0..=31` and `32..=63`.
+/// `r31` is the hard-wired zero register (writes to it are discarded), as in
+/// the Alpha ISA that M-Sim simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(pub u8);
+
+impl ArchReg {
+    /// Number of architectural registers in each namespace.
+    pub const PER_CLASS: u8 = 32;
+    /// Total architectural register namespace size (int + fp).
+    pub const TOTAL: u8 = 64;
+    /// The hard-wired integer zero register.
+    pub const ZERO: ArchReg = ArchReg(31);
+
+    /// An integer register `r<n>`. Panics if `n >= 32`.
+    #[inline]
+    pub fn int(n: u8) -> ArchReg {
+        assert!(n < Self::PER_CLASS, "integer register out of range: {n}");
+        ArchReg(n)
+    }
+
+    /// A floating-point register `f<n>`. Panics if `n >= 32`.
+    #[inline]
+    pub fn fp(n: u8) -> ArchReg {
+        assert!(n < Self::PER_CLASS, "fp register out of range: {n}");
+        ArchReg(Self::PER_CLASS + n)
+    }
+
+    /// Whether this names a floating-point register.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= Self::PER_CLASS
+    }
+
+    /// Whether this is the hard-wired integer zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Index into a 64-entry combined rename table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - Self::PER_CLASS)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// A physical register tag inside one of the shared rename pools.
+///
+/// Integer and floating-point pools are separate; a `PhysReg` is only
+/// meaningful together with the pool it was allocated from (the pipeline
+/// keeps them apart by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u16);
+
+impl PhysReg {
+    /// Index into pool-sized tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A per-thread dynamic instruction sequence number.
+///
+/// Monotonically increasing in fetch order within a thread; used for age
+/// comparisons (older = smaller) during selection and squashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The next sequence number.
+    #[inline]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_roundtrip() {
+        assert_eq!(ThreadId(5).index(), 5);
+        assert_eq!(ThreadId::all(2).count(), 2);
+        assert_eq!(format!("{}", ThreadId(1)), "T1");
+    }
+
+    #[test]
+    fn arch_reg_namespaces() {
+        assert!(!ArchReg::int(0).is_fp());
+        assert!(ArchReg::fp(0).is_fp());
+        assert_eq!(ArchReg::fp(0).index(), 32);
+        assert_eq!(format!("{}", ArchReg::fp(3)), "f3");
+        assert_eq!(format!("{}", ArchReg::int(3)), "r3");
+        assert!(ArchReg::int(31).is_zero());
+        assert!(!ArchReg::fp(31).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_int_bounds() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_fp_bounds() {
+        let _ = ArchReg::fp(32);
+    }
+
+    #[test]
+    fn seqnum_ordering() {
+        let a = SeqNum(1);
+        let b = a.next();
+        assert!(a < b);
+        assert_eq!(b, SeqNum(2));
+    }
+}

@@ -1,0 +1,256 @@
+//! The micro-op level dynamic instruction record.
+//!
+//! The simulator is trace-driven: workload generators produce a stream of
+//! [`Inst`] records per thread carrying everything the timing model and the
+//! AVF analysis need — operation class, register dataflow, memory reference,
+//! branch outcome, and structural liveness hints (NOP / dynamically-dead).
+//! Instruction *values* are not modeled; AVF accounting depends only on
+//! occupancy, dataflow lifetimes, and commit/squash outcomes (see DESIGN.md).
+
+use crate::ids::{ArchReg, SeqNum};
+
+/// Operation class of a micro-op.
+///
+/// Classes map one-to-one onto the functional-unit kinds of Table 1 of the
+/// paper (8 I-ALU, 4 I-MUL/DIV, 4 load/store ports, 8 FP-ALU,
+/// 4 FP-MUL/DIV/SQRT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer add/logic/shift/compare — 1-cycle I-ALU.
+    IntAlu,
+    /// Integer multiply — I-MUL/DIV unit, pipelined.
+    IntMul,
+    /// Integer divide — I-MUL/DIV unit, unpipelined long latency.
+    IntDiv,
+    /// Floating-point add/sub/convert — FP-ALU.
+    FpAlu,
+    /// Floating-point multiply — FP-MUL/DIV/SQRT unit.
+    FpMul,
+    /// Floating-point divide or square root — FP-MUL/DIV/SQRT, unpipelined.
+    FpDiv,
+    /// Memory load — load/store port, then D-cache access.
+    Load,
+    /// Memory store — load/store port; data written at commit.
+    Store,
+    /// Conditional or unconditional control transfer.
+    Branch,
+    /// No-operation (still fetched, decoded and committed in order).
+    Nop,
+}
+
+impl OpClass {
+    /// Whether the class reads or writes memory.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the class executes on a floating-point unit.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// Whether the class is a control transfer.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        self == OpClass::Branch
+    }
+
+    /// All operation classes, for exhaustive iteration in tests and
+    /// generators.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Nop,
+    ];
+}
+
+/// The control-flow flavor of a branch micro-op.
+///
+/// Distinguishing calls and returns lets the front end use its return
+/// address stack (Table 1 of the paper: 32 entries) instead of the BTB for
+/// return-target prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BranchKind {
+    /// Not a branch.
+    #[default]
+    None,
+    /// Conditional branch (direction predicted by gshare).
+    Conditional,
+    /// Unconditional direct jump (always taken, target via BTB).
+    Unconditional,
+    /// Subroutine call (always taken; pushes the return address).
+    Call,
+    /// Subroutine return (always taken; target predicted by the RAS).
+    Return,
+}
+
+/// A memory reference made by a load or store micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Virtual byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub size: u8,
+}
+
+impl MemRef {
+    /// Create a reference, validating the access size.
+    ///
+    /// # Panics
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn new(addr: u64, size: u8) -> MemRef {
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported access size: {size}"
+        );
+        MemRef { addr, size }
+    }
+}
+
+/// A dynamic micro-op as produced by a workload generator.
+///
+/// `srcs`/`dest` express register dataflow; `mem` is present exactly for
+/// loads and stores; `taken`/`target` are meaningful for branches. The
+/// `dyn_dead` flag marks *first-order dynamically dead* instructions — their
+/// result is never consumed before being overwritten, so result-carrying
+/// fields are un-ACE for vulnerability purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inst {
+    /// Program counter (byte address) of the instruction.
+    pub pc: u64,
+    /// Per-thread dynamic sequence number (fetch order).
+    pub seq: SeqNum,
+    /// Operation class.
+    pub op: OpClass,
+    /// Source architectural registers (up to two).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Destination architectural register, if the op produces a value.
+    pub dest: Option<ArchReg>,
+    /// Memory reference for loads/stores.
+    pub mem: Option<MemRef>,
+    /// Branch outcome: taken?
+    pub taken: bool,
+    /// Branch target (valid when `op` is a branch).
+    pub target: u64,
+    /// Control-flow flavor (meaningful when `op` is a branch).
+    pub branch_kind: BranchKind,
+    /// Result never consumed before overwrite (first-order dynamic death).
+    pub dyn_dead: bool,
+    /// Fetched down a mispredicted path; will be squashed, never committed.
+    /// Wrong-path micro-ops are synthesized by the front end and are un-ACE.
+    pub wrong_path: bool,
+}
+
+impl Inst {
+    /// A canonical NOP at `pc` with sequence number `seq`.
+    pub fn nop(pc: u64, seq: SeqNum) -> Inst {
+        Inst {
+            pc,
+            seq,
+            op: OpClass::Nop,
+            srcs: [None, None],
+            dest: None,
+            mem: None,
+            taken: false,
+            target: 0,
+            branch_kind: BranchKind::None,
+            dyn_dead: false,
+            wrong_path: false,
+        }
+    }
+
+    /// Number of source operands actually used.
+    #[inline]
+    pub fn src_count(&self) -> usize {
+        self.srcs.iter().flatten().count()
+    }
+
+    /// Sanity-check internal consistency (memory ops carry a `MemRef`,
+    /// non-memory ops do not, NOPs have no dataflow, ...). Used by
+    /// generators and property tests.
+    pub fn is_well_formed(&self) -> bool {
+        let mem_ok = self.op.is_mem() == self.mem.is_some();
+        let nop_ok = self.op != OpClass::Nop
+            || (self.dest.is_none() && self.src_count() == 0 && self.mem.is_none());
+        let branch_ok = (self.op.is_branch() || !self.taken)
+            && (self.op.is_branch() == (self.branch_kind != BranchKind::None));
+        let store_ok = self.op != OpClass::Store || self.dest.is_none();
+        let dead_ok = !self.dyn_dead || self.dest.is_some();
+        mem_ok && nop_ok && branch_ok && store_ok && dead_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ArchReg, SeqNum};
+
+    #[test]
+    fn nop_is_well_formed() {
+        assert!(Inst::nop(0x1000, SeqNum(0)).is_well_formed());
+    }
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::FpDiv.is_fp());
+        assert!(!OpClass::IntDiv.is_fp());
+        assert!(OpClass::Branch.is_branch());
+        assert_eq!(OpClass::ALL.len(), 10);
+    }
+
+    #[test]
+    fn mem_ref_sizes() {
+        for s in [1u8, 2, 4, 8] {
+            assert_eq!(MemRef::new(64, s).size, s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn mem_ref_rejects_bad_size() {
+        let _ = MemRef::new(64, 3);
+    }
+
+    #[test]
+    fn well_formedness_catches_missing_mem_ref() {
+        let mut i = Inst::nop(0, SeqNum(0));
+        i.op = OpClass::Load;
+        i.dest = Some(ArchReg::int(1));
+        assert!(!i.is_well_formed());
+        i.mem = Some(MemRef::new(0x100, 8));
+        assert!(i.is_well_formed());
+    }
+
+    #[test]
+    fn well_formedness_catches_store_with_dest() {
+        let mut i = Inst::nop(0, SeqNum(0));
+        i.op = OpClass::Store;
+        i.mem = Some(MemRef::new(0x100, 8));
+        i.srcs = [Some(ArchReg::int(1)), Some(ArchReg::int(2))];
+        assert!(i.is_well_formed());
+        i.dest = Some(ArchReg::int(3));
+        assert!(!i.is_well_formed());
+    }
+
+    #[test]
+    fn well_formedness_catches_dead_without_dest() {
+        let mut i = Inst::nop(0, SeqNum(0));
+        i.op = OpClass::IntAlu;
+        i.dyn_dead = true;
+        assert!(!i.is_well_formed());
+        i.dest = Some(ArchReg::int(4));
+        assert!(i.is_well_formed());
+    }
+}

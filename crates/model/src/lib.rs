@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # sim-model — fundamental machine and instruction model
+//!
+//! Shared vocabulary types for the `smt-avf` reliability-aware SMT simulation
+//! framework: strongly-typed identifiers, the micro-op level instruction
+//! record, and the parameterizable machine configuration corresponding to
+//! Table 1 of the ISPASS 2007 paper *"An Analysis of Microarchitecture
+//! Vulnerability to Soft Errors on Simultaneous Multithreaded Architectures"*.
+//!
+//! This crate is dependency-free and is consumed by every other crate in the
+//! workspace.
+//!
+//! ```
+//! use sim_model::{MachineConfig, FetchPolicyKind};
+//!
+//! let cfg = MachineConfig::ispass07_baseline();
+//! assert_eq!(cfg.fetch_width, 8);
+//! assert_eq!(cfg.fetch_policy, FetchPolicyKind::Icount);
+//! ```
+
+pub mod config;
+pub mod ids;
+pub mod inst;
+pub mod perthread;
+
+pub use config::{
+    CacheConfig, FetchPolicyKind, FunctionalUnitConfig, MachineConfig, PredictorConfig, TlbConfig,
+};
+pub use ids::{ArchReg, PhysReg, SeqNum, ThreadId};
+pub use inst::{BranchKind, Inst, MemRef, OpClass};
+pub use perthread::PerThread;

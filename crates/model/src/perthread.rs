@@ -1,0 +1,128 @@
+//! A fixed-size per-thread-context container.
+//!
+//! Nearly every simulator structure keeps one slot per hardware context;
+//! [`PerThread`] wraps a `Vec` with [`ThreadId`]-typed indexing so thread
+//! mix-ups become type errors rather than silent data corruption.
+
+use crate::ids::ThreadId;
+use std::ops::{Index, IndexMut};
+
+/// One `T` per hardware thread context.
+///
+/// ```
+/// use sim_model::{PerThread, ThreadId};
+/// let mut counts: PerThread<u64> = PerThread::new(4);
+/// counts[ThreadId(2)] += 1;
+/// assert_eq!(counts[ThreadId(2)], 1);
+/// assert_eq!(counts.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PerThread<T> {
+    slots: Vec<T>,
+}
+
+impl<T: Default> PerThread<T> {
+    /// A container with `contexts` default-initialized slots.
+    pub fn new(contexts: usize) -> PerThread<T> {
+        PerThread {
+            slots: (0..contexts).map(|_| T::default()).collect(),
+        }
+    }
+}
+
+impl<T> PerThread<T> {
+    /// Build each slot from its thread id.
+    pub fn from_fn(contexts: usize, f: impl FnMut(ThreadId) -> T) -> PerThread<T> {
+        PerThread {
+            slots: ThreadId::all(contexts).map(f).collect(),
+        }
+    }
+
+    /// Number of contexts.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are zero contexts (never true for a valid machine).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterate over `(ThreadId, &T)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ThreadId(i as u8), t))
+    }
+
+    /// Iterate over `(ThreadId, &mut T)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ThreadId, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| (ThreadId(i as u8), t))
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.slots
+    }
+}
+
+impl<T> Index<ThreadId> for PerThread<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, t: ThreadId) -> &T {
+        &self.slots[t.index()]
+    }
+}
+
+impl<T> IndexMut<ThreadId> for PerThread<T> {
+    #[inline]
+    fn index_mut(&mut self, t: ThreadId) -> &mut T {
+        &mut self.slots[t.index()]
+    }
+}
+
+impl<T> FromIterator<T> for PerThread<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        PerThread {
+            slots: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_by_thread() {
+        let mut p: PerThread<i32> = PerThread::new(3);
+        p[ThreadId(1)] = 42;
+        assert_eq!(p[ThreadId(1)], 42);
+        assert_eq!(p[ThreadId(0)], 0);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn from_fn_assigns_ids() {
+        let p = PerThread::from_fn(4, |t| t.index() * 10);
+        assert_eq!(p[ThreadId(3)], 30);
+    }
+
+    #[test]
+    fn iteration_yields_ids_in_order() {
+        let p = PerThread::from_fn(3, |t| t.index());
+        let ids: Vec<_> = p.iter().map(|(t, _)| t.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: PerThread<u8> = (0..4u8).collect();
+        assert_eq!(p[ThreadId(3)], 3);
+    }
+}

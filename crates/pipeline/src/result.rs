@@ -1,0 +1,64 @@
+//! The output of one simulation run.
+
+use avf_core::AvfReport;
+use sim_model::FetchPolicyKind;
+
+/// Per-thread performance and front-end statistics, covering the
+/// measurement window only (warm-up activity is excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadStats {
+    /// Benchmark name the thread ran.
+    pub name: &'static str,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Squashed instructions (mispredict recovery + FLUSH).
+    pub squashed: u64,
+    /// Wrong-path micro-ops fetched.
+    pub wrong_path_fetched: u64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+}
+
+/// Everything a run produces: the AVF report plus performance counters
+/// needed by the paper's derived metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The per-structure, per-thread vulnerability profile.
+    pub report: AvfReport,
+    /// Fetch policy the run used.
+    pub policy: FetchPolicyKind,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Per-thread statistics.
+    pub threads: Vec<ThreadStats>,
+    /// DL1 miss rate over the run.
+    pub dl1_miss_rate: f64,
+    /// L2 miss rate over the run.
+    pub l2_miss_rate: f64,
+    /// IL1 miss rate over the run.
+    pub il1_miss_rate: f64,
+}
+
+impl SimResult {
+    /// Aggregate IPC.
+    pub fn ipc(&self) -> f64 {
+        self.report.ipc()
+    }
+
+    /// One thread's IPC.
+    pub fn thread_ipc(&self, thread: usize) -> f64 {
+        self.report.thread_ipc(thread)
+    }
+
+    /// All per-thread IPCs in context order.
+    pub fn thread_ipcs(&self) -> Vec<f64> {
+        (0..self.threads.len())
+            .map(|t| self.report.thread_ipc(t))
+            .collect()
+    }
+
+    /// Total committed instructions.
+    pub fn total_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-thread context: trace source, predictors, rename map, ROB, LSQ
+//! occupancy, and fetch-policy telemetry counters.
+
+use crate::slot::{FrontEndInst, Slot, SlotState};
+use sim_frontend::{MissPredictor, ThreadPredictor};
+use sim_model::{ArchReg, Inst, PhysReg, SeqNum, ThreadId};
+use sim_workload::{InstSource, TraceGenerator};
+use std::collections::VecDeque;
+
+/// Maximum instructions buffered between fetch and dispatch.
+pub const FETCH_QUEUE_CAP: usize = 16;
+
+/// All per-thread state of the SMT core, generic over the instruction
+/// source feeding it (the synthetic [`TraceGenerator`] by default).
+#[derive(Debug)]
+pub struct ThreadCtx<S = TraceGenerator> {
+    /// This context's identifier.
+    pub id: ThreadId,
+    /// Correct-path instruction source.
+    pub gen: S,
+    /// Per-thread branch prediction (Table 1).
+    pub predictor: ThreadPredictor,
+    /// PDG's L1-miss predictor.
+    pub miss_pred: MissPredictor,
+    /// PSTALL's L2-miss predictor (trained on load L2 outcomes).
+    pub l2_miss_pred: MissPredictor,
+    /// Reorder buffer (oldest at the front).
+    pub rob: VecDeque<Slot>,
+    /// Front-end pipe between fetch and dispatch.
+    pub fetch_queue: VecDeque<FrontEndInst>,
+    /// Correct-path instructions squashed by FLUSH awaiting refetch.
+    pub replay: VecDeque<Inst>,
+    /// Rename map: architectural register index (0..64) → physical register.
+    /// Integer registers map into the integer pool, FP into the FP pool.
+    pub rename: [PhysReg; 64],
+    /// LSQ occupancy (entries are tracked inside ROB slots).
+    pub lsq_used: u32,
+    /// Fetch blocked until this cycle (I-cache miss, redirect penalty).
+    pub fetch_stall_until: u64,
+    /// The earliest unresolved mispredicted branch's ftag; while set, fetch
+    /// synthesizes wrong-path micro-ops.
+    pub pending_mispredict: Option<u64>,
+    /// Next fetch-order tag.
+    pub next_ftag: u64,
+    /// Sequence counter for synthesized wrong-path micro-ops.
+    pub wrong_seq: u64,
+    /// Committed instruction count.
+    pub committed: u64,
+    /// ICOUNT counter: fetched but not yet issued (or completed, for NOPs).
+    pub icount: u32,
+    /// Outstanding detected DL1 load misses.
+    pub outstanding_l1: u32,
+    /// Outstanding detected L2 load misses.
+    pub outstanding_l2: u32,
+    /// Outstanding predicted L1 load misses (PDG).
+    pub predicted_l1: u32,
+    /// Outstanding predicted L2 load misses (PSTALL).
+    pub predicted_l2: u32,
+    /// IQ entries currently held by this thread (for static partitioning).
+    pub iq_used: u32,
+    /// The I-cache line currently held in the fetch buffer: once a line is
+    /// fetched (or its miss fill has been started), fetch proceeds from the
+    /// buffer without re-probing the IL1 — this is what real fetch buffers
+    /// do, and it prevents pathological cross-thread eviction livelock.
+    pub fetch_line: Option<u64>,
+    /// Squashed-instruction count (diagnostic).
+    pub squashed: u64,
+    /// Wrong-path micro-ops fetched (diagnostic).
+    pub wrong_path_fetched: u64,
+}
+
+impl<S: InstSource> ThreadCtx<S> {
+    /// Construct a context; `rename_init` supplies the initial physical
+    /// mapping for each of the 64 architectural registers.
+    pub fn new(
+        id: ThreadId,
+        gen: S,
+        predictor: ThreadPredictor,
+        rename_init: [PhysReg; 64],
+    ) -> ThreadCtx<S> {
+        ThreadCtx {
+            id,
+            gen,
+            predictor,
+            miss_pred: MissPredictor::default(),
+            l2_miss_pred: MissPredictor::default(),
+            rob: VecDeque::new(),
+            fetch_queue: VecDeque::new(),
+            replay: VecDeque::new(),
+            rename: rename_init,
+            lsq_used: 0,
+            fetch_stall_until: 0,
+            pending_mispredict: None,
+            next_ftag: 0,
+            wrong_seq: 1 << 62,
+            committed: 0,
+            icount: 0,
+            outstanding_l1: 0,
+            outstanding_l2: 0,
+            predicted_l1: 0,
+            predicted_l2: 0,
+            iq_used: 0,
+            fetch_line: None,
+            squashed: 0,
+            wrong_path_fetched: 0,
+        }
+    }
+
+    /// Allocate the next fetch tag.
+    pub fn alloc_ftag(&mut self) -> u64 {
+        let t = self.next_ftag;
+        self.next_ftag += 1;
+        t
+    }
+
+    /// Next wrong-path sequence number.
+    pub fn alloc_wrong_seq(&mut self) -> SeqNum {
+        let s = SeqNum(self.wrong_seq);
+        self.wrong_seq += 1;
+        s
+    }
+
+    /// Current physical mapping of `reg`.
+    pub fn mapping(&self, reg: ArchReg) -> PhysReg {
+        self.rename[reg.index()]
+    }
+
+    /// Find a slot by fetch tag (binary search: ROB ftags are strictly
+    /// increasing by construction).
+    pub fn slot(&self, ftag: u64) -> Option<&Slot> {
+        let i = self.rob.partition_point(|s| s.ftag < ftag);
+        self.rob.get(i).filter(|s| s.ftag == ftag)
+    }
+
+    /// Find a slot by fetch tag, mutably.
+    pub fn slot_mut(&mut self, ftag: u64) -> Option<&mut Slot> {
+        let i = self.rob.partition_point(|s| s.ftag < ftag);
+        self.rob.get_mut(i).filter(|s| s.ftag == ftag)
+    }
+
+    /// Recompute the ICOUNT counter after a squash: instructions in the
+    /// front-end pipe plus un-issued ROB occupants (NOPs complete at
+    /// dispatch and never count).
+    pub fn recompute_icount(&mut self) {
+        let waiting = self
+            .rob
+            .iter()
+            .filter(|s| s.state == SlotState::Waiting && s.inst.op != sim_model::OpClass::Nop)
+            .count();
+        self.icount = (self.fetch_queue.len() + waiting) as u32;
+    }
+
+    /// Whether an older, un-issued store to the same 8-byte word blocks
+    /// `load_ftag`, or whether an issued/completed one can forward to it.
+    ///
+    /// Returns `MemDep::Blocked` when the load must wait, `MemDep::Forward`
+    /// when an older store provides the data, `MemDep::None` otherwise.
+    pub fn load_store_dep(&self, load_ftag: u64, addr: u64) -> MemDep {
+        let word = addr & !7;
+        // Scan youngest-to-oldest so the *nearest* older store wins.
+        let mut result = MemDep::None;
+        for s in self.rob.iter().rev() {
+            if s.ftag >= load_ftag || s.inst.op != sim_model::OpClass::Store {
+                continue;
+            }
+            if let Some(m) = s.inst.mem {
+                if m.addr & !7 == word {
+                    result = if s.state == SlotState::Waiting {
+                        MemDep::Blocked
+                    } else {
+                        MemDep::Forward
+                    };
+                    break;
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Memory-dependence outcome for a load against the thread's older stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemDep {
+    /// No older store to the same word.
+    None,
+    /// Older store with data available: store-to-load forwarding.
+    Forward,
+    /// Older store not yet executed: the load must wait.
+    Blocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_frontend::PredictorConfigExt;
+    use sim_model::{MachineConfig, MemRef, OpClass};
+    use sim_workload::profile;
+
+    fn ctx() -> ThreadCtx {
+        let cfg = MachineConfig::ispass07_baseline();
+        let rename = std::array::from_fn(|i| PhysReg(i as u16));
+        ThreadCtx::new(
+            ThreadId(0),
+            TraceGenerator::new(profile("bzip2").unwrap(), 0),
+            cfg.predictor.build(),
+            rename,
+        )
+    }
+
+    fn store_slot(ftag: u64, addr: u64, state: SlotState) -> Slot {
+        let mut inst = Inst::nop(0x100, SeqNum(ftag));
+        inst.op = OpClass::Store;
+        inst.mem = Some(MemRef::new(addr, 8));
+        inst.srcs = [Some(ArchReg::int(1)), Some(ArchReg::int(2))];
+        let mut s = Slot::new(
+            FrontEndInst {
+                inst,
+                ftag,
+                ready_at: 0,
+                predicted_miss: false,
+                predicted_l2_miss: false,
+            },
+            0,
+        );
+        s.state = state;
+        s
+    }
+
+    #[test]
+    fn ftag_allocation_is_monotonic() {
+        let mut c = ctx();
+        assert_eq!(c.alloc_ftag(), 0);
+        assert_eq!(c.alloc_ftag(), 1);
+        let s1 = c.alloc_wrong_seq();
+        let s2 = c.alloc_wrong_seq();
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn load_store_dep_detects_blocking_and_forwarding() {
+        let mut c = ctx();
+        c.rob.push_back(store_slot(1, 0x1000, SlotState::Waiting));
+        assert_eq!(c.load_store_dep(5, 0x1000), MemDep::Blocked);
+        assert_eq!(c.load_store_dep(5, 0x1004), MemDep::Blocked, "same word");
+        assert_eq!(c.load_store_dep(5, 0x1008), MemDep::None, "next word");
+        c.rob[0].state = SlotState::Done;
+        assert_eq!(c.load_store_dep(5, 0x1000), MemDep::Forward);
+        // Stores younger than the load never match.
+        assert_eq!(c.load_store_dep(1, 0x1000), MemDep::None);
+    }
+
+    #[test]
+    fn nearest_older_store_wins() {
+        let mut c = ctx();
+        c.rob.push_back(store_slot(1, 0x1000, SlotState::Done));
+        c.rob.push_back(store_slot(2, 0x1000, SlotState::Waiting));
+        assert_eq!(c.load_store_dep(5, 0x1000), MemDep::Blocked);
+    }
+
+    #[test]
+    fn recompute_icount_counts_frontend_and_waiting() {
+        let mut c = ctx();
+        let mut inst = Inst::nop(0, SeqNum(0));
+        inst.op = OpClass::IntAlu;
+        let fe = FrontEndInst {
+            inst: inst.clone(),
+            ftag: 0,
+            ready_at: 5,
+            predicted_miss: false,
+            predicted_l2_miss: false,
+        };
+        c.fetch_queue.push_back(fe.clone());
+        let mut slot = Slot::new(
+            FrontEndInst {
+                ftag: 1,
+                ..fe.clone()
+            },
+            0,
+        );
+        slot.state = SlotState::Waiting;
+        c.rob.push_back(slot);
+        let mut nop_slot = Slot::new(
+            FrontEndInst {
+                inst: Inst::nop(4, SeqNum(2)),
+                ftag: 2,
+                ready_at: 5,
+                predicted_miss: false,
+                predicted_l2_miss: false,
+            },
+            0,
+        );
+        nop_slot.state = SlotState::Waiting;
+        c.rob.push_back(nop_slot);
+        c.recompute_icount();
+        assert_eq!(c.icount, 2, "1 front-end + 1 waiting ALU; NOP excluded");
+    }
+}

@@ -1,0 +1,659 @@
+//! Deterministic synthetic trace generation from a benchmark profile.
+//!
+//! The generator emits an infinite micro-op stream with consistent control
+//! flow (loops with backward branches, calls/returns with matching targets,
+//! data-dependent forward branches), register dataflow shaped by the
+//! profile's ILP parameters, and memory references drawn from hot / warm /
+//! cold regions. Everything is derived from a seed, so runs are exactly
+//! reproducible — the synthetic analogue of simulating a fixed Simpoint
+//! region.
+
+use crate::profile::BenchmarkProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_model::{ArchReg, BranchKind, Inst, MemRef, OpClass, SeqNum};
+use std::collections::{HashMap, VecDeque};
+
+/// Depth of the recent-writer window used for dependence sampling.
+const RECENT_WINDOW: usize = 24;
+/// Maximum call nesting the generator produces (the RAS holds 32).
+const MAX_CALL_DEPTH: usize = 8;
+/// Instructions in a generated subroutine body.
+const SUB_BODY: u32 = 24;
+
+#[derive(Debug, Clone)]
+struct CallFrame {
+    return_pc: u64,
+    remaining: u32,
+}
+
+/// A deterministic, infinite micro-op stream for one thread.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    rng: SmallRng,
+    wrong_path_rng: SmallRng,
+    /// Per-thread salt for PC-keyed structural hashing.
+    salt: u64,
+    seq: SeqNum,
+    pc: u64,
+    code_base: u64,
+    data_base: u64,
+    // Control flow.
+    loop_start: u64,
+    iters_left: u32,
+    calls: Vec<CallFrame>,
+    // Dataflow.
+    recent_int: VecDeque<(ArchReg, bool)>,
+    recent_fp: VecDeque<(ArchReg, bool)>,
+    // Memory streams.
+    warm_ptr: u64,
+    cold_ptr: u64,
+    /// Per-static-branch occurrence counters for periodic (history-
+    /// predictable) data-dependent branches.
+    flaky_counters: HashMap<u64, u32>,
+    // Diagnostics.
+    emitted: u64,
+}
+
+impl TraceGenerator {
+    /// A generator for `profile`, fully determined by `seed`.
+    ///
+    /// Different seeds place the thread's code and data at different
+    /// (non-overlapping) bases, modeling separate address spaces that still
+    /// share the physical cache hierarchy.
+    pub fn new(profile: BenchmarkProfile, seed: u64) -> TraceGenerator {
+        // Spread bases so different threads' code and data do not alias to
+        // the same cache sets (distinct processes have distinct layouts).
+        let mixed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let code_base = 0x0040_0000 + ((seed & 0xFF) << 24) + ((mixed >> 32) & 0xF_FFC0);
+        let data_base = 0x1_0000_0000u64 + ((seed & 0xFF) << 36) + ((mixed >> 16) & 0xFF_FFC0);
+        let mut gen = TraceGenerator {
+            profile,
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            salt: mixed,
+            wrong_path_rng: SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
+            seq: SeqNum(0),
+            pc: code_base,
+            code_base,
+            data_base,
+            loop_start: code_base,
+            iters_left: 0,
+            calls: Vec::new(),
+            recent_int: VecDeque::with_capacity(RECENT_WINDOW),
+            recent_fp: VecDeque::with_capacity(RECENT_WINDOW),
+            warm_ptr: 0,
+            cold_ptr: 0,
+            flaky_counters: HashMap::new(),
+            emitted: 0,
+        };
+        gen.iters_left = gen.sample_loop_iters();
+        gen
+    }
+
+    /// The benchmark name this stream models.
+    pub fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    /// The profile driving generation.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Instructions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The PC of the next instruction this stream will emit (the fetch
+    /// stage uses it to drive I-cache accesses before pulling).
+    pub fn current_pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Base address of this thread's code region.
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Base address of this thread's data region.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// A uniform value in `[0, 1)` that is a pure function of `(pc,
+    /// stream)` for this thread. Structural decisions (operation class,
+    /// branch role, call targets) hash the PC so that revisiting an
+    /// address re-yields the same static instruction — which is what makes
+    /// loop branches predictable and I-footprints stable.
+    fn pc_hash(&self, pc: u64, stream: u64) -> f64 {
+        let mut z = pc ^ self.salt ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The static operation class at `pc` (PC-deterministic).
+    fn op_at(&self, pc: u64) -> OpClass {
+        let m = &self.profile.mix;
+        let mut x = self.pc_hash(pc, 0) * m.total();
+        for (w, op) in [
+            (m.int_alu, OpClass::IntAlu),
+            (m.int_mul, OpClass::IntMul),
+            (m.int_div, OpClass::IntDiv),
+            (m.fp_alu, OpClass::FpAlu),
+            (m.fp_mul, OpClass::FpMul),
+            (m.fp_div, OpClass::FpDiv),
+            (m.load, OpClass::Load),
+            (m.store, OpClass::Store),
+            (m.branch, OpClass::Branch),
+            (m.nop, OpClass::Nop),
+        ] {
+            if x < w {
+                return op;
+            }
+            x -= w;
+        }
+        OpClass::IntAlu
+    }
+
+    fn sample_loop_iters(&mut self) -> u32 {
+        // Geometric with the profile's mean, at least 1.
+        let mean = self.profile.branch.mean_loop_iters.max(1.0);
+        let p = 1.0 / mean;
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        ((u.ln() / (1.0 - p).max(1e-12).ln()).floor() as u32).clamp(1, 100_000)
+    }
+
+    fn wrap_pc(&self, pc: u64) -> u64 {
+        let span = self.profile.branch.code_bytes.max(256);
+        self.code_base + ((pc - self.code_base) % span)
+    }
+
+    fn pick_src(&mut self, fp: bool) -> ArchReg {
+        let near = self.rng.gen_bool(self.profile.ilp.near_dep_fraction);
+        let window = if fp {
+            &self.recent_fp
+        } else {
+            &self.recent_int
+        };
+        if near && !window.is_empty() {
+            // Geometric distance into the recent-writer window; tighter
+            // profiles concentrate on the most recent producer.
+            let p = self.profile.ilp.dep_tightness.clamp(0.05, 0.95);
+            let mut idx = 0usize;
+            while idx + 1 < window.len() && self.rng.gen_bool(1.0 - p) {
+                idx += 1;
+            }
+            // Skip dead producers (their values are never read by
+            // construction).
+            for &(reg, dead) in window.iter().skip(idx) {
+                if !dead {
+                    return reg;
+                }
+            }
+        }
+        // Long-lived state: any register in the class — real code reads
+        // values over windows of hundreds of instructions, which is what
+        // gives the register file its substantial ACE residency.
+        if fp {
+            ArchReg::fp(self.rng.gen_range(0..31))
+        } else {
+            ArchReg::int(self.rng.gen_range(0..31))
+        }
+    }
+
+    fn pick_dest(&mut self, fp: bool) -> (ArchReg, bool) {
+        let reg = if fp {
+            ArchReg::fp(self.rng.gen_range(1..31))
+        } else {
+            ArchReg::int(self.rng.gen_range(1..31))
+        };
+        let dead = self.rng.gen_bool(self.profile.dyn_dead_fraction);
+        let window = if fp {
+            &mut self.recent_fp
+        } else {
+            &mut self.recent_int
+        };
+        if window.len() == RECENT_WINDOW {
+            window.pop_back();
+        }
+        window.push_front((reg, dead));
+        (reg, dead)
+    }
+
+    fn sample_address(&mut self) -> u64 {
+        let m = self.profile.memory;
+        let r: f64 = self.rng.gen();
+        let (region_base, region_size, streaming, ptr) = if r < m.hot_fraction {
+            (0u64, m.hot_bytes.max(64), false, None)
+        } else if r < m.hot_fraction + m.warm_fraction {
+            (
+                m.hot_bytes,
+                m.warm_bytes.max(64),
+                self.rng.gen_bool(m.streaming_fraction),
+                Some(false),
+            )
+        } else if m.cold_bytes > 0 {
+            (
+                m.hot_bytes + m.warm_bytes,
+                m.cold_bytes,
+                self.rng.gen_bool(m.streaming_fraction),
+                Some(true),
+            )
+        } else {
+            (m.hot_bytes, m.warm_bytes.max(64), true, Some(false))
+        };
+        let offset = if streaming {
+            match ptr {
+                Some(true) => {
+                    self.cold_ptr = (self.cold_ptr + m.stride) % region_size;
+                    self.cold_ptr
+                }
+                Some(false) => {
+                    self.warm_ptr = (self.warm_ptr + m.stride) % region_size;
+                    self.warm_ptr
+                }
+                None => self.rng.gen_range(0..region_size),
+            }
+        } else {
+            self.rng.gen_range(0..region_size)
+        };
+        self.data_base + region_base + (offset & !7)
+    }
+
+    fn emit_control(&mut self, pc: u64, seq: SeqNum) -> Inst {
+        let mut inst = Inst::nop(pc, seq);
+        inst.op = OpClass::Branch;
+        inst.srcs = [Some(self.pick_src(false)), None];
+
+        // Return from a finished subroutine?
+        if let Some(frame) = self.calls.last() {
+            if frame.remaining == 0 {
+                let frame = self.calls.pop().expect("just checked");
+                inst.branch_kind = BranchKind::Return;
+                inst.taken = true;
+                inst.target = frame.return_pc;
+                inst.srcs = [None, None];
+                self.pc = frame.return_pc;
+                return inst;
+            }
+        }
+
+        // The branch's role (call / data-dependent / loop control) is a
+        // pure function of its PC so the predictor sees stable static
+        // branches.
+        let role = self.pc_hash(pc, 1);
+
+        // Call a subroutine?
+        if self.calls.len() < MAX_CALL_DEPTH && role < self.profile.branch.call_fraction {
+            let n_subs = 8u64;
+            let sub = (self.pc_hash(pc, 3) * n_subs as f64) as u64;
+            let target = self.code_base + self.profile.branch.code_bytes.max(256) + sub * 0x400;
+            inst.branch_kind = BranchKind::Call;
+            inst.taken = true;
+            inst.target = target;
+            inst.srcs = [None, None];
+            self.calls.push(CallFrame {
+                return_pc: pc + 4,
+                remaining: SUB_BODY,
+            });
+            self.pc = target;
+            return inst;
+        }
+
+        // Data-dependent branch?
+        if role < self.profile.branch.call_fraction + self.profile.branch.flaky_fraction {
+            inst.branch_kind = BranchKind::Conditional;
+            // Real data-dependent branches are correlated, which is what
+            // global-history predictors exploit: most static flaky branches
+            // here follow a periodic pattern (learnable through history),
+            // the rest are i.i.d. coin flips at the profile's bias.
+            let periodic = self.pc_hash(pc, 4) < 0.6;
+            inst.taken = if periodic {
+                let period = (1.0 / (1.0 - self.profile.branch.flaky_bias).max(0.05))
+                    .round()
+                    .max(2.0) as u32;
+                let n = self.flaky_counters.entry(pc).or_insert(0);
+                *n = n.wrapping_add(1);
+                !(*n).is_multiple_of(period)
+            } else {
+                self.rng.gen_bool(self.profile.branch.flaky_bias)
+            };
+            // Short forward skip, fixed per static branch.
+            let skip = 2 + (self.pc_hash(pc, 2) * 8.0) as u64;
+            inst.target = self.wrap_pc(pc + 4 + 4 * skip);
+            if inst.taken {
+                self.pc = inst.target;
+            } else {
+                self.pc = pc + 4;
+            }
+            return inst;
+        }
+
+        // Loop back-edge.
+        inst.branch_kind = BranchKind::Conditional;
+        if self.iters_left > 0 {
+            self.iters_left -= 1;
+            inst.taken = true;
+            inst.target = self.loop_start;
+            self.pc = self.loop_start;
+        } else {
+            let fall = pc + 4;
+            let wrapped = self.wrap_pc(fall);
+            if wrapped == fall {
+                // Plain loop exit: fall through into the next loop.
+                inst.taken = false;
+                inst.target = self.loop_start;
+                self.pc = fall;
+            } else {
+                // The code footprint wraps here: model it as a taken
+                // backward branch to the start of the region so the PC
+                // stream stays continuous.
+                inst.taken = true;
+                inst.target = wrapped;
+                self.pc = wrapped;
+            }
+            self.loop_start = self.pc;
+            self.iters_left = self.sample_loop_iters();
+        }
+        inst
+    }
+
+    /// Produce the next correct-path micro-op.
+    pub fn next_inst(&mut self) -> Inst {
+        let pc = if self.calls.is_empty() {
+            self.pc
+        } else {
+            // Inside a subroutine the PC advances linearly from its entry.
+            self.pc
+        };
+        let seq = self.seq;
+        self.seq = self.seq.next();
+        self.emitted += 1;
+
+        // Inside a subroutine, count down its body.
+        let force_control = if let Some(frame) = self.calls.last_mut() {
+            if frame.remaining > 0 {
+                frame.remaining -= 1;
+                false
+            } else {
+                true
+            }
+        } else {
+            false
+        };
+
+        let mut op = if force_control {
+            OpClass::Branch
+        } else {
+            self.op_at(pc)
+        };
+        // Subroutine bodies are straight-line: only the forced terminator
+        // transfers control.
+        if !force_control && op == OpClass::Branch && !self.calls.is_empty() {
+            op = OpClass::IntAlu;
+        }
+
+        if op == OpClass::Branch {
+            return self.emit_control(pc, seq);
+        }
+
+        let mut inst = Inst::nop(pc, seq);
+        inst.op = op;
+        self.pc = pc + 4;
+        match op {
+            OpClass::Nop => {}
+            OpClass::Load => {
+                inst.srcs = [Some(self.pick_src(false)), None];
+                let fp_dest = self.rng.gen_bool(if self.profile.mix.fp_alu > 0.0 {
+                    0.5
+                } else {
+                    0.0
+                });
+                let (dest, dead) = self.pick_dest(fp_dest);
+                inst.dest = Some(dest);
+                inst.dyn_dead = dead;
+                inst.mem = Some(MemRef::new(self.sample_address(), 8));
+            }
+            OpClass::Store => {
+                let addr = self.pick_src(false);
+                let data_fp = self.profile.mix.fp_alu > 0.0 && self.rng.gen_bool(0.5);
+                let data = self.pick_src(data_fp);
+                inst.srcs = [Some(addr), Some(data)];
+                inst.mem = Some(MemRef::new(self.sample_address(), 8));
+            }
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv => {
+                inst.srcs = [Some(self.pick_src(false)), Some(self.pick_src(false))];
+                let (dest, dead) = self.pick_dest(false);
+                inst.dest = Some(dest);
+                inst.dyn_dead = dead;
+            }
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => {
+                inst.srcs = [Some(self.pick_src(true)), Some(self.pick_src(true))];
+                let (dest, dead) = self.pick_dest(true);
+                inst.dest = Some(dest);
+                inst.dyn_dead = dead;
+            }
+            OpClass::Branch => unreachable!("handled above"),
+        }
+        inst
+    }
+
+    /// Synthesize a wrong-path micro-op fetched at `pc` down a mispredicted
+    /// path. Marked `wrong_path` (un-ACE); drawn from an independent RNG so
+    /// mispredictions do not perturb the correct-path stream.
+    pub fn wrong_path_inst(&mut self, pc: u64, seq: SeqNum) -> Inst {
+        let mut inst = Inst::nop(pc, seq);
+        inst.wrong_path = true;
+        let r: f64 = self.wrong_path_rng.gen();
+        if r < 0.55 {
+            inst.op = OpClass::IntAlu;
+            inst.srcs = [
+                Some(ArchReg::int(self.wrong_path_rng.gen_range(0..31))),
+                Some(ArchReg::int(self.wrong_path_rng.gen_range(0..31))),
+            ];
+            inst.dest = Some(ArchReg::int(self.wrong_path_rng.gen_range(1..31)));
+        } else if r < 0.80 {
+            inst.op = OpClass::Load;
+            inst.srcs = [
+                Some(ArchReg::int(self.wrong_path_rng.gen_range(0..31))),
+                None,
+            ];
+            inst.dest = Some(ArchReg::int(self.wrong_path_rng.gen_range(1..31)));
+            let span = (self.profile.memory.hot_bytes + self.profile.memory.warm_bytes).max(64);
+            let off = self.wrong_path_rng.gen_range(0..span) & !7;
+            inst.mem = Some(MemRef::new(self.data_base + off, 8));
+        } else {
+            inst.op = OpClass::Nop;
+        }
+        inst
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Inst;
+
+    fn next(&mut self) -> Option<Inst> {
+        Some(self.next_inst())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile;
+    use std::collections::HashMap;
+
+    fn gen(name: &str, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(profile(name).unwrap(), seed)
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: Vec<Inst> = gen("bzip2", 7).take(5000).collect();
+        let b: Vec<Inst> = gen("bzip2", 7).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<Inst> = gen("bzip2", 1).take(1000).collect();
+        let b: Vec<Inst> = gen("bzip2", 2).take(1000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_instructions_are_well_formed() {
+        for name in ["bzip2", "mcf", "swim", "eon", "gcc"] {
+            let mut g = gen(name, 3);
+            for _ in 0..20_000 {
+                let i = g.next_inst();
+                assert!(i.is_well_formed(), "{name}: {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_increasing() {
+        let mut g = gen("eon", 1);
+        for expect in 0..1000u64 {
+            assert_eq!(g.next_inst().seq, SeqNum(expect));
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let g = gen("bzip2", 11);
+        let p = profile("bzip2").unwrap();
+        let n = 200_000;
+        let mut counts: HashMap<OpClass, u64> = HashMap::new();
+        for i in g.take(n) {
+            *counts.entry(i.op).or_default() += 1;
+        }
+        let frac = |op| *counts.get(&op).unwrap_or(&0) as f64 / n as f64;
+        assert!((frac(OpClass::Load) - p.mix.load).abs() < 0.03);
+        assert!((frac(OpClass::Store) - p.mix.store).abs() < 0.03);
+        // Branch fraction is inflated slightly by forced subroutine returns.
+        assert!((frac(OpClass::Branch) - p.mix.branch).abs() < 0.05);
+    }
+
+    #[test]
+    fn taken_branch_targets_match_next_pc() {
+        let mut g = gen("gcc", 5);
+        let mut prev: Option<Inst> = None;
+        for _ in 0..50_000 {
+            let i = g.next_inst();
+            if let Some(p) = prev {
+                if p.op.is_branch() && p.taken {
+                    assert_eq!(i.pc, p.target, "taken branch must jump to target");
+                } else if !p.op.is_branch() || !p.taken {
+                    assert_eq!(i.pc, p.pc + 4, "fall-through must be sequential");
+                }
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn code_stays_within_footprint() {
+        let mut g = gen("bzip2", 9);
+        let base = g.code_base();
+        let p = profile("bzip2").unwrap();
+        // Subroutines live in a bounded annex past the main code region.
+        let annex = 8 * 0x400 + 0x400 * 4;
+        let limit = p.branch.code_bytes + annex;
+        for _ in 0..100_000 {
+            let i = g.next_inst();
+            let off = i.pc - base;
+            assert!(off < limit, "pc offset {off:#x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn mcf_addresses_span_a_huge_working_set() {
+        let g = gen("mcf", 4);
+        let base = g.data_base();
+        let p = profile("mcf").unwrap();
+        let mut max_off = 0u64;
+        for i in g.take(100_000) {
+            if let Some(m) = i.mem {
+                max_off = max_off.max(m.addr - base);
+            }
+        }
+        assert!(
+            max_off > p.memory.cold_bytes / 2,
+            "mcf should roam its cold region (saw {max_off:#x})"
+        );
+    }
+
+    #[test]
+    fn bzip2_addresses_stay_cache_resident() {
+        let g = gen("bzip2", 4);
+        let base = g.data_base();
+        let p = profile("bzip2").unwrap();
+        for i in g.take(100_000) {
+            if let Some(m) = i.mem {
+                assert!(m.addr - base < p.memory.hot_bytes + p.memory.warm_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_fraction_roughly_matches_profile() {
+        let g = gen("gcc", 13);
+        let p = profile("gcc").unwrap();
+        let mut producing = 0u64;
+        let mut dead = 0u64;
+        for i in g.take(100_000) {
+            if i.dest.is_some() {
+                producing += 1;
+                if i.dyn_dead {
+                    dead += 1;
+                }
+            }
+        }
+        let frac = dead as f64 / producing as f64;
+        assert!((frac - p.dyn_dead_fraction).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let g = gen("perlbmk", 17);
+        let mut depth = 0i64;
+        for i in g.take(200_000) {
+            match i.branch_kind {
+                BranchKind::Call => depth += 1,
+                BranchKind::Return => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "return without call");
+            assert!(depth <= MAX_CALL_DEPTH as i64);
+        }
+    }
+
+    #[test]
+    fn wrong_path_insts_are_marked_and_well_formed() {
+        let mut g = gen("bzip2", 21);
+        for k in 0..1000 {
+            let i = g.wrong_path_inst(0x1234 + 4 * k, SeqNum(k));
+            assert!(i.wrong_path);
+            assert!(i.is_well_formed(), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_path_generation_does_not_perturb_main_stream() {
+        let mut a = gen("bzip2", 8);
+        let mut b = gen("bzip2", 8);
+        let _ = a.next_inst();
+        let _ = a.wrong_path_inst(0x100, SeqNum(999));
+        let _ = a.wrong_path_inst(0x104, SeqNum(1000));
+        let _ = b.next_inst();
+        for _ in 0..1000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+}

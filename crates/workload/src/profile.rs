@@ -1,0 +1,752 @@
+//! Per-benchmark behavioral profiles for the SPEC CPU 2000 programs of
+//! Table 2.
+//!
+//! Parameter values are drawn from the published characterization
+//! literature for SPEC CPU 2000 (instruction mixes, branch misprediction
+//! rates, working-set sizes) at the granularity that matters for the
+//! paper's AVF trends: CPU-class programs are compute-dense with small
+//! working sets; MEM-class programs (mcf, swim, lucas, ...) stream or
+//! pointer-chase through working sets far larger than the 2 MB L2.
+
+/// CPU-intensive or memory-intensive, the paper's benchmark categorization
+/// (Section 3: categorized "based on its IPC and cache miss rate").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// High-IPC, cache-resident.
+    Cpu,
+    /// Low-IPC, dominated by L2/memory misses.
+    Mem,
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WorkloadClass::Cpu => "CPU",
+            WorkloadClass::Mem => "MEM",
+        })
+    }
+}
+
+/// Instruction-mix weights (need not sum to 1; they are normalized).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstMix {
+    /// Integer ALU ops.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mul: f64,
+    /// Integer divides.
+    pub int_div: f64,
+    /// FP ALU ops.
+    pub fp_alu: f64,
+    /// FP multiplies.
+    pub fp_mul: f64,
+    /// FP divides / square roots.
+    pub fp_div: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Branches (block terminators).
+    pub branch: f64,
+    /// NOPs (padding/scheduling artifacts).
+    pub nop: f64,
+}
+
+impl InstMix {
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_alu
+            + self.fp_mul
+            + self.fp_div
+            + self.load
+            + self.store
+            + self.branch
+            + self.nop
+    }
+}
+
+/// Control-flow behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchBehavior {
+    /// Mean iterations of each inner loop (drives predictable backward
+    /// branches; exits mispredict).
+    pub mean_loop_iters: f64,
+    /// Fraction of block-ending branches that are data-dependent rather
+    /// than loop control (these mispredict at roughly `1 - flaky_bias`).
+    pub flaky_fraction: f64,
+    /// Taken-probability of data-dependent branches (0.5 = coin flip,
+    /// hardest to predict).
+    pub flaky_bias: f64,
+    /// Probability a block ends in a call to a subroutine.
+    pub call_fraction: f64,
+    /// Static code footprint in bytes (drives IL1 behavior).
+    pub code_bytes: u64,
+}
+
+/// Data-memory behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBehavior {
+    /// Bytes of the hot, cache-resident region (stack + hot heap).
+    pub hot_bytes: u64,
+    /// Bytes of the L2-sized region accessed with moderate locality.
+    pub warm_bytes: u64,
+    /// Bytes of the huge, memory-resident region (0 disables).
+    pub cold_bytes: u64,
+    /// Fraction of accesses hitting the hot region.
+    pub hot_fraction: f64,
+    /// Fraction of accesses hitting the warm region (rest go cold).
+    pub warm_fraction: f64,
+    /// Stride in bytes for streaming accesses within warm/cold regions.
+    pub stride: u64,
+    /// Fraction of warm/cold accesses that stream (stride) rather than
+    /// jump randomly (pointer-chase).
+    pub streaming_fraction: f64,
+}
+
+/// Instruction-level-parallelism behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IlpBehavior {
+    /// Probability that a source operand is drawn from the recent-writer
+    /// window (a *true* dependence) rather than long-lived state.
+    pub near_dep_fraction: f64,
+    /// Geometric parameter of the dependence distance: higher = tighter
+    /// chains = lower ILP.
+    pub dep_tightness: f64,
+}
+
+/// The complete behavioral profile of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// SPEC program name, e.g. `"bzip2"`.
+    pub name: &'static str,
+    /// CPU- or memory-intensive.
+    pub class: WorkloadClass,
+    /// Instruction mix.
+    pub mix: InstMix,
+    /// Control-flow behavior.
+    pub branch: BranchBehavior,
+    /// Memory behavior.
+    pub memory: MemoryBehavior,
+    /// ILP behavior.
+    pub ilp: IlpBehavior,
+    /// Fraction of value-producing instructions that are first-order
+    /// dynamically dead (typically 5-20% in SPEC per Butts & Sohi).
+    pub dyn_dead_fraction: f64,
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn int_mix(load: f64, store: f64, branch: f64, nop: f64) -> InstMix {
+    let rest = 1.0 - load - store - branch - nop;
+    InstMix {
+        int_alu: rest * 0.92,
+        int_mul: rest * 0.06,
+        int_div: rest * 0.02,
+        fp_alu: 0.0,
+        fp_mul: 0.0,
+        fp_div: 0.0,
+        load,
+        store,
+        branch,
+        nop,
+    }
+}
+
+fn fp_mix(load: f64, store: f64, branch: f64, nop: f64) -> InstMix {
+    let rest = 1.0 - load - store - branch - nop;
+    InstMix {
+        int_alu: rest * 0.35,
+        int_mul: rest * 0.02,
+        int_div: 0.0,
+        fp_alu: rest * 0.38,
+        fp_mul: rest * 0.22,
+        fp_div: rest * 0.03,
+        load,
+        store,
+        branch,
+        nop,
+    }
+}
+
+macro_rules! profiles {
+    ($($name:literal => $profile:expr;)*) => {
+        /// All known benchmark profiles.
+        pub fn all_profiles() -> Vec<BenchmarkProfile> {
+            vec![$($profile,)*]
+        }
+
+        /// Look up a benchmark profile by SPEC program name.
+        pub fn profile(name: &str) -> Option<BenchmarkProfile> {
+            match name {
+                $($name => Some($profile),)*
+                _ => None,
+            }
+        }
+    };
+}
+
+profiles! {
+    // ------------------------------------------------------------------
+    // CPU-intensive integer programs
+    // ------------------------------------------------------------------
+    "bzip2" => BenchmarkProfile {
+        name: "bzip2",
+        class: WorkloadClass::Cpu,
+        mix: int_mix(0.26, 0.09, 0.11, 0.03),
+        branch: BranchBehavior {
+            mean_loop_iters: 24.0,
+            flaky_fraction: 0.25,
+            flaky_bias: 0.85,
+            call_fraction: 0.02,
+            code_bytes: 16 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 12 * KB,
+            warm_bytes: 160 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.80,
+            warm_fraction: 0.20,
+            stride: 8,
+            streaming_fraction: 0.85,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.55, dep_tightness: 0.25 },
+        dyn_dead_fraction: 0.10,
+    };
+    "eon" => BenchmarkProfile {
+        name: "eon",
+        class: WorkloadClass::Cpu,
+        mix: fp_mix(0.25, 0.13, 0.10, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 40.0,
+            flaky_fraction: 0.10,
+            flaky_bias: 0.95,
+            call_fraction: 0.06,
+            code_bytes: 24 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 10 * KB,
+            warm_bytes: 96 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.90,
+            warm_fraction: 0.10,
+            stride: 8,
+            streaming_fraction: 0.70,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.50, dep_tightness: 0.20 },
+        dyn_dead_fraction: 0.08,
+    };
+    "gcc" => BenchmarkProfile {
+        name: "gcc",
+        class: WorkloadClass::Cpu,
+        mix: int_mix(0.25, 0.11, 0.15, 0.04),
+        branch: BranchBehavior {
+            mean_loop_iters: 18.0,
+            flaky_fraction: 0.30,
+            flaky_bias: 0.90,
+            call_fraction: 0.05,
+            code_bytes: 96 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 14 * KB,
+            warm_bytes: 256 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.72,
+            warm_fraction: 0.28,
+            stride: 16,
+            streaming_fraction: 0.45,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.58, dep_tightness: 0.30 },
+        dyn_dead_fraction: 0.16,
+    };
+    "perlbmk" => BenchmarkProfile {
+        name: "perlbmk",
+        class: WorkloadClass::Cpu,
+        mix: int_mix(0.28, 0.12, 0.13, 0.03),
+        branch: BranchBehavior {
+            mean_loop_iters: 18.0,
+            flaky_fraction: 0.22,
+            flaky_bias: 0.92,
+            call_fraction: 0.07,
+            code_bytes: 64 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 12 * KB,
+            warm_bytes: 128 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.82,
+            warm_fraction: 0.18,
+            stride: 8,
+            streaming_fraction: 0.50,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.55, dep_tightness: 0.28 },
+        dyn_dead_fraction: 0.12,
+    };
+    "mesa" => BenchmarkProfile {
+        name: "mesa",
+        class: WorkloadClass::Cpu,
+        mix: fp_mix(0.24, 0.12, 0.09, 0.03),
+        branch: BranchBehavior {
+            mean_loop_iters: 60.0,
+            flaky_fraction: 0.08,
+            flaky_bias: 0.95,
+            call_fraction: 0.04,
+            code_bytes: 32 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 12 * KB,
+            warm_bytes: 128 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.85,
+            warm_fraction: 0.15,
+            stride: 16,
+            streaming_fraction: 0.80,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.45, dep_tightness: 0.18 },
+        dyn_dead_fraction: 0.09,
+    };
+    "crafty" => BenchmarkProfile {
+        name: "crafty",
+        class: WorkloadClass::Cpu,
+        mix: int_mix(0.27, 0.08, 0.12, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 18.0,
+            flaky_fraction: 0.28,
+            flaky_bias: 0.88,
+            call_fraction: 0.06,
+            code_bytes: 48 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 12 * KB,
+            warm_bytes: 160 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.86,
+            warm_fraction: 0.14,
+            stride: 8,
+            streaming_fraction: 0.40,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.48, dep_tightness: 0.20 },
+        dyn_dead_fraction: 0.11,
+    };
+    "gap" => BenchmarkProfile {
+        name: "gap",
+        class: WorkloadClass::Cpu,
+        mix: int_mix(0.24, 0.10, 0.10, 0.03),
+        branch: BranchBehavior {
+            mean_loop_iters: 30.0,
+            flaky_fraction: 0.15,
+            flaky_bias: 0.95,
+            call_fraction: 0.04,
+            code_bytes: 40 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 14 * KB,
+            warm_bytes: 192 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.78,
+            warm_fraction: 0.22,
+            stride: 8,
+            streaming_fraction: 0.65,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.52, dep_tightness: 0.24 },
+        dyn_dead_fraction: 0.13,
+    };
+    "parser" => BenchmarkProfile {
+        name: "parser",
+        class: WorkloadClass::Cpu,
+        mix: int_mix(0.25, 0.10, 0.14, 0.03),
+        branch: BranchBehavior {
+            mean_loop_iters: 18.0,
+            flaky_fraction: 0.26,
+            flaky_bias: 0.90,
+            call_fraction: 0.06,
+            code_bytes: 40 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 12 * KB,
+            warm_bytes: 256 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.74,
+            warm_fraction: 0.26,
+            stride: 8,
+            streaming_fraction: 0.35,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.60, dep_tightness: 0.32 },
+        dyn_dead_fraction: 0.12,
+    };
+    "facerec" => BenchmarkProfile {
+        name: "facerec",
+        class: WorkloadClass::Cpu,
+        mix: fp_mix(0.25, 0.08, 0.07, 0.03),
+        branch: BranchBehavior {
+            mean_loop_iters: 90.0,
+            flaky_fraction: 0.05,
+            flaky_bias: 0.95,
+            call_fraction: 0.02,
+            code_bytes: 20 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 14 * KB,
+            warm_bytes: 192 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.70,
+            warm_fraction: 0.30,
+            stride: 8,
+            streaming_fraction: 0.92,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.42, dep_tightness: 0.15 },
+        dyn_dead_fraction: 0.07,
+    };
+    "wupwise" => BenchmarkProfile {
+        name: "wupwise",
+        class: WorkloadClass::Cpu,
+        mix: fp_mix(0.22, 0.10, 0.06, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 120.0,
+            flaky_fraction: 0.04,
+            flaky_bias: 0.95,
+            call_fraction: 0.03,
+            code_bytes: 16 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 14 * KB,
+            warm_bytes: 192 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.75,
+            warm_fraction: 0.25,
+            stride: 16,
+            streaming_fraction: 0.95,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.40, dep_tightness: 0.14 },
+        dyn_dead_fraction: 0.06,
+    };
+    "fma3d" => BenchmarkProfile {
+        name: "fma3d",
+        class: WorkloadClass::Cpu,
+        mix: fp_mix(0.26, 0.13, 0.07, 0.03),
+        branch: BranchBehavior {
+            mean_loop_iters: 70.0,
+            flaky_fraction: 0.07,
+            flaky_bias: 0.95,
+            call_fraction: 0.05,
+            code_bytes: 56 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 14 * KB,
+            warm_bytes: 224 * KB,
+            cold_bytes: 0,
+            hot_fraction: 0.72,
+            warm_fraction: 0.28,
+            stride: 24,
+            streaming_fraction: 0.85,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.45, dep_tightness: 0.17 },
+        dyn_dead_fraction: 0.08,
+    };
+    // ------------------------------------------------------------------
+    // Memory-intensive programs
+    // ------------------------------------------------------------------
+    "mcf" => BenchmarkProfile {
+        name: "mcf",
+        class: WorkloadClass::Mem,
+        mix: int_mix(0.33, 0.09, 0.12, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 18.0,
+            flaky_fraction: 0.30,
+            flaky_bias: 0.88,
+            call_fraction: 0.02,
+            code_bytes: 12 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 8 * KB,
+            warm_bytes: 2 * MB,
+            cold_bytes: 48 * MB,
+            hot_fraction: 0.45,
+            warm_fraction: 0.30,
+            stride: 64,
+            streaming_fraction: 0.10, // pointer-chasing
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.55, dep_tightness: 0.35 },
+        dyn_dead_fraction: 0.09,
+    };
+    "twolf" => BenchmarkProfile {
+        name: "twolf",
+        class: WorkloadClass::Mem,
+        mix: int_mix(0.28, 0.09, 0.13, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 18.0,
+            flaky_fraction: 0.30,
+            flaky_bias: 0.86,
+            call_fraction: 0.04,
+            code_bytes: 32 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 10 * KB,
+            warm_bytes: 2 * MB,
+            cold_bytes: 8 * MB,
+            hot_fraction: 0.45,
+            warm_fraction: 0.35,
+            stride: 24,
+            streaming_fraction: 0.15,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.5, dep_tightness: 0.32 },
+        dyn_dead_fraction: 0.10,
+    };
+    "vpr" => BenchmarkProfile {
+        name: "vpr",
+        class: WorkloadClass::Mem,
+        mix: int_mix(0.30, 0.10, 0.12, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 18.0,
+            flaky_fraction: 0.28,
+            flaky_bias: 0.88,
+            call_fraction: 0.03,
+            code_bytes: 28 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 10 * KB,
+            warm_bytes: 2 * MB,
+            cold_bytes: 12 * MB,
+            hot_fraction: 0.45,
+            warm_fraction: 0.33,
+            stride: 16,
+            streaming_fraction: 0.20,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.52, dep_tightness: 0.34 },
+        dyn_dead_fraction: 0.10,
+    };
+    "equake" => BenchmarkProfile {
+        name: "equake",
+        class: WorkloadClass::Mem,
+        mix: fp_mix(0.34, 0.08, 0.08, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 45.0,
+            flaky_fraction: 0.10,
+            flaky_bias: 0.95,
+            call_fraction: 0.02,
+            code_bytes: 16 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 10 * KB,
+            warm_bytes: 2 * MB,
+            cold_bytes: 24 * MB,
+            hot_fraction: 0.35,
+            warm_fraction: 0.25,
+            stride: 56, // sparse-matrix indirection
+            streaming_fraction: 0.30,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.48, dep_tightness: 0.3 },
+        dyn_dead_fraction: 0.07,
+    };
+    "swim" => BenchmarkProfile {
+        name: "swim",
+        class: WorkloadClass::Mem,
+        mix: fp_mix(0.30, 0.14, 0.04, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 200.0,
+            flaky_fraction: 0.02,
+            flaky_bias: 0.95,
+            call_fraction: 0.01,
+            code_bytes: 8 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 8 * KB,
+            warm_bytes: MB,
+            cold_bytes: 48 * MB,
+            hot_fraction: 0.20,
+            warm_fraction: 0.12,
+            stride: 64, // array streaming, new line every access
+            streaming_fraction: 0.95,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.35, dep_tightness: 0.2 },
+        dyn_dead_fraction: 0.05,
+    };
+    "applu" => BenchmarkProfile {
+        name: "applu",
+        class: WorkloadClass::Mem,
+        mix: fp_mix(0.29, 0.12, 0.04, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 150.0,
+            flaky_fraction: 0.03,
+            flaky_bias: 0.95,
+            call_fraction: 0.02,
+            code_bytes: 24 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 10 * KB,
+            warm_bytes: 1536 * KB,
+            cold_bytes: 32 * MB,
+            hot_fraction: 0.26,
+            warm_fraction: 0.18,
+            stride: 72,
+            streaming_fraction: 0.90,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.38, dep_tightness: 0.22 },
+        dyn_dead_fraction: 0.06,
+    };
+    "lucas" => BenchmarkProfile {
+        name: "lucas",
+        class: WorkloadClass::Mem,
+        mix: fp_mix(0.27, 0.12, 0.03, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 300.0,
+            flaky_fraction: 0.02,
+            flaky_bias: 0.95,
+            call_fraction: 0.01,
+            code_bytes: 8 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 8 * KB,
+            warm_bytes: MB,
+            cold_bytes: 64 * MB,
+            hot_fraction: 0.22,
+            warm_fraction: 0.12,
+            stride: 128, // FFT butterflies: large strides
+            streaming_fraction: 0.85,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.4, dep_tightness: 0.24 },
+        dyn_dead_fraction: 0.05,
+    };
+    "mgrid" => BenchmarkProfile {
+        name: "mgrid",
+        class: WorkloadClass::Mem,
+        mix: fp_mix(0.33, 0.09, 0.03, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 250.0,
+            flaky_fraction: 0.02,
+            flaky_bias: 0.95,
+            call_fraction: 0.01,
+            code_bytes: 8 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 10 * KB,
+            warm_bytes: 1536 * KB,
+            cold_bytes: 40 * MB,
+            hot_fraction: 0.30,
+            warm_fraction: 0.20,
+            stride: 64,
+            streaming_fraction: 0.92,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.35, dep_tightness: 0.2 },
+        dyn_dead_fraction: 0.05,
+    };
+    "galgel" => BenchmarkProfile {
+        name: "galgel",
+        class: WorkloadClass::Mem,
+        mix: fp_mix(0.28, 0.10, 0.05, 0.02),
+        branch: BranchBehavior {
+            mean_loop_iters: 110.0,
+            flaky_fraction: 0.05,
+            flaky_bias: 0.95,
+            call_fraction: 0.02,
+            code_bytes: 16 * KB,
+        },
+        memory: MemoryBehavior {
+            hot_bytes: 12 * KB,
+            warm_bytes: 2 * MB,
+            cold_bytes: 16 * MB,
+            hot_fraction: 0.40,
+            warm_fraction: 0.25,
+            stride: 48,
+            streaming_fraction: 0.70,
+        },
+        ilp: IlpBehavior { near_dep_fraction: 0.38, dep_tightness: 0.22 },
+        dyn_dead_fraction: 0.06,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table2_programs() {
+        for name in [
+            "bzip2", "eon", "gcc", "perlbmk", "mesa", "crafty", "gap", "parser", "facerec",
+            "wupwise", "fma3d", "mcf", "twolf", "vpr", "equake", "swim", "applu", "lucas", "mgrid",
+            "galgel",
+        ] {
+            assert!(profile(name).is_some(), "missing profile: {name}");
+        }
+        assert!(profile("notabenchmark").is_none());
+    }
+
+    #[test]
+    fn names_match_keys_and_are_unique() {
+        let all = all_profiles();
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        for p in &all {
+            assert_eq!(profile(p.name).unwrap().name, p.name);
+        }
+    }
+
+    #[test]
+    fn mixes_are_normalized_probability_vectors() {
+        for p in all_profiles() {
+            let total = p.mix.total();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{}: mix sums to {total}",
+                p.name
+            );
+            for w in [
+                p.mix.int_alu,
+                p.mix.int_mul,
+                p.mix.int_div,
+                p.mix.fp_alu,
+                p.mix.fp_mul,
+                p.mix.fp_div,
+                p.mix.load,
+                p.mix.store,
+                p.mix.branch,
+                p.mix.nop,
+            ] {
+                assert!(w >= 0.0, "{}: negative mix weight", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        for p in all_profiles() {
+            let m = &p.memory;
+            assert!(m.hot_fraction >= 0.0 && m.warm_fraction >= 0.0);
+            assert!(m.hot_fraction + m.warm_fraction <= 1.0 + 1e-9, "{}", p.name);
+            assert!(m.streaming_fraction >= 0.0 && m.streaming_fraction <= 1.0);
+            assert!(p.dyn_dead_fraction >= 0.0 && p.dyn_dead_fraction < 0.5);
+            assert!(p.branch.flaky_fraction >= 0.0 && p.branch.flaky_fraction <= 1.0);
+            assert!(p.ilp.near_dep_fraction <= 1.0 && p.ilp.dep_tightness < 1.0);
+        }
+    }
+
+    #[test]
+    fn mem_class_has_bigger_footprints_than_cpu_class() {
+        let all = all_profiles();
+        let avg = |class: WorkloadClass| {
+            let v: Vec<_> = all
+                .iter()
+                .filter(|p| p.class == class)
+                .map(|p| (p.memory.warm_bytes + p.memory.cold_bytes) as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(WorkloadClass::Mem) > 4.0 * avg(WorkloadClass::Cpu));
+    }
+
+    #[test]
+    fn cpu_class_never_touches_cold_memory() {
+        for p in all_profiles() {
+            if p.class == WorkloadClass::Cpu {
+                assert_eq!(p.memory.cold_bytes, 0, "{}", p.name);
+            } else {
+                assert!(p.memory.cold_bytes > 0, "{}", p.name);
+            }
+        }
+    }
+}

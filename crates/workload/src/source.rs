@@ -1,0 +1,275 @@
+//! The instruction-source abstraction: anything that can feed a hardware
+//! thread context.
+//!
+//! The built-in [`TraceGenerator`] synthesizes
+//! SPEC-like streams; [`RecordedTrace`] replays a captured instruction
+//! sequence (e.g. loaded from a trace file, or recorded from a generator
+//! for exact A/B experiments). The pipeline is generic over this trait, so
+//! downstream users can plug in traces captured from real workloads.
+
+use crate::generate::TraceGenerator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_model::{ArchReg, Inst, MemRef, OpClass, SeqNum};
+
+/// A per-thread instruction stream with wrong-path synthesis.
+pub trait InstSource {
+    /// Short display name of the stream (e.g. the benchmark name).
+    fn name(&self) -> &'static str;
+
+    /// The PC of the next correct-path instruction (drives I-fetch).
+    fn current_pc(&self) -> u64;
+
+    /// Produce the next correct-path micro-op.
+    fn next_inst(&mut self) -> Inst;
+
+    /// Synthesize a wrong-path micro-op fetched at `pc` after a
+    /// misprediction. Must not perturb the correct-path stream.
+    fn wrong_path_inst(&mut self, pc: u64, seq: SeqNum) -> Inst;
+}
+
+impl InstSource for TraceGenerator {
+    fn name(&self) -> &'static str {
+        TraceGenerator::name(self)
+    }
+
+    fn current_pc(&self) -> u64 {
+        TraceGenerator::current_pc(self)
+    }
+
+    fn next_inst(&mut self) -> Inst {
+        TraceGenerator::next_inst(self)
+    }
+
+    fn wrong_path_inst(&mut self, pc: u64, seq: SeqNum) -> Inst {
+        TraceGenerator::wrong_path_inst(self, pc, seq)
+    }
+}
+
+/// A recorded instruction sequence replayed in a loop.
+///
+/// Looping keeps the source infinite (like the generator), which the
+/// simulator's instruction-budget termination expects; sequence numbers
+/// are renumbered monotonically across loop iterations.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    name: &'static str,
+    insts: Vec<Inst>,
+    cursor: usize,
+    seq: u64,
+    wrong_rng: SmallRng,
+}
+
+impl RecordedTrace {
+    /// Wrap a recorded sequence.
+    ///
+    /// # Panics
+    /// Panics if `insts` is empty, if any instruction is malformed, or if
+    /// the sequence cannot loop (the last instruction must be a taken
+    /// branch back to the first instruction's PC, or fall through to it).
+    pub fn new(name: &'static str, insts: Vec<Inst>) -> RecordedTrace {
+        assert!(!insts.is_empty(), "a recorded trace cannot be empty");
+        for (k, i) in insts.iter().enumerate() {
+            assert!(i.is_well_formed(), "malformed instruction at {k}: {i:?}");
+            // Fetch PCs drive I-cache accesses; misaligned PCs would make
+            // 4-byte fetches straddle line boundaries.
+            assert!(i.pc % 4 == 0, "unaligned pc {:#x} at {k}", i.pc);
+            assert!(
+                !(i.op.is_branch() && i.taken) || i.target % 4 == 0,
+                "unaligned branch target {:#x} at {k}",
+                i.target
+            );
+        }
+        for w in insts.windows(2) {
+            let expect = if w[0].op.is_branch() && w[0].taken {
+                w[0].target
+            } else {
+                w[0].pc + 4
+            };
+            assert_eq!(w[1].pc, expect, "PC discontinuity in recorded trace");
+        }
+        let last = insts.last().expect("nonempty");
+        let wrap_ok = if last.op.is_branch() && last.taken {
+            last.target == insts[0].pc
+        } else {
+            last.pc + 4 == insts[0].pc
+        };
+        assert!(wrap_ok, "recorded trace cannot loop back to its start");
+        RecordedTrace {
+            name,
+            insts,
+            cursor: 0,
+            seq: 0,
+            wrong_rng: SmallRng::seed_from_u64(0x7261_6365_7472_6163),
+        }
+    }
+
+    /// Record `n` instructions from a generator into a replayable trace.
+    ///
+    /// The recording is cut at the last loopable point (see
+    /// [`RecordedTrace::new`]); at least one instruction is always kept by
+    /// closing the trace with a synthetic back-edge branch.
+    pub fn record(gen: &mut TraceGenerator, n: usize) -> RecordedTrace {
+        assert!(n >= 2, "need at least two instructions to record");
+        let mut insts: Vec<Inst> = (0..n).map(|_| gen.next_inst()).collect();
+        // Close the loop: replace the tail with a taken branch back to the
+        // first PC.
+        let first_pc = insts[0].pc;
+        let tail_pc = insts.last().expect("nonempty").pc;
+        let mut back = Inst::nop(tail_pc, insts.last().unwrap().seq);
+        back.op = OpClass::Branch;
+        back.branch_kind = sim_model::BranchKind::Unconditional;
+        back.taken = true;
+        back.target = first_pc;
+        *insts.last_mut().expect("nonempty") = back;
+        RecordedTrace::new(gen.name(), insts)
+    }
+
+    /// Length of one loop iteration.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Borrow the recorded instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+impl InstSource for RecordedTrace {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn current_pc(&self) -> u64 {
+        self.insts[self.cursor].pc
+    }
+
+    fn next_inst(&mut self) -> Inst {
+        let mut inst = self.insts[self.cursor].clone();
+        inst.seq = SeqNum(self.seq);
+        self.seq += 1;
+        self.cursor = (self.cursor + 1) % self.insts.len();
+        inst
+    }
+
+    fn wrong_path_inst(&mut self, pc: u64, seq: SeqNum) -> Inst {
+        let mut inst = Inst::nop(pc, seq);
+        inst.wrong_path = true;
+        if self.wrong_rng.gen_bool(0.7) {
+            inst.op = OpClass::IntAlu;
+            inst.srcs = [
+                Some(ArchReg::int(self.wrong_rng.gen_range(0..31))),
+                Some(ArchReg::int(self.wrong_rng.gen_range(0..31))),
+            ];
+            inst.dest = Some(ArchReg::int(self.wrong_rng.gen_range(1..31)));
+        } else {
+            inst.op = OpClass::Load;
+            inst.srcs = [Some(ArchReg::int(self.wrong_rng.gen_range(0..31))), None];
+            inst.dest = Some(ArchReg::int(self.wrong_rng.gen_range(1..31)));
+            let base = self
+                .insts
+                .iter()
+                .find_map(|i| i.mem.map(|m| m.addr))
+                .unwrap_or(0x1_0000_0000);
+            inst.mem = Some(MemRef::new(
+                base + self.wrong_rng.gen_range(0..4096u64) * 8,
+                8,
+            ));
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile;
+
+    fn recorded(n: usize) -> RecordedTrace {
+        let mut gen = TraceGenerator::new(profile("bzip2").unwrap(), 5);
+        RecordedTrace::record(&mut gen, n)
+    }
+
+    #[test]
+    fn record_and_replay_loops() {
+        let mut t = recorded(500);
+        assert_eq!(t.len(), 500);
+        let first: Vec<Inst> = (0..500).map(|_| t.next_inst()).collect();
+        let second: Vec<Inst> = (0..500).map(|_| t.next_inst()).collect();
+        // Same instructions, renumbered sequence.
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.op, b.op);
+            assert_eq!(b.seq.0, a.seq.0 + 500);
+        }
+    }
+
+    #[test]
+    fn replay_preserves_pc_continuity() {
+        let mut t = recorded(300);
+        let mut prev: Option<Inst> = None;
+        for _ in 0..900 {
+            let i = t.next_inst();
+            if let Some(p) = prev {
+                let expect = if p.op.is_branch() && p.taken {
+                    p.target
+                } else {
+                    p.pc + 4
+                };
+                assert_eq!(i.pc, expect);
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn wrong_path_insts_are_marked_and_well_formed() {
+        let mut t = recorded(100);
+        for k in 0..200 {
+            let i = t.wrong_path_inst(0x4000 + k * 4, SeqNum(k));
+            assert!(i.wrong_path);
+            assert!(i.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn current_pc_tracks_cursor() {
+        let mut t = recorded(100);
+        let pc0 = t.current_pc();
+        let i = t.next_inst();
+        assert_eq!(i.pc, pc0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_trace_rejected() {
+        let _ = RecordedTrace::new("x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned pc")]
+    fn unaligned_trace_rejected() {
+        let mut a = Inst::nop(0x102, SeqNum(0)); // not 4-aligned
+        a.op = OpClass::Branch;
+        a.branch_kind = sim_model::BranchKind::Unconditional;
+        a.taken = true;
+        a.target = 0x102;
+        let _ = RecordedTrace::new("x", vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "PC discontinuity")]
+    fn discontinuous_trace_rejected() {
+        let mut a = Inst::nop(0x100, SeqNum(0));
+        a.op = OpClass::IntAlu;
+        a.dest = Some(ArchReg::int(1));
+        let b = Inst::nop(0x200, SeqNum(1));
+        let _ = RecordedTrace::new("x", vec![a, b]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Compact binary trace files.
+//!
+//! A simple, versioned, dependency-free codec for instruction sequences,
+//! so traces can be captured once (or converted from external tools) and
+//! replayed through [`RecordedTrace`](crate::RecordedTrace). The format is
+//! little-endian and streaming-friendly:
+//!
+//! ```text
+//! magic "SAVT" | u16 version | u32 count | count × record
+//! record: u8 op | u8 flags | u8 branch_kind | u8 mem_size
+//!         | u8 src0 | u8 src1 | u8 dest (0xFF = none)
+//!         | u64 pc | u64 seq | u64 mem_addr | u64 target
+//! ```
+
+use sim_model::{ArchReg, BranchKind, Inst, MemRef, OpClass, SeqNum};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"SAVT";
+const VERSION: u16 = 1;
+const NO_REG: u8 = 0xFF;
+
+const FLAG_TAKEN: u8 = 1 << 0;
+const FLAG_DEAD: u8 = 1 << 1;
+const FLAG_WRONG: u8 = 1 << 2;
+
+fn op_code(op: OpClass) -> u8 {
+    OpClass::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("exhaustive") as u8
+}
+
+fn op_from(code: u8) -> io::Result<OpClass> {
+    OpClass::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad opcode"))
+}
+
+fn branch_code(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::None => 0,
+        BranchKind::Conditional => 1,
+        BranchKind::Unconditional => 2,
+        BranchKind::Call => 3,
+        BranchKind::Return => 4,
+    }
+}
+
+fn branch_from(code: u8) -> io::Result<BranchKind> {
+    Ok(match code {
+        0 => BranchKind::None,
+        1 => BranchKind::Conditional,
+        2 => BranchKind::Unconditional,
+        3 => BranchKind::Call,
+        4 => BranchKind::Return,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad branch kind",
+            ))
+        }
+    })
+}
+
+fn reg_code(r: Option<ArchReg>) -> u8 {
+    r.map_or(NO_REG, |r| r.0)
+}
+
+fn reg_from(code: u8) -> io::Result<Option<ArchReg>> {
+    match code {
+        NO_REG => Ok(None),
+        c if c < ArchReg::TOTAL => Ok(Some(ArchReg(c))),
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "bad register")),
+    }
+}
+
+/// Serialize a trace to `writer`.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, insts: &[Inst]) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(insts.len() as u32).to_le_bytes())?;
+    for i in insts {
+        let mut flags = 0u8;
+        if i.taken {
+            flags |= FLAG_TAKEN;
+        }
+        if i.dyn_dead {
+            flags |= FLAG_DEAD;
+        }
+        if i.wrong_path {
+            flags |= FLAG_WRONG;
+        }
+        let (addr, size) = i.mem.map_or((0, 0), |m| (m.addr, m.size));
+        writer.write_all(&[
+            op_code(i.op),
+            flags,
+            branch_code(i.branch_kind),
+            size,
+            reg_code(i.srcs[0]),
+            reg_code(i.srcs[1]),
+            reg_code(i.dest),
+        ])?;
+        writer.write_all(&i.pc.to_le_bytes())?;
+        writer.write_all(&i.seq.0.to_le_bytes())?;
+        writer.write_all(&addr.to_le_bytes())?;
+        writer.write_all(&i.target.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a trace from `reader`.
+///
+/// # Errors
+/// Returns `InvalidData` for a bad magic/version or malformed records, and
+/// propagates I/O errors from the reader.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Vec<Inst>> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf2 = [0u8; 2];
+    reader.read_exact(&mut buf2)?;
+    if u16::from_le_bytes(buf2) != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad version"));
+    }
+    let mut buf4 = [0u8; 4];
+    reader.read_exact(&mut buf4)?;
+    let count = u32::from_le_bytes(buf4) as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    let mut head = [0u8; 7];
+    let mut word = [0u8; 8];
+    for _ in 0..count {
+        reader.read_exact(&mut head)?;
+        let mut read_u64 = |r: &mut R| -> io::Result<u64> {
+            r.read_exact(&mut word)?;
+            Ok(u64::from_le_bytes(word))
+        };
+        let pc = read_u64(&mut reader)?;
+        let seq = read_u64(&mut reader)?;
+        let addr = read_u64(&mut reader)?;
+        let target = read_u64(&mut reader)?;
+        let op = op_from(head[0])?;
+        let flags = head[1];
+        let inst = Inst {
+            pc,
+            seq: SeqNum(seq),
+            op,
+            srcs: [reg_from(head[4])?, reg_from(head[5])?],
+            dest: reg_from(head[6])?,
+            mem: if op.is_mem() {
+                if !matches!(head[3], 1 | 2 | 4 | 8) {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "bad mem size"));
+                }
+                Some(MemRef::new(addr, head[3]))
+            } else {
+                None
+            },
+            taken: flags & FLAG_TAKEN != 0,
+            target,
+            branch_kind: branch_from(head[2])?,
+            dyn_dead: flags & FLAG_DEAD != 0,
+            wrong_path: flags & FLAG_WRONG != 0,
+        };
+        if !inst.is_well_formed() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed instruction record",
+            ));
+        }
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TraceGenerator;
+    use crate::profile::profile;
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let gen = TraceGenerator::new(profile("gcc").unwrap(), 3);
+        let insts: Vec<Inst> = gen.take(2_000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).expect("in-memory write");
+        let back = read_trace(buf.as_slice()).expect("read back");
+        assert_eq!(insts, back);
+    }
+
+    #[test]
+    fn record_size_is_compact() {
+        let gen = TraceGenerator::new(profile("swim").unwrap(), 1);
+        let insts: Vec<Inst> = gen.take(1_000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).expect("in-memory write");
+        // 10-byte header + 39 bytes per record.
+        assert_eq!(buf.len(), 10 + 39 * 1_000);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let gen = TraceGenerator::new(profile("eon").unwrap(), 2);
+        let insts: Vec<Inst> = gen.take(10).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).expect("write");
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_opcode() {
+        let gen = TraceGenerator::new(profile("eon").unwrap(), 2);
+        let insts: Vec<Inst> = gen.take(3).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).expect("write");
+        buf[10] = 0xEE; // first record's opcode
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn replays_through_recorded_trace() {
+        use crate::source::{InstSource, RecordedTrace};
+        let mut gen = TraceGenerator::new(profile("bzip2").unwrap(), 9);
+        let rec = RecordedTrace::record(&mut gen, 400);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, rec.insts()).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        let mut replay = RecordedTrace::new("bzip2", back);
+        for _ in 0..1_000 {
+            assert!(replay.next_inst().is_well_formed());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the synthetic trace generator: any known profile and
+//! seed must yield a well-formed, PC-continuous, bounded-footprint stream.
+
+use proptest::prelude::*;
+use sim_model::BranchKind;
+use sim_workload::{all_profiles, TraceGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn streams_are_well_formed_and_continuous(
+        profile_idx in 0usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let profiles = all_profiles();
+        let p = profiles[profile_idx % profiles.len()].clone();
+        let mut g = TraceGenerator::new(p, seed);
+        let mut prev: Option<sim_model::Inst> = None;
+        for _ in 0..3_000 {
+            let i = g.next_inst();
+            prop_assert!(i.is_well_formed(), "{i:?}");
+            if let Some(prev) = prev {
+                if prev.op.is_branch() && prev.taken {
+                    prop_assert_eq!(i.pc, prev.target);
+                } else {
+                    prop_assert_eq!(i.pc, prev.pc + 4);
+                }
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn static_instructions_are_pc_stable(seed in 0u64..500) {
+        // Revisiting a PC must re-yield the same operation class (that is
+        // what makes the synthetic code "static code").
+        let profiles = all_profiles();
+        let p = profiles[(seed as usize) % profiles.len()].clone();
+        let mut g = TraceGenerator::new(p, seed);
+        let mut seen: std::collections::HashMap<u64, sim_model::OpClass> =
+            std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            let i = g.next_inst();
+            // Control decisions at block ends are role-dependent (a loop
+            // back-edge still terminates the block); body ops must be
+            // PC-stable.
+            if !i.op.is_branch() {
+                if let Some(&prev_op) = seen.get(&i.pc) {
+                    prop_assert_eq!(prev_op, i.op, "pc {:#x} changed class", i.pc);
+                } else {
+                    seen.insert(i.pc, i.op);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn call_depth_is_bounded_and_balanced(seed in 0u64..200) {
+        let profiles = all_profiles();
+        let p = profiles[(seed as usize * 7) % profiles.len()].clone();
+        let mut g = TraceGenerator::new(p, seed);
+        let mut depth = 0i64;
+        for _ in 0..20_000 {
+            let i = g.next_inst();
+            match i.branch_kind {
+                BranchKind::Call => depth += 1,
+                BranchKind::Return => depth -= 1,
+                _ => {}
+            }
+            prop_assert!((0..=8).contains(&depth));
+        }
+    }
+
+    #[test]
+    fn wrong_path_stream_is_independent_of_when_its_sampled(
+        seed in 0u64..200,
+        split in 1usize..50,
+    ) {
+        let profiles = all_profiles();
+        let p = profiles[(seed as usize * 3) % profiles.len()].clone();
+        let mut a = TraceGenerator::new(p.clone(), seed);
+        let mut b = TraceGenerator::new(p, seed);
+        // Interleave wrong-path synthesis differently in the two copies.
+        for k in 0..split {
+            let _ = a.next_inst();
+            let _ = b.next_inst();
+            if k % 2 == 0 {
+                let _ = a.wrong_path_inst(0x100, sim_model::SeqNum(k as u64));
+            }
+        }
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+}

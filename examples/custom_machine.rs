@@ -1,0 +1,52 @@
+//! Custom machine study: shrink the shared issue queue and physical
+//! register pools and watch vulnerability and throughput move — the
+//! "reliability-aware resource allocation" discussion of Section 5.
+//!
+//! ```sh
+//! cargo run --release --example custom_machine
+//! ```
+
+use sim_model::MachineConfig;
+use smt_avf::prelude::*;
+use smt_avf::runner::run_workload_on;
+
+fn main() {
+    let workload = table2()
+        .into_iter()
+        .find(|w| w.name == "4T-MIX-A")
+        .expect("Table 2 contains 4T-MIX-A");
+    let budget = SimBudget::total_instructions(50_000 * workload.contexts as u64)
+        .with_warmup(30_000 * workload.contexts as u64);
+
+    println!(
+        "{:<22} {:>6} {:>8} {:>8} {:>8}",
+        "machine", "IPC", "IQ AVF", "Reg AVF", "ROB AVF"
+    );
+    for (name, iq, regs) in [
+        ("baseline (96 IQ)", 96u32, 512u32),
+        ("small IQ (48)", 48, 512),
+        ("tiny IQ (24)", 24, 512),
+        ("small reg pool (384)", 96, 384),
+    ] {
+        let mut cfg = MachineConfig::ispass07_baseline()
+            .with_contexts(workload.contexts)
+            .with_fetch_policy(FetchPolicyKind::Icount);
+        cfg.iq_entries = iq;
+        cfg.int_phys_regs = regs;
+        cfg.fp_phys_regs = regs;
+        let r = run_workload_on(&cfg, &workload, budget);
+        println!(
+            "{:<22} {:>6.3} {:>7.1}% {:>7.1}% {:>7.1}%",
+            name,
+            r.ipc(),
+            r.report.structure(StructureId::Iq).avf * 100.0,
+            r.report.structure(StructureId::RegFile).avf * 100.0,
+            r.report.structure(StructureId::Rob).avf * 100.0,
+        );
+    }
+    println!(
+        "\nExpected shape (paper, Section 5): performance does not scale\n\
+         linearly with structure size, but vulnerability exposure does —\n\
+         capping shared-resource sizes is a reliability lever."
+    );
+}

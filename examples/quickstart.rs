@@ -1,0 +1,40 @@
+//! Quickstart: run one SMT workload and print its vulnerability profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smt_avf::prelude::*;
+
+fn main() {
+    // Pick the 4-context mixed workload from Table 2 of the paper.
+    let workload = table2()
+        .into_iter()
+        .find(|w| w.name == "4T-MIX-A")
+        .expect("Table 2 contains 4T-MIX-A");
+    println!(
+        "Running {} ({}) under ICOUNT...",
+        workload.name,
+        workload.programs.join(", ")
+    );
+
+    // 40k warm-up + 60k measured instructions per thread.
+    let budget = SimBudget::total_instructions(60_000 * workload.contexts as u64)
+        .with_warmup(40_000 * workload.contexts as u64);
+    let result = run_workload(&workload, FetchPolicyKind::Icount, budget);
+
+    println!(
+        "\ncycles={}  IPC={:.3}  DL1 miss={:.1}%  L2 miss={:.1}%\n",
+        result.cycles,
+        result.ipc(),
+        result.dl1_miss_rate * 100.0,
+        result.l2_miss_rate * 100.0
+    );
+    println!("{}", result.report);
+
+    // Reliability efficiency (∝ MITF) for the issue queue.
+    println!(
+        "IQ reliability efficiency (IPC/AVF): {:.1}",
+        result.report.reliability_efficiency(StructureId::Iq)
+    );
+}

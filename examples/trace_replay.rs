@@ -1,0 +1,38 @@
+//! Trace capture and replay: record a synthetic stream, serialize it to
+//! the compact trace-file format, read it back, and drive the simulator
+//! from the replayed trace (the path external trace converters would use).
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use sim_workload::{tracefile, RecordedTrace};
+use smt_avf::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    // 1. Capture a loopable recording from the synthetic generator.
+    let mut gen = TraceGenerator::new(profile("bzip2").unwrap(), 7);
+    let recording = RecordedTrace::record(&mut gen, 50_000);
+
+    // 2. Serialize / deserialize through the binary trace format.
+    let mut bytes = Vec::new();
+    tracefile::write_trace(&mut bytes, recording.insts())?;
+    println!(
+        "serialized {} instructions into {} KiB",
+        recording.len(),
+        bytes.len() / 1024
+    );
+    let replay = RecordedTrace::new("bzip2-replayed", tracefile::read_trace(bytes.as_slice())?);
+
+    // 3. Drive the simulator from the replayed trace.
+    let cfg = MachineConfig::ispass07_baseline();
+    let mut core: SmtCore<RecordedTrace> = SmtCore::new(cfg, vec![replay]);
+    let result = core.run(SimBudget::total_instructions(100_000).with_warmup(100_000));
+    println!(
+        "replayed run: IPC={:.2}  IQ AVF={:.1}%  ROB AVF={:.1}%",
+        result.ipc(),
+        result.report.structure(StructureId::Iq).avf * 100.0,
+        result.report.structure(StructureId::Rob).avf * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Section 5 extension study: do the paper's proposed optimizations pay
+//! off? Compares the Section 4.3 front-runners (FLUSH, STALL) against the
+//! implemented proposals — PSTALL (predictive stall), RAFT (reliability-
+//! aware fetch throttling) and static IQ partitioning — on the 4-context
+//! MIX workloads where thread diversity makes resource allocation matter.
+
+use super::{avg_avf, avg_efficiency, mean, workloads_of};
+use crate::runner::{run_workload, run_workload_on};
+use crate::scale::ExperimentScale;
+use crate::table::Table;
+use avf_core::StructureId;
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::SimResult;
+
+/// Design points compared by the extension study.
+const POINTS: [&str; 6] = ["ICOUNT", "FLUSH", "STALL", "PSTALL", "RAFT", "IQ-PART"];
+
+fn run_point(point: &str, contexts: usize, scale: ExperimentScale) -> Vec<SimResult> {
+    workloads_of(contexts, "MIX")
+        .iter()
+        .map(|w| match point {
+            "IQ-PART" => {
+                let mut cfg = MachineConfig::ispass07_baseline()
+                    .with_contexts(contexts)
+                    .with_fetch_policy(FetchPolicyKind::Icount);
+                cfg.iq_partitioned = true;
+                run_workload_on(&cfg, w, scale.budget(contexts))
+            }
+            _ => {
+                let policy = match point {
+                    "ICOUNT" => FetchPolicyKind::Icount,
+                    "FLUSH" => FetchPolicyKind::Flush,
+                    "STALL" => FetchPolicyKind::Stall,
+                    "PSTALL" => FetchPolicyKind::PredictiveStall,
+                    "RAFT" => FetchPolicyKind::VulnerabilityAware,
+                    other => unreachable!("unknown design point {other}"),
+                };
+                run_workload(w, policy, scale.budget(contexts))
+            }
+        })
+        .collect()
+}
+
+/// Run the extension study on the 4-context MIX workloads: per design
+/// point, IPC, IQ/ROB AVF, and IQ reliability efficiency.
+pub fn extensions(scale: ExperimentScale) -> Table {
+    let mut t = Table::new(
+        "Extension study — Section 5 proposals on 4-context MIX workloads",
+        &["IPC", "IQ AVF", "ROB AVF", "Reg AVF", "IQ IPC/AVF"],
+    );
+    for point in POINTS {
+        let runs = run_point(point, 4, scale);
+        let ipc = mean(&runs.iter().map(|r| r.ipc()).collect::<Vec<_>>());
+        t.push(
+            point,
+            vec![
+                ipc,
+                avg_avf(&runs, StructureId::Iq),
+                avg_avf(&runs, StructureId::Rob),
+                avg_avf(&runs, StructureId::RegFile),
+                avg_efficiency(&runs, StructureId::Iq),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_points_all_run_and_improve_iq_avf() {
+        let t = extensions(ExperimentScale::quick());
+        assert_eq!(t.rows().len(), POINTS.len());
+        let icount_iq = t.value("ICOUNT", "IQ AVF").unwrap();
+        for point in ["PSTALL", "RAFT", "IQ-PART"] {
+            let v = t.value(point, "IQ AVF").unwrap();
+            assert!(
+                v < icount_iq * 1.05,
+                "{point} IQ AVF ({v:.3}) should not exceed ICOUNT ({icount_iq:.3})"
+            );
+        }
+        for (_, row) in t.rows() {
+            for &v in row {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 1: microarchitecture vulnerability profile of the studied SMT
+//! processor (4 contexts, ICOUNT), per structure, for CPU / MIX / MEM
+//! workloads (average of groups A and B).
+
+use super::{avg_avf, run_mix, MIX_LABELS};
+use crate::scale::ExperimentScale;
+use crate::table::Table;
+use avf_core::StructureId;
+use sim_model::FetchPolicyKind;
+use sim_pipeline::SimResult;
+
+/// Run the 4-context ICOUNT baselines Figures 1 and 2 share: one result
+/// set per mix label.
+pub fn baseline_mix_runs(scale: ExperimentScale) -> Vec<Vec<SimResult>> {
+    MIX_LABELS
+        .iter()
+        .map(|mix| run_mix(4, mix, FetchPolicyKind::Icount, scale))
+        .collect()
+}
+
+/// Regenerate Figure 1.
+pub fn figure1(scale: ExperimentScale) -> Table {
+    figure1_from(&baseline_mix_runs(scale))
+}
+
+/// Build Figure 1 from existing baseline runs.
+pub fn figure1_from(per_mix: &[Vec<SimResult>]) -> Table {
+    let mut table = Table::new(
+        "Figure 1 — Microarchitecture Vulnerability Profile (4 contexts, ICOUNT), AVF",
+        &MIX_LABELS,
+    )
+    .percent();
+    for s in StructureId::FIGURE_SET {
+        table.push(
+            s.label(),
+            per_mix.iter().map(|runs| avg_avf(runs, s)).collect(),
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape_matches_paper() {
+        let t = figure1(ExperimentScale::quick());
+        // Shared pipeline structures are more vulnerable on MEM workloads.
+        assert!(t.value("IQ", "MEM").unwrap() > t.value("IQ", "CPU").unwrap());
+        // FU and DL1 data AVF drop on MEM workloads.
+        assert!(t.value("FU", "MEM").unwrap() < t.value("FU", "CPU").unwrap());
+        assert!(t.value("DL1_data", "MEM").unwrap() < t.value("DL1_data", "CPU").unwrap());
+        // The DL1 tag is more vulnerable than the DL1 data array.
+        for mix in MIX_LABELS {
+            assert!(t.value("DL1_tag", mix).unwrap() > t.value("DL1_data", mix).unwrap());
+        }
+        // All AVFs are probabilities.
+        for (_, row) in t.rows() {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

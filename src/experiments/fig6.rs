@@ -1,0 +1,77 @@
+//! Figure 6: microarchitecture AVF under the six fetch policies (ICOUNT,
+//! FLUSH, STALL, DG, PDG, DWARN) for 4-context (panel a) and 8-context
+//! (panel b) workloads, per mix.
+
+use super::{mean, policy_sweep, SweepEntry, MIX_LABELS};
+use crate::scale::ExperimentScale;
+use crate::table::Table;
+use avf_core::StructureId;
+use sim_model::FetchPolicyKind;
+
+/// Regenerate Figure 6 from a fresh policy sweep: one table per (context
+/// count, mix); rows are structures, columns are fetch policies.
+pub fn figure6(scale: ExperimentScale) -> Vec<Table> {
+    figure6_from(&policy_sweep(&[4, 8], scale))
+}
+
+/// Build the Figure 6 tables from an existing sweep (the `all` binary
+/// shares one sweep between Figures 6, 7 and 8).
+pub fn figure6_from(sweep: &[SweepEntry]) -> Vec<Table> {
+    let policies = FetchPolicyKind::STUDIED;
+    let labels: Vec<&str> = policies.iter().map(|p| p.label()).collect();
+    let mut out = Vec::new();
+    for (panel, contexts) in [("6a", 4usize), ("6b", 8usize)] {
+        for mix in MIX_LABELS {
+            let mut t = Table::new(
+                format!("Figure {panel} — AVF by fetch policy ({contexts} contexts, {mix})"),
+                &labels,
+            )
+            .percent();
+            for s in StructureId::FIGURE_SET {
+                t.push(
+                    s.label(),
+                    policies
+                        .iter()
+                        .map(|&p| {
+                            mean(
+                                &sweep
+                                    .iter()
+                                    .filter(|e| {
+                                        e.policy == p
+                                            && e.workload.contexts == contexts
+                                            && e.workload.mix.to_string() == mix
+                                    })
+                                    .map(|e| e.result.report.structure(s).avf)
+                                    .collect::<Vec<_>>(),
+                            )
+                        })
+                        .collect(),
+                );
+            }
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_collapses_iq_rob_lsq_avf_on_mem_workloads() {
+        let tables = figure6(ExperimentScale::quick());
+        assert_eq!(tables.len(), 6);
+        // 4-context MEM panel.
+        let t = &tables[2];
+        assert!(t.title().contains("4 contexts, MEM"));
+        for s in ["IQ", "ROB", "LSQ_tag"] {
+            let icount = t.value(s, "ICOUNT").unwrap();
+            let flush = t.value(s, "FLUSH").unwrap();
+            assert!(
+                flush < icount,
+                "{s}: FLUSH ({flush:.3}) should be below ICOUNT ({icount:.3})"
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 8: reliability efficiency under fairness-aware performance
+//! metrics — (a) weighted-speedup/AVF and (b) harmonic-IPC/AVF — for the
+//! five advanced fetch policies, normalized to ICOUNT.
+
+use super::fig7::{normalized_metric, ADVANCED};
+use super::{policy_sweep, StIpcCache, SweepEntry};
+use crate::scale::ExperimentScale;
+use crate::table::Table;
+use avf_core::{metrics, StructureId};
+
+/// Regenerate both panels of Figure 8.
+pub fn figure8(scale: ExperimentScale) -> (Table, Table) {
+    let sweep = policy_sweep(&[4, 8], scale);
+    figure8_from(&sweep, scale)
+}
+
+/// Build Figure 8 from an existing sweep (shared with Figure 7).
+pub fn figure8_from(sweep: &[SweepEntry], scale: ExperimentScale) -> (Table, Table) {
+    let mut st = StIpcCache::new(scale);
+    // Precompute fairness metrics per sweep entry.
+    let fairness: Vec<(f64, f64)> = sweep
+        .iter()
+        .map(|e| {
+            let smt_ipc: Vec<f64> = e
+                .result
+                .thread_ipcs()
+                .iter()
+                .map(|&v| v.max(1e-6))
+                .collect();
+            let st_ipc: Vec<f64> = e.workload.programs.iter().map(|p| st.ipc(p)).collect();
+            (
+                metrics::weighted_speedup(&smt_ipc, &st_ipc),
+                metrics::harmonic_weighted_ipc(&smt_ipc, &st_ipc),
+            )
+        })
+        .collect();
+    let idx = |e: &SweepEntry| {
+        sweep
+            .iter()
+            .position(|x| std::ptr::eq(x, e))
+            .expect("entry from the same sweep")
+    };
+
+    let labels: Vec<&str> = ADVANCED.iter().map(|p| p.label()).collect();
+    let mut a = Table::new(
+        "Figure 8a — Weighted-Speedup/AVF normalized to ICOUNT",
+        &labels,
+    );
+    let mut b = Table::new("Figure 8b — Harmonic-IPC/AVF normalized to ICOUNT", &labels);
+    for s in StructureId::FIGURE_SET {
+        a.push(
+            s.label(),
+            ADVANCED
+                .iter()
+                .map(|&p| {
+                    normalized_metric(sweep, s, p, |e, s| {
+                        let avf = e.result.report.structure(s).avf;
+                        metrics::reliability_efficiency(fairness[idx(e)].0, avf)
+                    })
+                })
+                .collect(),
+        );
+        b.push(
+            s.label(),
+            ADVANCED
+                .iter()
+                .map(|&p| {
+                    normalized_metric(sweep, s, p, |e, s| {
+                        let avf = e.result.report.structure(s).avf;
+                        metrics::reliability_efficiency(fairness[idx(e)].1, avf)
+                    })
+                })
+                .collect(),
+        );
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_metrics_produce_finite_tables() {
+        let (a, b) = figure8(ExperimentScale::quick());
+        for t in [&a, &b] {
+            assert_eq!(t.rows().len(), StructureId::FIGURE_SET.len());
+            for (_, row) in t.rows() {
+                for &v in row {
+                    assert!(v.is_finite() && v > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulation runners: one multithreaded run, one single-thread run, and
+//! the deterministic seeding scheme tying them together.
+
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::{SimBudget, SimResult, SmtCore};
+use sim_workload::{profile, SmtWorkload, TraceGenerator};
+
+/// The deterministic seed for context `index` of `workload`.
+///
+/// Seeds derive from the workload name so groups A and B of the same mix
+/// type observe different dynamic instances, as the paper intends, while
+/// every rerun is bit-identical.
+pub fn workload_seed(workload: &SmtWorkload, index: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in workload.name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (index as u64 + 1)
+}
+
+/// Run one Table 2 workload under `policy` with the given budget on the
+/// Table 1 baseline machine.
+///
+/// # Panics
+/// Panics if a program in the workload has no profile (all Table 2
+/// programs do).
+pub fn run_workload(
+    workload: &SmtWorkload,
+    policy: FetchPolicyKind,
+    budget: SimBudget,
+) -> SimResult {
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(policy);
+    run_workload_on(&cfg, workload, budget)
+}
+
+/// Run one workload on an explicit machine configuration (used by the
+/// ablation benches).
+pub fn run_workload_on(
+    cfg: &MachineConfig,
+    workload: &SmtWorkload,
+    budget: SimBudget,
+) -> SimResult {
+    let gens = workload
+        .programs
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let p = profile(name).unwrap_or_else(|| panic!("unknown benchmark: {name}"));
+            TraceGenerator::new(p, workload_seed(workload, i))
+        })
+        .collect();
+    let mut core = SmtCore::new(cfg.clone(), gens);
+    core.run(budget)
+}
+
+/// Run `program` alone on the superscalar (1-context) configuration of the
+/// same machine — the paper's single-thread baseline. `seed` should match
+/// the seed the program had inside the SMT workload so the *same dynamic
+/// instruction stream* is replayed (Section 4.1: "we record the progress of
+/// each thread in the SMT execution and then simulate the same amount of
+/// instructions ... in the single thread execution mode").
+pub fn run_single_thread(program: &str, seed: u64, budget: SimBudget) -> SimResult {
+    let cfg = MachineConfig::ispass07_baseline().with_contexts(1);
+    let p = profile(program).unwrap_or_else(|| panic!("unknown benchmark: {program}"));
+    let mut core = SmtCore::new(cfg, vec![TraceGenerator::new(p, seed)]);
+    core.run(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_workload::table2;
+
+    fn first_2t() -> SmtWorkload {
+        table2().into_iter().find(|w| w.contexts == 2).unwrap()
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let w = first_2t();
+        assert_eq!(workload_seed(&w, 0), workload_seed(&w, 0));
+        assert_ne!(workload_seed(&w, 0), workload_seed(&w, 1));
+        let other = table2().into_iter().nth(1).unwrap();
+        assert_ne!(workload_seed(&w, 0), workload_seed(&other, 0));
+    }
+
+    #[test]
+    fn run_workload_is_deterministic() {
+        let w = first_2t();
+        let b = SimBudget::total_instructions(6_000).with_warmup(2_000);
+        let a = run_workload(&w, FetchPolicyKind::Icount, b);
+        let c = run_workload(&w, FetchPolicyKind::Icount, b);
+        assert_eq!(a.cycles, c.cycles);
+        assert_eq!(a.report, c.report);
+    }
+
+    #[test]
+    fn single_thread_runs() {
+        let b = SimBudget::total_instructions(6_000).with_warmup(2_000);
+        let r = run_single_thread("bzip2", 1, b);
+        assert_eq!(r.threads.len(), 1);
+        assert!(r.ipc() > 0.1);
+    }
+}

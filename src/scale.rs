@@ -1,0 +1,71 @@
+//! Experiment scale: how long each simulation runs.
+//!
+//! The paper simulates 50/100/200 million instructions for 2/4/8-context
+//! workloads (25M per thread) after Simpoint fast-forwarding. Our synthetic
+//! workloads are phase-stationary, so far shorter windows converge; the
+//! scale keeps the paper's per-thread proportionality.
+
+use sim_pipeline::SimBudget;
+
+/// Per-thread instruction budgets for one experiment campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Warm-up instructions per thread (predictors, caches, TLBs).
+    pub warmup_per_thread: u64,
+    /// Measured instructions per thread.
+    pub measure_per_thread: u64,
+}
+
+impl ExperimentScale {
+    /// The default scale used by the figure-regeneration binaries.
+    pub fn default_scale() -> ExperimentScale {
+        ExperimentScale {
+            warmup_per_thread: 150_000,
+            measure_per_thread: 100_000,
+        }
+    }
+
+    /// A fast scale for tests and Criterion benches.
+    pub fn quick() -> ExperimentScale {
+        ExperimentScale {
+            warmup_per_thread: 8_000,
+            measure_per_thread: 12_000,
+        }
+    }
+
+    /// The simulation budget for a workload with `contexts` threads
+    /// (matching the paper's "total instructions ∝ thread count" rule).
+    pub fn budget(&self, contexts: usize) -> SimBudget {
+        SimBudget::total_instructions(self.measure_per_thread * contexts as u64)
+            .with_warmup(self.warmup_per_thread * contexts as u64)
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_with_contexts() {
+        let s = ExperimentScale::default_scale();
+        let b2 = s.budget(2);
+        let b8 = s.budget(8);
+        assert_eq!(b2.total_instructions * 4, b8.total_instructions);
+        assert_eq!(b2.warmup_instructions * 4, b8.warmup_instructions);
+        assert!(b8.max_cycles > b8.total_instructions);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(
+            ExperimentScale::quick().measure_per_thread
+                < ExperimentScale::default_scale().measure_per_thread
+        );
+    }
+}

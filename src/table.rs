@@ -1,0 +1,176 @@
+//! A minimal aligned-text table for experiment output.
+
+use std::fmt;
+
+/// A titled table of labeled float rows, printed with aligned columns —
+/// the textual equivalent of one paper figure panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    /// Number format: decimals shown per value.
+    decimals: usize,
+    /// Append a percent sign (values are shown ×100).
+    percent: bool,
+}
+
+impl Table {
+    /// A new table titled `title` with the given column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            decimals: 2,
+            percent: false,
+        }
+    }
+
+    /// Display values as percentages (×100 with a `%` suffix).
+    pub fn percent(mut self) -> Table {
+        self.percent = true;
+        self
+    }
+
+    /// Number of decimals per value.
+    pub fn decimals(mut self, d: usize) -> Table {
+        self.decimals = d;
+        self
+    }
+
+    /// Append a labeled row.
+    ///
+    /// # Panics
+    /// Panics if the value count differs from the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row arity must match columns"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Rows as `(label, values)` pairs.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Render the table as CSV (label column first; raw values, not
+    /// percent-scaled).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("label");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Look up a value by row label and column header.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows.iter().find(|(l, _)| l == row).map(|(_, v)| v[c])
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([9])
+            .max()
+            .unwrap_or(9);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .chain([self.decimals + 6])
+            .max()
+            .unwrap_or(10);
+        write!(f, "{:<label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, " {c:>col_w$}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<label_w$}")?;
+            for v in values {
+                let shown = if self.percent { v * 100.0 } else { *v };
+                let s = if self.percent {
+                    format!("{shown:.prec$}%", prec = self.decimals)
+                } else {
+                    format!("{shown:.prec$}", prec = self.decimals)
+                };
+                write!(f, " {s:>col_w$}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Table::new("demo", &["A", "B"]);
+        t.push("row1", vec![1.0, 2.0]);
+        t.push("row2", vec![3.0, 4.0]);
+        assert_eq!(t.value("row2", "B"), Some(4.0));
+        assert_eq!(t.value("rowX", "B"), None);
+        assert_eq!(t.value("row1", "C"), None);
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn display_is_aligned_and_complete() {
+        let mut t = Table::new("vulnerability", &["CPU", "MEM"]).percent();
+        t.push("IQ", vec![0.31, 0.47]);
+        let s = format!("{t}");
+        assert!(s.contains("## vulnerability"));
+        assert!(s.contains("31.00%"));
+        assert!(s.contains("47.00%"));
+        assert!(s.contains("IQ"));
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let mut t = Table::new("demo", &["A", "B"]);
+        t.push("r", vec![0.5, 1.25]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "label,A,B\nr,0.5,1.25\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["A", "B"]);
+        t.push("bad", vec![1.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-crate invariants: every simulation, regardless of workload,
+//! policy or thread count, must produce internally consistent reports.
+
+use smt_avf::prelude::*;
+
+fn check(result: &SimResult, label: &str) {
+    let report = &result.report;
+    assert!(result.cycles > 0, "{label}: no cycles simulated");
+    assert!(report.total_committed() > 0, "{label}: nothing committed");
+    for s in StructureId::ALL {
+        let sa = report.structure(s);
+        assert!(
+            (0.0..=1.0).contains(&sa.avf),
+            "{label}: {s} AVF {} out of range",
+            sa.avf
+        );
+        assert!(
+            sa.utilization <= 1.0 + 1e-9,
+            "{label}: {s} utilization {} exceeds 1",
+            sa.utilization
+        );
+        assert!(
+            sa.avf <= sa.utilization + 1e-9,
+            "{label}: {s} AVF {} exceeds occupancy {}",
+            sa.avf,
+            sa.utilization
+        );
+        let per_thread_sum: f64 = sa.per_thread.iter().sum();
+        assert!(
+            (per_thread_sum - sa.avf).abs() < 1e-9,
+            "{label}: {s} per-thread contributions ({per_thread_sum}) != aggregate ({})",
+            sa.avf
+        );
+        assert!(sa.total_bits > 0, "{label}: {s} has no bit budget");
+    }
+    for (i, t) in result.threads.iter().enumerate() {
+        assert!(
+            t.committed > 0,
+            "{label}: thread {i} ({}) starved completely",
+            t.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&t.mispredict_rate),
+            "{label}: bad mispredict rate"
+        );
+    }
+    assert!((0.0..=1.0).contains(&result.dl1_miss_rate));
+    assert!((0.0..=1.0).contains(&result.l2_miss_rate));
+}
+
+#[test]
+fn every_workload_satisfies_invariants_under_icount() {
+    for w in table2() {
+        let budget = quick_budget(w.contexts);
+        let r = run_workload(&w, FetchPolicyKind::Icount, budget);
+        check(&r, &w.name);
+        // The measured window commits what the budget asked for (within a
+        // final partial cycle of commit width).
+        assert!(
+            r.report.total_committed() >= budget.total_instructions,
+            "{}: committed {} < budget {}",
+            w.name,
+            r.report.total_committed(),
+            budget.total_instructions
+        );
+    }
+}
+
+#[test]
+fn every_policy_satisfies_invariants_on_a_mem_workload() {
+    let w = table2().into_iter().find(|w| w.name == "4T-MEM-A").unwrap();
+    for policy in FetchPolicyKind::STUDIED {
+        let r = run_workload(&w, policy, quick_budget(4));
+        check(&r, &format!("{} under {}", w.name, policy.label()));
+    }
+}
+
+#[test]
+fn superscalar_mode_satisfies_invariants() {
+    for prog in ["bzip2", "mcf", "swim", "gcc", "wupwise"] {
+        let r = run_single_thread(prog, 3, quick_budget(1));
+        check(&r, prog);
+        assert_eq!(r.threads.len(), 1);
+    }
+}
+
+#[test]
+fn shared_structures_attribute_to_every_active_thread() {
+    let w = table2().into_iter().find(|w| w.name == "4T-CPU-A").unwrap();
+    let r = run_workload(&w, FetchPolicyKind::Icount, quick_budget(4));
+    let iq = r.report.structure(StructureId::Iq);
+    for (i, &v) in iq.per_thread.iter().enumerate() {
+        assert!(v > 0.0, "thread {i} contributed no IQ vulnerability");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests over the full stack: arbitrary (bounded) machine
+//! shapes and workload mixes must never violate the accounting invariants.
+
+use proptest::prelude::*;
+use sim_model::MachineConfig;
+use sim_workload::{MixType, SmtWorkload};
+use smt_avf::prelude::*;
+use smt_avf::runner::run_workload_on;
+
+fn program_pool() -> Vec<&'static str> {
+    vec![
+        "bzip2", "eon", "gcc", "perlbmk", "mesa", "mcf", "twolf", "vpr", "equake", "swim",
+    ]
+}
+
+prop_compose! {
+    /// A random 1-4 context workload drawn from the benchmark pool.
+    fn arb_workload()(
+        contexts in 1usize..=4,
+        picks in proptest::collection::vec(0usize..10, 4),
+    ) -> Vec<&'static str> {
+        let pool = program_pool();
+        (0..contexts).map(|i| pool[picks[i]]).collect()
+    }
+}
+
+fn run(programs: &[&'static str], cfg: &MachineConfig, budget: SimBudget) -> SimResult {
+    // Reuse the public runner by constructing an ad-hoc workload: the mix
+    // label is irrelevant for execution.
+    let w = SmtWorkload {
+        name: format!("prop-{}", programs.join("-")),
+        contexts: programs.len(),
+        mix: MixType::Cpu,
+        group: 'A',
+        programs: programs.to_vec(),
+    };
+    run_workload_on(cfg, &w, budget)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case is a full (small) simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_workloads_respect_avf_invariants(programs in arb_workload()) {
+        let cfg = MachineConfig::ispass07_baseline().with_contexts(programs.len());
+        let budget = SimBudget::total_instructions(4_000 * programs.len() as u64)
+            .with_warmup(2_000 * programs.len() as u64);
+        let r = run(&programs, &cfg, budget);
+        for s in StructureId::ALL {
+            let sa = r.report.structure(s);
+            prop_assert!((0.0..=1.0).contains(&sa.avf), "{s}: {}", sa.avf);
+            prop_assert!(sa.avf <= sa.utilization + 1e-9);
+            let sum: f64 = sa.per_thread.iter().sum();
+            prop_assert!((sum - sa.avf).abs() < 1e-9);
+        }
+        prop_assert!(r.report.total_committed() >= budget.total_instructions);
+    }
+
+    #[test]
+    fn random_machine_shapes_run_cleanly(
+        iq in 16u32..=128,
+        rob in 32u32..=128,
+        lsq in 16u32..=64,
+        fetch_width in 2u32..=8,
+        policy_idx in 0usize..6,
+    ) {
+        let mut cfg = MachineConfig::ispass07_baseline().with_contexts(2);
+        cfg.iq_entries = iq;
+        cfg.rob_entries_per_thread = rob;
+        cfg.lsq_entries_per_thread = lsq;
+        cfg.fetch_width = fetch_width;
+        cfg.fetch_policy = FetchPolicyKind::STUDIED[policy_idx];
+        prop_assert!(cfg.validate().is_ok());
+        let budget = SimBudget::total_instructions(6_000).with_warmup(2_000);
+        let r = run(&["bzip2", "twolf"], &cfg, budget);
+        prop_assert!(r.report.total_committed() >= budget.total_instructions);
+        for s in StructureId::ALL {
+            let sa = r.report.structure(s);
+            prop_assert!((0.0..=1.0).contains(&sa.avf));
+        }
+    }
+}
