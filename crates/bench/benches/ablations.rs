@@ -3,13 +3,12 @@
 //! the run cost.
 
 use avf_core::StructureId;
-use criterion::{criterion_group, criterion_main, Criterion};
 use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::{SimBudget, SimResult};
 use sim_workload::table2;
 use smt_avf::runner::run_workload_on;
+use smt_avf_bench::timing::bench_case;
 use std::hint::black_box;
-use std::time::Duration;
 
 fn mem4() -> sim_workload::SmtWorkload {
     table2().into_iter().find(|w| w.name == "4T-MEM-A").unwrap()
@@ -20,7 +19,7 @@ fn budget() -> SimBudget {
 }
 
 fn run(cfg: &MachineConfig) -> SimResult {
-    run_workload_on(cfg, &mem4(), budget())
+    run_workload_on(cfg, &mem4(), budget()).expect("table2 programs are profiled")
 }
 
 fn report(tag: &str, r: &SimResult) {
@@ -33,70 +32,62 @@ fn report(tag: &str, r: &SimResult) {
     );
 }
 
-fn bench_fetch_width(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_fetch_width");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(15));
+fn bench_fetch_width() {
     for threads_per_cycle in [1u32, 2, 4] {
         let mut cfg = MachineConfig::ispass07_baseline().with_contexts(4);
         cfg.fetch_threads_per_cycle = threads_per_cycle;
         report(&format!("icount.{threads_per_cycle}.8"), &run(&cfg));
-        g.bench_function(format!("icount_{threads_per_cycle}_8"), |b| {
-            b.iter(|| black_box(run(&cfg)))
-        });
+        bench_case(
+            "ablation_fetch_width",
+            &format!("icount_{threads_per_cycle}_8"),
+            10,
+            || black_box(run(&cfg)),
+        );
     }
-    g.finish();
 }
 
-fn bench_regpool(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_regpool");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(15));
+fn bench_regpool() {
     for pool in [192u32, 320, 512] {
         let mut cfg = MachineConfig::ispass07_baseline().with_contexts(4);
         cfg.int_phys_regs = pool;
         cfg.fp_phys_regs = pool;
         report(&format!("regpool_{pool}"), &run(&cfg));
-        g.bench_function(format!("pool_{pool}"), |b| b.iter(|| black_box(run(&cfg))));
+        bench_case("ablation_regpool", &format!("pool_{pool}"), 10, || {
+            black_box(run(&cfg))
+        });
     }
-    g.finish();
 }
 
-fn bench_dg_threshold(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_dg_threshold");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(15));
+fn bench_dg_threshold() {
     for threshold in [1u32, 2, 4] {
         let mut cfg = MachineConfig::ispass07_baseline()
             .with_contexts(4)
             .with_fetch_policy(FetchPolicyKind::DataGating);
         cfg.dg_threshold = threshold;
         report(&format!("dg_threshold_{threshold}"), &run(&cfg));
-        g.bench_function(format!("threshold_{threshold}"), |b| {
-            b.iter(|| black_box(run(&cfg)))
-        });
+        bench_case(
+            "ablation_dg_threshold",
+            &format!("threshold_{threshold}"),
+            10,
+            || black_box(run(&cfg)),
+        );
     }
-    g.finish();
 }
 
-fn bench_iq_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_iq_size");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(15));
+fn bench_iq_size() {
     for iq in [48u32, 96, 192] {
         let mut cfg = MachineConfig::ispass07_baseline().with_contexts(4);
         cfg.iq_entries = iq;
         report(&format!("iq_{iq}"), &run(&cfg));
-        g.bench_function(format!("iq_{iq}"), |b| b.iter(|| black_box(run(&cfg))));
+        bench_case("ablation_iq_size", &format!("iq_{iq}"), 10, || {
+            black_box(run(&cfg))
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fetch_width,
-    bench_regpool,
-    bench_dg_threshold,
-    bench_iq_size
-);
-criterion_main!(benches);
+fn main() {
+    bench_fetch_width();
+    bench_regpool();
+    bench_dg_threshold();
+    bench_iq_size();
+}

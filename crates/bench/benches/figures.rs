@@ -1,63 +1,55 @@
-//! One Criterion bench per paper table/figure: measures the cost of
-//! regenerating each experiment at a micro scale (the regeneration
-//! binaries produce the full-scale numbers).
+//! One bench per paper table/figure: measures the cost of regenerating
+//! each experiment at a micro scale (the regeneration binaries produce
+//! the full-scale numbers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use smt_avf::experiments as ex;
 use smt_avf_bench::bench_scale;
+use smt_avf_bench::timing::bench_case;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(20);
-    g.bench_function("table1_render", |b| b.iter(|| black_box(ex::table1())));
-    g.bench_function("table2_render", |b| {
-        b.iter(|| black_box(ex::table2_listing()))
+fn bench_tables() {
+    bench_case("tables", "table1_render", 20, || black_box(ex::table1()));
+    bench_case("tables", "table2_render", 20, || {
+        black_box(ex::table2_listing())
     });
-    g.finish();
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures() {
     let scale = bench_scale();
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(20));
-    g.bench_function("fig1_avf_profile", |b| {
-        b.iter(|| black_box(ex::figure1(scale)))
+    bench_case("figures", "fig1_avf_profile", 10, || {
+        black_box(ex::figure1(scale).expect("experiment failed"))
     });
-    g.bench_function("fig2_reliability_efficiency", |b| {
-        b.iter(|| black_box(ex::figure2(scale)))
+    bench_case("figures", "fig2_reliability_efficiency", 10, || {
+        black_box(ex::figure2(scale).expect("experiment failed"))
     });
-    g.bench_function("fig3_smt_vs_st_avf", |b| {
-        b.iter(|| black_box(ex::figure3(scale)))
+    bench_case("figures", "fig3_smt_vs_st_avf", 10, || {
+        black_box(ex::figure3(scale).expect("experiment failed"))
     });
-    g.bench_function("fig4_smt_vs_st_efficiency", |b| {
-        b.iter(|| black_box(ex::figure4(scale)))
+    bench_case("figures", "fig4_smt_vs_st_efficiency", 10, || {
+        black_box(ex::figure4(scale).expect("experiment failed"))
     });
-    g.bench_function("fig5_avf_vs_contexts", |b| {
-        b.iter(|| black_box(ex::figure5(scale)))
+    bench_case("figures", "fig5_avf_vs_contexts", 10, || {
+        black_box(ex::figure5(scale).expect("experiment failed"))
     });
-    g.finish();
 
-    // The fetch-policy sweeps are the heaviest experiments; bench them in
-    // a separate group with fewer samples.
-    let mut g = c.benchmark_group("figures_policy_sweeps");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(40));
-    g.bench_function("fig6_policy_avf", |b| {
-        b.iter(|| black_box(ex::figure6(scale)))
+    // The fetch-policy sweeps are the heaviest experiments; fewer samples.
+    bench_case("figures_policy_sweeps", "fig6_policy_avf", 5, || {
+        black_box(ex::figure6(scale).expect("experiment failed"))
     });
-    g.bench_function("fig7_fig8_policy_efficiency", |b| {
-        b.iter(|| {
-            let sweep = ex::policy_sweep(&[4, 8], scale);
+    bench_case(
+        "figures_policy_sweeps",
+        "fig7_fig8_policy_efficiency",
+        5,
+        || {
+            let sweep = ex::policy_sweep(&[4, 8], scale).expect("experiment failed");
             let f7 = ex::fig7::figure7_from(&sweep);
-            let f8 = ex::fig8::figure8_from(&sweep, scale);
+            let f8 = ex::fig8::figure8_from(&sweep, scale).expect("experiment failed");
             black_box((f7, f8))
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-criterion_group!(benches, bench_tables, bench_figures);
-criterion_main!(benches);
+fn main() {
+    bench_tables();
+    bench_figures();
+}

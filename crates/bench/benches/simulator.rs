@@ -1,12 +1,11 @@
 //! Core simulator throughput benches: cycles/instructions per second for
 //! representative configurations, plus component microbenches.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::{SimBudget, SmtCore};
 use sim_workload::{profile, TraceGenerator};
+use smt_avf_bench::timing::{bench_case, bench_throughput};
 use std::hint::black_box;
-use std::time::Duration;
 
 const INSTS: u64 = 20_000;
 
@@ -24,65 +23,48 @@ fn run_once(programs: &[&str], policy: FetchPolicyKind) -> u64 {
     r.cycles
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(15));
-    g.throughput(Throughput::Elements(INSTS));
-    g.bench_function("superscalar_cpu_bound", |b| {
-        b.iter(|| black_box(run_once(&["bzip2"], FetchPolicyKind::Icount)))
+fn bench_simulator() {
+    bench_throughput("simulator", "superscalar_cpu_bound", 10, INSTS, || {
+        black_box(run_once(&["bzip2"], FetchPolicyKind::Icount))
     });
-    g.bench_function("smt4_cpu_bound", |b| {
-        b.iter(|| {
-            black_box(run_once(
-                &["bzip2", "eon", "gcc", "perlbmk"],
-                FetchPolicyKind::Icount,
-            ))
-        })
+    bench_throughput("simulator", "smt4_cpu_bound", 10, INSTS, || {
+        black_box(run_once(
+            &["bzip2", "eon", "gcc", "perlbmk"],
+            FetchPolicyKind::Icount,
+        ))
     });
-    g.bench_function("smt4_mem_bound", |b| {
-        b.iter(|| {
-            black_box(run_once(
-                &["mcf", "equake", "vpr", "swim"],
-                FetchPolicyKind::Icount,
-            ))
-        })
+    bench_throughput("simulator", "smt4_mem_bound", 10, INSTS, || {
+        black_box(run_once(
+            &["mcf", "equake", "vpr", "swim"],
+            FetchPolicyKind::Icount,
+        ))
     });
-    g.bench_function("smt4_mem_bound_flush", |b| {
-        b.iter(|| {
-            black_box(run_once(
-                &["mcf", "equake", "vpr", "swim"],
-                FetchPolicyKind::Flush,
-            ))
-        })
+    bench_throughput("simulator", "smt4_mem_bound_flush", 10, INSTS, || {
+        black_box(run_once(
+            &["mcf", "equake", "vpr", "swim"],
+            FetchPolicyKind::Flush,
+        ))
     });
-    g.finish();
 }
 
-fn bench_components(c: &mut Criterion) {
-    let mut g = c.benchmark_group("components");
-    g.sample_size(30);
-
+fn bench_components() {
     // Trace generation throughput.
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("trace_generation_bzip2", |b| {
-        let mut gen = TraceGenerator::new(profile("bzip2").unwrap(), 1);
-        b.iter(|| {
-            for _ in 0..10_000 {
-                black_box(gen.next_inst());
-            }
-        })
+    let mut gen = TraceGenerator::new(profile("bzip2").unwrap(), 1);
+    bench_throughput("components", "trace_generation_bzip2", 30, 10_000, || {
+        for _ in 0..10_000 {
+            black_box(gen.next_inst());
+        }
     });
 
     // Cache access throughput (hits).
-    g.bench_function("dl1_hit_accesses", |b| {
+    {
         use avf_core::AvfEngine;
         use sim_mem::{AccessKind, Cache};
         let cfg = MachineConfig::ispass07_baseline().dl1;
         let mut cache = Cache::new("DL1", cfg, None, None);
         let mut engine = AvfEngine::new(1);
         let mut now = 0u64;
-        b.iter(|| {
+        bench_throughput("components", "dl1_hit_accesses", 30, 10_000, || {
             for i in 0..10_000u64 {
                 now += 1;
                 black_box(cache.access(
@@ -94,24 +76,25 @@ fn bench_components(c: &mut Criterion) {
                     &mut engine,
                 ));
             }
-        })
-    });
+        });
+    }
 
     // Branch predictor throughput.
-    g.bench_function("gshare_predict_update", |b| {
+    {
         use sim_frontend::Gshare;
         let mut gs = Gshare::new(2048, 10);
-        b.iter(|| {
+        bench_case("components", "gshare_predict_update", 30, || {
             for i in 0..10_000u64 {
                 let pc = (i % 257) * 4;
                 let taken = i % 3 != 0;
                 black_box(gs.predict(pc));
                 gs.update(pc, taken);
             }
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-criterion_group!(benches, bench_simulator, bench_components);
-criterion_main!(benches);
+fn main() {
+    bench_simulator();
+    bench_components();
+}

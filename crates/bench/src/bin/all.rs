@@ -7,24 +7,24 @@ fn main() {
     let t0 = std::time::Instant::now();
     println!("{}", ex::table1());
     println!("{}", ex::table2_listing());
-    println!("{}", ex::figure1(scale));
-    println!("{}", ex::figure2(scale));
-    for t in ex::figure3(scale) {
+    println!("{}", ex::figure1(scale).expect("experiment failed"));
+    println!("{}", ex::figure2(scale).expect("experiment failed"));
+    for t in ex::figure3(scale).expect("experiment failed") {
         println!("{t}");
     }
-    for t in ex::figure4(scale) {
+    for t in ex::figure4(scale).expect("experiment failed") {
         println!("{t}");
     }
-    let (a, b) = ex::figure5(scale);
+    let (a, b) = ex::figure5(scale).expect("experiment failed");
     println!("{a}\n{b}");
     // Share one policy sweep between Figures 6, 7 and 8.
-    let sweep = ex::policy_sweep(&[4, 8], scale);
+    let sweep = ex::policy_sweep(&[4, 8], scale).expect("experiment failed");
     for t in ex::fig6::figure6_from(&sweep) {
         println!("{t}");
     }
     println!("{}", ex::fig7::figure7_from(&sweep));
-    let (a, b) = ex::fig8::figure8_from(&sweep, scale);
+    let (a, b) = ex::fig8::figure8_from(&sweep, scale).expect("experiment failed");
     println!("{a}\n{b}");
-    println!("{}", ex::extensions(scale));
+    println!("{}", ex::extensions(scale).expect("experiment failed"));
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -3,5 +3,6 @@ fn main() {
     println!(
         "{}",
         smt_avf::experiments::characterize(smt_avf_bench::scale_from_env())
+            .expect("experiment failed")
     );
 }

@@ -1,6 +1,8 @@
 //! Regenerate Figure 4: IPC/AVF of SMT vs single-thread execution.
 fn main() {
-    for t in smt_avf::experiments::figure4(smt_avf_bench::scale_from_env()) {
+    for t in
+        smt_avf::experiments::figure4(smt_avf_bench::scale_from_env()).expect("experiment failed")
+    {
         println!("{t}");
     }
 }

@@ -1,6 +1,7 @@
 //! Regenerate Figure 5: AVF vs number of thread contexts.
 fn main() {
-    let (a, b) = smt_avf::experiments::figure5(smt_avf_bench::scale_from_env());
+    let (a, b) =
+        smt_avf::experiments::figure5(smt_avf_bench::scale_from_env()).expect("experiment failed");
     println!("{a}");
     println!("{b}");
 }

@@ -1,6 +1,8 @@
 //! Regenerate Figure 6: AVF under the six fetch policies (4 & 8 contexts).
 fn main() {
-    for t in smt_avf::experiments::figure6(smt_avf_bench::scale_from_env()) {
+    for t in
+        smt_avf::experiments::figure6(smt_avf_bench::scale_from_env()).expect("experiment failed")
+    {
         println!("{t}");
     }
 }

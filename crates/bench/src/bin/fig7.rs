@@ -2,6 +2,6 @@
 fn main() {
     println!(
         "{}",
-        smt_avf::experiments::figure7(smt_avf_bench::scale_from_env())
+        smt_avf::experiments::figure7(smt_avf_bench::scale_from_env()).expect("experiment failed")
     );
 }

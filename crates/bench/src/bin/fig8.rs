@@ -1,6 +1,7 @@
 //! Regenerate Figure 8: fairness-aware reliability efficiency.
 fn main() {
-    let (a, b) = smt_avf::experiments::figure8(smt_avf_bench::scale_from_env());
+    let (a, b) =
+        smt_avf::experiments::figure8(smt_avf_bench::scale_from_env()).expect("experiment failed");
     println!("{a}");
     println!("{b}");
 }

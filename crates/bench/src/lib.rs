@@ -3,12 +3,16 @@
 //!
 //! One binary per experiment (`cargo run --release -p smt-avf-bench --bin
 //! fig1`, ..., `--bin all`) regenerating the corresponding table or figure
-//! of the paper, and one Criterion bench per experiment measuring its
-//! regeneration cost (plus the ablation benches DESIGN.md calls out).
+//! of the paper, and one bench target per experiment measuring its
+//! regeneration cost (plus the ablation benches DESIGN.md calls out). The
+//! bench targets use the dependency-free [`timing`] harness so the
+//! workspace builds fully offline.
 //!
 //! Binaries honor the `SMT_AVF_SCALE` environment variable:
 //! `quick` | `default` (the default) | `paper` (longest; closest to the
 //! paper's 25M-instructions-per-thread methodology, scaled down ~100×).
+
+pub mod timing;
 
 use smt_avf::ExperimentScale;
 

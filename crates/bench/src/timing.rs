@@ -1,0 +1,75 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds offline and therefore cannot depend on Criterion;
+//! this module provides the small subset the bench targets need: named
+//! cases, a warm-up iteration, min/median/mean over N samples, and
+//! optional elements-per-second throughput.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Run `f` once to warm caches, then `samples` more times, and print a
+/// one-line summary (min / median / mean) for `group/name`.
+///
+/// Returns the median sample so callers can build derived reports.
+pub fn bench_case<R>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    mut f: impl FnMut() -> R,
+) -> Duration {
+    let samples = samples.max(1);
+    black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / samples as u32;
+    println!("{group}/{name}: min {min:.2?}  median {median:.2?}  mean {mean:.2?}  (n={samples})");
+    median
+}
+
+/// Like [`bench_case`], but also reports `elements / median-time` as a
+/// throughput figure (e.g. simulated instructions per second).
+pub fn bench_throughput<R>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    elements: u64,
+    f: impl FnMut() -> R,
+) -> Duration {
+    let median = bench_case(group, name, samples, f);
+    let secs = median.as_secs_f64();
+    if secs > 0.0 {
+        println!(
+            "{group}/{name}: throughput {:.0} elem/s",
+            elements as f64 / secs
+        );
+    }
+    median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_case_runs_and_reports() {
+        let mut calls = 0u32;
+        let d = bench_case("test", "noop", 3, || calls += 1);
+        assert_eq!(calls, 4, "one warmup + three samples");
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn throughput_handles_fast_bodies() {
+        let d = bench_throughput("test", "fast", 2, 1_000, || 42u64);
+        assert!(d < Duration::from_secs(1));
+    }
+}

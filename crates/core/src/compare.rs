@@ -1,0 +1,169 @@
+//! Cross-validation of ACE-derived AVF against statistical fault
+//! injection (SFI).
+//!
+//! The ACE methodology is deliberately conservative: any bit it cannot
+//! *prove* un-ACE counts as vulnerable. A fault-injection campaign
+//! measures the same quantity empirically — the fraction of uniformly
+//! random (entry, bit, cycle) strikes whose outcome is visible (silent
+//! data corruption or a detectable error). The expected relationship is
+//! therefore one-sided: **ACE AVF ≥ SFI estimate** (up to sampling
+//! noise), and the gap is the ACE model's conservatism. This module holds
+//! the plain-number side of that comparison so the injection machinery
+//! itself can stay out of `avf-core`.
+
+use crate::report::AvfReport;
+use crate::structure::StructureId;
+
+/// Wilson score interval for a binomial proportion: the `z`-sigma
+/// confidence bounds on the true failure probability after observing
+/// `failures` out of `trials`. Unlike the normal approximation it is
+/// well-behaved at 0 and 1 and for small `trials`. Returns `(0, 1)` for
+/// an empty sample.
+pub fn wilson_interval(failures: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = failures as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// One structure's SFI vulnerability estimate: a binomial point estimate
+/// with its 95% Wilson interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SfiPoint {
+    /// The injected structure.
+    pub structure: StructureId,
+    /// Trials injected into this structure.
+    pub trials: u64,
+    /// Trials whose outcome was visible (SDC or detectable error).
+    pub failures: u64,
+    /// `failures / trials`.
+    pub point: f64,
+    /// 95% Wilson lower bound.
+    pub lo: f64,
+    /// 95% Wilson upper bound.
+    pub hi: f64,
+}
+
+impl SfiPoint {
+    /// Build an estimate from raw counts (95% interval).
+    pub fn from_counts(structure: StructureId, failures: u64, trials: u64) -> SfiPoint {
+        let (lo, hi) = wilson_interval(failures, trials, 1.96);
+        SfiPoint {
+            structure,
+            trials,
+            failures,
+            point: if trials == 0 {
+                0.0
+            } else {
+                failures as f64 / trials as f64
+            },
+            lo,
+            hi,
+        }
+    }
+}
+
+/// One row of the ACE-vs-SFI comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonRow {
+    /// The SFI measurement.
+    pub sfi: SfiPoint,
+    /// The ACE-derived AVF of the same structure from the golden run.
+    pub ace_avf: f64,
+    /// Does the conservative bound hold: `ace_avf >= sfi.lo`?
+    pub bound_holds: bool,
+}
+
+/// Pair each SFI estimate with the matching ACE AVF from `report`.
+pub fn compare(report: &AvfReport, sfi: &[SfiPoint]) -> Vec<ComparisonRow> {
+    sfi.iter()
+        .map(|&s| {
+            let ace_avf = report.structure(s.structure).avf;
+            ComparisonRow {
+                sfi: s,
+                ace_avf,
+                bound_holds: ace_avf >= s.lo,
+            }
+        })
+        .collect()
+}
+
+/// Render the comparison as an aligned text table.
+pub fn render(rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>6} {:>9} {:>17} {:>9}  {}\n",
+        "structure", "trials", "fail", "SFI", "95% CI", "ACE AVF", "bound"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>6} {:>8.2}% [{:>6.2}%,{:>6.2}%] {:>8.2}%  {}\n",
+            r.sfi.structure.to_string(),
+            r.sfi.trials,
+            r.sfi.failures,
+            r.sfi.point * 100.0,
+            r.sfi.lo * 100.0,
+            r.sfi.hi * 100.0,
+            r.ace_avf * 100.0,
+            if r.bound_holds { "ok" } else { "VIOLATED" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_brackets_the_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 1.96);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(lo > 0.2 && hi < 0.42, "interval too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn wilson_edge_cases() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15, "zero successes still bound above 0");
+        let (lo, hi) = wilson_interval(50, 50, 1.96);
+        assert!(lo > 0.85 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(10, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(100, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn sfi_point_from_counts() {
+        let p = SfiPoint::from_counts(StructureId::Iq, 25, 100);
+        assert_eq!(p.point, 0.25);
+        assert!(p.lo < 0.25 && p.hi > 0.25);
+        let empty = SfiPoint::from_counts(StructureId::Iq, 0, 0);
+        assert_eq!(empty.point, 0.0);
+    }
+
+    #[test]
+    fn render_flags_violations() {
+        let rows = vec![ComparisonRow {
+            sfi: SfiPoint::from_counts(StructureId::Iq, 90, 100),
+            ace_avf: 0.10,
+            bound_holds: false,
+        }];
+        let s = render(&rows);
+        assert!(s.contains("VIOLATED"));
+        assert!(s.contains("IQ"));
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod budgets;
 pub mod classify;
+pub mod compare;
 pub mod engine;
 pub mod fit;
 pub mod metrics;
@@ -56,6 +57,7 @@ pub mod report;
 pub mod structure;
 
 pub use classify::{lifecycle_ace_bits, DeallocKind};
+pub use compare::{compare, render, wilson_interval, ComparisonRow, SfiPoint};
 pub use engine::{AvfEngine, ResidencyTracker};
 pub use fit::{fit_estimate, overall_avf, FitEstimate};
 pub use phase::{PhasePoint, PhaseRecorder};

@@ -1,0 +1,148 @@
+//! Seeded property tests for the AVF accounting engine and ACE
+//! classification: inputs are drawn from the workspace's deterministic RNG
+//! so every run checks the same (broad) sample of the input space.
+
+use avf_core::{budgets, classify, AvfEngine, DeallocKind, ResidencyTracker, StructureId};
+use sim_model::{ArchReg, BranchKind, Inst, MemRef, OpClass, SeqNum, SimRng, ThreadId};
+
+fn opt_reg(r: &mut SimRng, lo: u64, hi: u64) -> Option<u8> {
+    r.gen_bool(0.75).then(|| r.range_u64(lo, hi) as u8)
+}
+
+fn arb_inst(r: &mut SimRng) -> Inst {
+    let op = OpClass::ALL[r.range_usize(0, OpClass::ALL.len())];
+    let src1 = opt_reg(r, 0, 31);
+    let src2 = opt_reg(r, 0, 31);
+    let dest = opt_reg(r, 1, 31);
+    let addr = r.range_u64(0, 1_000_000);
+    let size = [1u8, 2, 4, 8][r.range_usize(0, 4)];
+    let dead = r.gen_bool(0.5);
+    let mut i = Inst::nop(0x1000, SeqNum(0));
+    i.op = op;
+    i.wrong_path = r.gen_bool(0.5);
+    match op {
+        OpClass::Nop => {}
+        OpClass::Load => {
+            i.srcs = [src1.map(ArchReg::int), None];
+            i.dest = Some(ArchReg::int(dest.unwrap_or(1)));
+            i.mem = Some(MemRef::new(addr, size));
+            i.dyn_dead = dead;
+        }
+        OpClass::Store => {
+            i.srcs = [
+                Some(ArchReg::int(src1.unwrap_or(0))),
+                src2.map(ArchReg::int),
+            ];
+            i.mem = Some(MemRef::new(addr, size));
+        }
+        OpClass::Branch => {
+            i.branch_kind = BranchKind::Conditional;
+            i.taken = r.gen_bool(0.5);
+            i.target = 0x2000;
+            i.srcs = [src1.map(ArchReg::int), None];
+        }
+        _ => {
+            i.srcs = [src1.map(ArchReg::int), src2.map(ArchReg::int)];
+            i.dest = Some(ArchReg::int(dest.unwrap_or(2)));
+            i.dyn_dead = dead;
+        }
+    }
+    i
+}
+
+#[test]
+fn ace_bits_never_exceed_entry_budgets() {
+    let mut r = SimRng::seed_from_u64(0xACE0);
+    for _ in 0..2_000 {
+        let inst = arb_inst(&mut r);
+        for kind in [DeallocKind::Committed, DeallocKind::Squashed] {
+            assert!(classify::iq_ace_bits(&inst, kind) <= budgets::iq::ENTRY);
+            assert!(classify::rob_ace_bits(&inst, kind) <= budgets::rob::ENTRY);
+            assert!(classify::lsq_tag_ace_bits(&inst, kind) <= budgets::lsq::TAG_ENTRY);
+            assert!(classify::lsq_data_ace_bits(&inst, kind) <= budgets::lsq::DATA_ENTRY);
+            assert!(classify::fu_ace_bits(&inst, kind) <= budgets::fu::ENTRY);
+        }
+    }
+}
+
+#[test]
+fn squashed_is_always_unace() {
+    let mut r = SimRng::seed_from_u64(0xACE1);
+    for _ in 0..2_000 {
+        let inst = arb_inst(&mut r);
+        for s in StructureId::ALL {
+            assert_eq!(
+                classify::lifecycle_ace_bits(s, &inst, DeallocKind::Squashed),
+                0
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_ace_dominates_dead_variant() {
+    // Marking an instruction dynamically dead can only reduce ACE bits.
+    let mut r = SimRng::seed_from_u64(0xACE2);
+    for _ in 0..2_000 {
+        let inst = arb_inst(&mut r);
+        if inst.dest.is_none() || inst.wrong_path {
+            continue;
+        }
+        let mut dead = inst.clone();
+        dead.dyn_dead = true;
+        let mut live = inst;
+        live.dyn_dead = false;
+        for s in StructureId::ALL {
+            assert!(
+                classify::lifecycle_ace_bits(s, &dead, DeallocKind::Committed)
+                    <= classify::lifecycle_ace_bits(s, &live, DeallocKind::Committed)
+            );
+        }
+    }
+}
+
+#[test]
+fn tracker_avf_is_bounded_and_additive() {
+    let mut r = SimRng::seed_from_u64(0xACE3);
+    for _ in 0..200 {
+        let total_bits = r.range_u64(100, 10_000);
+        let cycles = r.range_u64(1_000, 10_000);
+        let mut t = ResidencyTracker::new(StructureId::Iq, 4);
+        t.set_total_bits(total_bits);
+        let mut expected: u128 = 0;
+        for _ in 0..r.range_usize(0, 50) {
+            let thread = r.range_u64(0, 4) as u8;
+            let bits = r.range_u64(1, 100).min(total_bits); // physical bound
+            let dur = r.range_u64(1, 50);
+            t.bank(ThreadId(thread), bits, dur);
+            expected += bits as u128 * dur as u128;
+        }
+        assert_eq!(t.total_ace_bit_cycles(), expected);
+        let per_thread: f64 = (0..4).map(|i| t.thread_avf(ThreadId(i), cycles)).sum();
+        assert!((per_thread - t.avf(cycles)).abs() < 1e-9);
+        assert!(t.avf(cycles) >= 0.0);
+    }
+}
+
+#[test]
+fn engine_reset_zeroes_accumulators() {
+    let mut r = SimRng::seed_from_u64(0xACE4);
+    for _ in 0..200 {
+        let mut e = AvfEngine::new(2);
+        for s in StructureId::ALL {
+            e.set_total_bits(s, 1_000);
+        }
+        for _ in 0..r.range_usize(1, 30) {
+            let s = StructureId::ALL[r.range_usize(0, 10)];
+            let th = r.range_u64(0, 2) as u8;
+            e.bank(s, ThreadId(th), r.range_u64(1, 100), r.range_u64(1, 50));
+        }
+        e.reset();
+        let report = e.finish(1_000, vec![10, 10]);
+        for s in StructureId::ALL {
+            assert_eq!(report.structure(s).avf, 0.0);
+            // Budgets survive the reset.
+            assert_eq!(report.structure(s).total_bits, 1_000);
+        }
+    }
+}

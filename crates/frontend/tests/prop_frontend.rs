@@ -1,0 +1,146 @@
+//! Seeded property tests for fetch policies and predictors under arbitrary
+//! telemetry and training streams.
+
+use sim_frontend::{fetch_priority, Btb, Gshare, Ras, ThreadTelemetry};
+use sim_model::{FetchPolicyKind, SimRng};
+use std::collections::{HashMap, HashSet};
+
+fn arb_telemetry(r: &mut SimRng) -> Vec<ThreadTelemetry> {
+    let n = r.range_usize(1, 9);
+    (0..n)
+        .map(|_| {
+            let in_flight = r.range_u64(0, 200) as u32;
+            ThreadTelemetry {
+                active: r.gen_bool(0.5),
+                in_flight,
+                outstanding_l1_misses: r.range_u64(0, 4) as u32,
+                outstanding_l2_misses: r.range_u64(0, 3) as u32,
+                predicted_l1_misses: r.range_u64(0, 4) as u32,
+                predicted_l2_misses: r.range_u64(0, 3) as u32,
+                iq_occupancy: in_flight.min(96),
+            }
+        })
+        .collect()
+}
+
+fn all_policies() -> Vec<FetchPolicyKind> {
+    FetchPolicyKind::STUDIED
+        .into_iter()
+        .chain(FetchPolicyKind::EXTENSIONS)
+        .chain([FetchPolicyKind::RoundRobin])
+        .collect()
+}
+
+#[test]
+fn priority_is_a_duplicate_free_subset_of_active_threads() {
+    let mut r = SimRng::seed_from_u64(0xFE01);
+    for _ in 0..400 {
+        let tele = arb_telemetry(&mut r);
+        let rr = r.range_usize(0, 8);
+        let threshold = r.range_u64(1, 4) as u32;
+        for policy in all_policies() {
+            let order = fetch_priority(policy, threshold, 12, rr, &tele);
+            let mut seen = HashSet::new();
+            for id in &order {
+                assert!(seen.insert(*id), "{policy:?}: duplicate {id}");
+                assert!(id.index() < tele.len());
+                assert!(
+                    tele[id.index()].active,
+                    "{policy:?}: inactive thread fetched"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stall_like_policies_never_starve_everyone() {
+    let mut r = SimRng::seed_from_u64(0xFE02);
+    for _ in 0..400 {
+        let tele = arb_telemetry(&mut r);
+        let threshold = r.range_u64(1, 4) as u32;
+        let any_active = tele.iter().any(|t| t.active);
+        for policy in [
+            FetchPolicyKind::Stall,
+            FetchPolicyKind::PredictiveStall,
+            FetchPolicyKind::DWarn,
+            FetchPolicyKind::Icount,
+        ] {
+            let order = fetch_priority(policy, threshold, 12, 0, &tele);
+            assert_eq!(
+                order.is_empty(),
+                !any_active,
+                "{policy:?} starved all active threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn icount_order_is_sorted_by_in_flight() {
+    let mut r = SimRng::seed_from_u64(0xFE03);
+    for _ in 0..400 {
+        let tele = arb_telemetry(&mut r);
+        let order = fetch_priority(FetchPolicyKind::Icount, 2, 12, 0, &tele);
+        for pair in order.windows(2) {
+            assert!(tele[pair[0].index()].in_flight <= tele[pair[1].index()].in_flight);
+        }
+    }
+}
+
+#[test]
+fn gshare_counters_stay_saturated() {
+    let mut r = SimRng::seed_from_u64(0xFE04);
+    for _ in 0..20 {
+        let mut g = Gshare::new(1024, 10);
+        for _ in 0..r.range_usize(0, 2_000) {
+            let pc = r.range_u64(0, 4096);
+            g.update(pc * 4, r.gen_bool(0.5));
+            // predict never panics and history stays masked.
+            let _ = g.predict(pc * 4);
+            assert!(g.history() < 1024);
+        }
+    }
+}
+
+#[test]
+fn btb_returns_what_was_stored_most_recently() {
+    let mut r = SimRng::seed_from_u64(0xFE05);
+    for _ in 0..50 {
+        let mut btb = Btb::new(2048, 4);
+        let mut last = HashMap::new();
+        for _ in 0..r.range_usize(1, 200) {
+            let pc = r.range_u64(0, 256);
+            let target = r.range_u64(0, 100_000);
+            btb.update(pc * 4, target);
+            last.insert(pc * 4, target);
+        }
+        // A 2048-entry BTB holds all 256 distinct PCs: lookups must match.
+        for (pc, target) in last {
+            assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+}
+
+#[test]
+fn ras_behaves_like_a_bounded_stack() {
+    let mut r = SimRng::seed_from_u64(0xFE06);
+    for _ in 0..50 {
+        let mut ras = Ras::new(32);
+        let mut model: Vec<u64> = Vec::new();
+        for _ in 0..r.range_usize(0, 200) {
+            if r.gen_bool(0.5) {
+                let addr = r.range_u64(1, 1_000_000);
+                ras.push(addr);
+                model.push(addr);
+                if model.len() > 32 {
+                    model.remove(0); // oldest clobbered
+                }
+            } else {
+                let expect = model.pop();
+                assert_eq!(ras.pop(), expect);
+            }
+            assert_eq!(ras.len(), model.len());
+        }
+    }
+}

@@ -41,6 +41,8 @@ impl CacheStats {
 #[derive(Debug, Clone, Copy)]
 struct WordState {
     last_event: u64,
+    /// Fault injection: this word's stored value is corrupt.
+    poisoned: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -64,9 +66,29 @@ impl Line {
             owner: ThreadId(0),
             lru: 0,
             tag_last: 0,
-            words: vec![WordState { last_event: 0 }; words_per_line],
+            words: vec![
+                WordState {
+                    last_event: 0,
+                    poisoned: false,
+                };
+                words_per_line
+            ],
         }
     }
+}
+
+/// Effect of an injected tag-array fault (see [`Cache::inject_tag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagInject {
+    /// The struck line was invalid: nothing to corrupt.
+    Empty,
+    /// The struck bit is architecturally idle (LRU state, or a dirty bit
+    /// flipping clean data to "dirty").
+    Benign,
+    /// A clean line was lost; the next access refills it from below.
+    CleanInvalidate,
+    /// A dirty line was lost; its words' only good copies are gone.
+    DirtyLost,
 }
 
 /// A set-associative write-back cache.
@@ -86,6 +108,10 @@ pub struct Cache {
     stats: CacheStats,
     data_target: Option<StructureId>,
     tag_target: Option<StructureId>,
+    /// Word addresses whose only good copy was lost (poisoned dirty data
+    /// written back, or dirty lines dropped by an injected tag fault); the
+    /// hierarchy drains these into its stale-memory set.
+    poison_spill: Vec<u64>,
 }
 
 /// Result of a single cache lookup.
@@ -101,6 +127,8 @@ pub struct LookupResult {
     /// Thread that owned the written-back victim line, when `writeback` is
     /// set (so the next level attributes the line correctly).
     pub writeback_owner: Option<ThreadId>,
+    /// A read touched a word whose value is corrupt (fault injection).
+    pub poisoned: bool,
 }
 
 impl Cache {
@@ -134,6 +162,7 @@ impl Cache {
             stats: CacheStats::default(),
             data_target,
             tag_target,
+            poison_spill: Vec::new(),
         }
     }
 
@@ -247,8 +276,10 @@ impl Cache {
                 }
                 line.tag_last = now;
             }
+            let mut poisoned = false;
             match kind {
                 AccessKind::Read => {
+                    poisoned = line.words[w0..=w1].iter().any(|ws| ws.poisoned);
                     // The interval since each word's previous event is ACE:
                     // the value had to survive to be consumed now.
                     if ace {
@@ -271,6 +302,7 @@ impl Cache {
                     line.owner = thread;
                     for w in w0..=w1 {
                         line.words[w].last_event = now;
+                        line.words[w].poisoned = false;
                     }
                 }
             }
@@ -279,6 +311,7 @@ impl Cache {
                 writeback: false,
                 writeback_addr: None,
                 writeback_owner: None,
+                poisoned,
             };
         }
 
@@ -305,6 +338,15 @@ impl Cache {
             let wb_owner = if wb { Some(line.owner) } else { None };
             if wb {
                 self.stats.writebacks += 1;
+                // Poisoned words of a dirty victim propagate their corrupt
+                // values into the next level: record them as stale.
+                if let Some(base) = wb_addr {
+                    for (w, ws) in line.words.iter().enumerate() {
+                        if ws.poisoned {
+                            self.poison_spill.push(base + 8 * w as u64);
+                        }
+                    }
+                }
                 // The *entire* line is written back, so every word must
                 // survive until now — a strike on a clean word would be
                 // propagated over the good copy below. The tag too (it
@@ -332,6 +374,10 @@ impl Cache {
             line.tag_last = now;
             for ws in &mut line.words {
                 ws.last_event = now;
+                // A clean victim's poison is healed by the fill; whether the
+                // *new* line's words are stale is decided by the hierarchy
+                // (it knows which memory words have lost their good copy).
+                ws.poisoned = false;
             }
             (wb, wb_addr, wb_owner)
         };
@@ -340,7 +386,128 @@ impl Cache {
             writeback,
             writeback_addr,
             writeback_owner,
+            poisoned: false,
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection
+    // -----------------------------------------------------------------
+
+    /// Number of physical lines (valid or not), the fault-injection entry
+    /// space.
+    pub fn total_lines(&self) -> u64 {
+        self.cfg.num_lines()
+    }
+
+    /// Tracked words per line.
+    pub fn words_per_line(&self) -> usize {
+        self.words_per_line
+    }
+
+    fn line_at(&mut self, line_idx: u64) -> &mut Line {
+        let assoc = self.cfg.assoc as u64;
+        let set = (line_idx / assoc) as usize;
+        let way = (line_idx % assoc) as usize;
+        &mut self.sets[set][way]
+    }
+
+    fn line_base(&self, line_idx: u64) -> u64 {
+        let assoc = self.cfg.assoc as u64;
+        let set = line_idx / assoc;
+        let index_bits = self.index_mask.count_ones();
+        let tag = {
+            let way = (line_idx % assoc) as usize;
+            self.sets[set as usize][way].tag
+        };
+        ((tag << index_bits) | set) << self.offset_bits
+    }
+
+    /// Flip a bit in data word `word` of physical line `line_idx`: the word
+    /// now holds a corrupt value. Returns `false` (nothing to corrupt) if
+    /// the line is invalid.
+    pub fn inject_data_word(&mut self, line_idx: u64, word: usize) -> bool {
+        let line = self.line_at(line_idx);
+        if !line.valid {
+            return false;
+        }
+        let w = word.min(line.words.len() - 1);
+        line.words[w].poisoned = true;
+        true
+    }
+
+    /// Flip tag-array bit `bit` of physical line `line_idx`.
+    pub fn inject_tag(&mut self, line_idx: u64, bit: u64) -> TagInject {
+        let base = {
+            let line = self.line_at(line_idx);
+            if !line.valid {
+                return TagInject::Empty;
+            }
+            if bit >= 22 {
+                // Replacement-state bits: performance-only.
+                return TagInject::Benign;
+            }
+            if bit == 21 && !line.dirty {
+                // Clean line spuriously marked dirty: the eventual
+                // write-back rewrites the identical data.
+                self.line_at(line_idx).dirty = true;
+                return TagInject::Benign;
+            }
+            self.line_base(line_idx)
+        };
+        // Address-tag, valid or (for a dirty line) dirty bit: the line can no
+        // longer be found (or its write-back is lost / misdirected). Model as
+        // an invalidation; a dirty victim's words lose their only good copy.
+        let words_per_line = self.words_per_line;
+        let line = self.line_at(line_idx);
+        let was_dirty = line.dirty;
+        line.valid = false;
+        line.dirty = false;
+        for ws in &mut line.words {
+            ws.poisoned = false;
+        }
+        if was_dirty {
+            for w in 0..words_per_line {
+                self.poison_spill.push(base + 8 * w as u64);
+            }
+            TagInject::DirtyLost
+        } else {
+            TagInject::CleanInvalidate
+        }
+    }
+
+    /// Drain the word addresses whose good copy was lost (see
+    /// `poison_spill`).
+    pub fn drain_poison_spill(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.poison_spill)
+    }
+
+    /// Mark words of the (just-filled) line containing `addr` poisoned when
+    /// their backing-memory copy is stale.
+    pub fn poison_words_from(&mut self, addr: u64, stale: &std::collections::HashSet<u64>) {
+        if stale.is_empty() {
+            return;
+        }
+        let set = self.index_of(addr);
+        let tag = self.tag_of(addr);
+        let index_bits = self.index_mask.count_ones();
+        let offset_bits = self.offset_bits;
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+            let base = ((line.tag << index_bits) | set as u64) << offset_bits;
+            for (w, ws) in line.words.iter_mut().enumerate() {
+                if stale.contains(&(base + 8 * w as u64)) {
+                    ws.poisoned = true;
+                }
+            }
+        }
+    }
+
+    /// Whether any resident word is poisoned (residual-corruption check).
+    pub fn has_poison(&self) -> bool {
+        self.sets
+            .iter()
+            .flatten()
+            .any(|l| l.valid && l.words.iter().any(|w| w.poisoned))
     }
 
     /// Probe without updating state or accounting (used by PDG's miss

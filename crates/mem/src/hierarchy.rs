@@ -1,10 +1,11 @@
 //! The three-level memory hierarchy of Table 1: split L1s, unified L2,
 //! main memory, and I/D TLBs.
 
-use crate::cache::{AccessKind, Cache, CacheStats};
+use crate::cache::{AccessKind, Cache, CacheStats, TagInject};
 use crate::tlb::{Tlb, TlbStats};
 use avf_core::{AvfEngine, StructureId};
 use sim_model::{MachineConfig, ThreadId};
+use std::collections::HashSet;
 
 /// Outcome of one memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,8 @@ pub struct AccessResult {
     pub l2_hit: bool,
     /// Did the TLB translation hit?
     pub tlb_hit: bool,
+    /// Did a read consume a word whose value is corrupt (fault injection)?
+    pub poisoned: bool,
 }
 
 impl AccessResult {
@@ -41,6 +44,10 @@ pub struct MemoryHierarchy {
     itlb: Tlb,
     dtlb: Tlb,
     memory_latency: u32,
+    /// Fault injection: word addresses whose copy below the DL1 is corrupt
+    /// (a poisoned dirty line was written back, or a dirty line was lost to
+    /// a tag fault). Refills of these words re-enter the DL1 poisoned.
+    stale_words: HashSet<u64>,
 }
 
 impl MemoryHierarchy {
@@ -76,6 +83,7 @@ impl MemoryHierarchy {
             itlb: Tlb::new(cfg.itlb, Some(StructureId::Itlb)),
             dtlb: Tlb::new(cfg.dtlb, Some(StructureId::Dtlb)),
             memory_latency: cfg.memory_latency,
+            stale_words: HashSet::new(),
         }
     }
 
@@ -125,6 +133,7 @@ impl MemoryHierarchy {
             l1_hit: l1.hit,
             l2_hit,
             tlb_hit,
+            poisoned: false,
         }
     }
 
@@ -206,12 +215,82 @@ impl MemoryHierarchy {
             self.l2
                 .access(owner, victim, line, AccessKind::Write, now, engine);
         }
+        // Fault-injection bookkeeping. Poisoned words carried by a dirty
+        // victim are now the below-DL1 copy; a miss fill picks poison back
+        // up from the stale set; a store's new value heals the word
+        // everywhere (the fresh DL1 copy shadows the levels below until the
+        // write-back overwrites them).
+        self.stale_words.extend(self.dl1.drain_poison_spill());
+        let word_addrs = |a: u64, s: u8| {
+            let first = a & !7;
+            let last = (a + s.max(1) as u64 - 1) & !7;
+            (first..=last).step_by(8)
+        };
+        let poisoned = match kind {
+            AccessKind::Write => {
+                for w in word_addrs(addr, size) {
+                    self.stale_words.remove(&w);
+                }
+                false
+            }
+            AccessKind::Read => {
+                if l1.hit {
+                    l1.poisoned
+                } else {
+                    self.dl1.poison_words_from(addr, &self.stale_words);
+                    word_addrs(addr, size).any(|w| self.stale_words.contains(&w))
+                }
+            }
+        };
         AccessResult {
             latency,
             l1_hit: l1.hit,
             l2_hit,
             tlb_hit,
+            poisoned,
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection
+    // -----------------------------------------------------------------
+
+    /// Physical DL1 lines (the data/tag fault-injection entry space).
+    pub fn dl1_total_lines(&self) -> u64 {
+        self.dl1.total_lines()
+    }
+
+    /// Tracked 64-bit words per DL1 line.
+    pub fn dl1_words_per_line(&self) -> usize {
+        self.dl1.words_per_line()
+    }
+
+    /// Poison one DL1 data word; `false` if the struck line was invalid.
+    pub fn inject_dl1_data(&mut self, line_idx: u64, word: usize) -> bool {
+        self.dl1.inject_data_word(line_idx, word)
+    }
+
+    /// Strike bit `bit` of a DL1 tag entry (see [`Cache::inject_tag`]).
+    pub fn inject_dl1_tag(&mut self, line_idx: u64, bit: u64) -> TagInject {
+        let r = self.dl1.inject_tag(line_idx, bit);
+        self.stale_words.extend(self.dl1.drain_poison_spill());
+        r
+    }
+
+    /// Invalidate a DTLB entry; `false` if it was already invalid.
+    pub fn inject_dtlb(&mut self, entry_idx: u64) -> bool {
+        self.dtlb.inject_entry(entry_idx)
+    }
+
+    /// Invalidate an ITLB entry; `false` if it was already invalid.
+    pub fn inject_itlb(&mut self, entry_idx: u64) -> bool {
+        self.itlb.inject_entry(entry_idx)
+    }
+
+    /// Residual-corruption check: any poisoned resident DL1 word, or any
+    /// word whose only good copy was lost below the DL1.
+    pub fn has_poison(&self) -> bool {
+        !self.stale_words.is_empty() || self.dl1.has_poison()
     }
 
     /// Whether a data access at `addr` would hit the DL1 right now (used by

@@ -108,6 +108,23 @@ impl Tlb {
         }
     }
 
+    /// Fault injection: invalidate physical entry `entry_idx` (over
+    /// `sets * assoc` slots). Returns `false` if the slot was already
+    /// invalid (nothing to corrupt). A lost translation is refilled by the
+    /// next page walk, and translation is modeled as an identity mapping,
+    /// so an injected TLB fault perturbs timing only.
+    pub fn inject_entry(&mut self, entry_idx: u64) -> bool {
+        let assoc = self.cfg.assoc as u64;
+        let set = (entry_idx / assoc) as usize % self.sets.len();
+        let way = (entry_idx % assoc) as usize;
+        let e = &mut self.sets[set][way];
+        if !e.valid {
+            return false;
+        }
+        e.valid = false;
+        true
+    }
+
     /// Translate `addr` for `thread` at cycle `now` (architecturally live).
     /// See [`Tlb::translate_with`].
     pub fn translate(

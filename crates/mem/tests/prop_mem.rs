@@ -1,0 +1,121 @@
+//! Seeded property tests for the cache and TLB models under random access
+//! streams.
+
+use avf_core::{AvfEngine, StructureId};
+use sim_mem::{AccessKind, Cache, MemoryHierarchy, Tlb};
+use sim_model::{MachineConfig, SimRng, ThreadId};
+
+fn arb_accesses(r: &mut SimRng) -> Vec<(u64, u8, bool, ThreadId)> {
+    let n = r.range_usize(1, 300);
+    (0..n)
+        .map(|_| {
+            let size = [1u8, 2, 4, 8][r.range_usize(0, 4)];
+            let addr = r.range_u64(0, 1_000_000) & !(size as u64 - 1);
+            (
+                addr,
+                size,
+                r.gen_bool(0.5),
+                ThreadId(r.range_u64(0, 2) as u8),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn cache_ace_accounting_is_bounded() {
+    let mut r = SimRng::seed_from_u64(0x3E01);
+    for _ in 0..64 {
+        let accesses = arb_accesses(&mut r);
+        let cfg = MachineConfig::ispass07_baseline().dl1;
+        let mut c = Cache::new(
+            "DL1",
+            cfg,
+            Some(StructureId::Dl1Data),
+            Some(StructureId::Dl1Tag),
+        );
+        let mut e = AvfEngine::new(2);
+        c.configure_avf(&mut e);
+        let mut now = 0u64;
+        for &(addr, size, write, th) in &accesses {
+            now += 7;
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            c.access(th, addr, size.into(), kind, now, &mut e);
+        }
+        c.finalize(now, &mut e);
+        // Banked residency can never exceed the physical array-bits × time.
+        let span = now as u128;
+        let data_bits = (cfg.num_lines() * cfg.line_bytes as u64 * 8) as u128;
+        assert!(e.tracker(StructureId::Dl1Data).total_ace_bit_cycles() <= data_bits * span);
+        let tag = e.tracker(StructureId::Dl1Tag);
+        assert!(tag.total_ace_bit_cycles() <= tag.total_bits() as u128 * span);
+        // Hit/miss counters are consistent.
+        let s = c.stats();
+        assert_eq!(s.accesses, accesses.len() as u64);
+        assert!(s.misses <= s.accesses);
+        assert!(s.writebacks <= s.misses);
+    }
+}
+
+#[test]
+fn accessed_address_becomes_resident() {
+    let mut r = SimRng::seed_from_u64(0x3E02);
+    for _ in 0..64 {
+        let accesses = arb_accesses(&mut r);
+        let cfg = MachineConfig::ispass07_baseline().dl1;
+        let mut c = Cache::new("DL1", cfg, None, None);
+        let mut e = AvfEngine::new(2);
+        let mut now = 0;
+        for &(addr, size, write, th) in &accesses {
+            now += 1;
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            c.access(th, addr, size.into(), kind, now, &mut e);
+            assert!(c.would_hit(addr), "just-accessed address must be resident");
+        }
+    }
+}
+
+#[test]
+fn tlb_miss_rate_and_ace_are_consistent() {
+    let mut r = SimRng::seed_from_u64(0x3E03);
+    for _ in 0..64 {
+        let accesses = arb_accesses(&mut r);
+        let cfg = MachineConfig::ispass07_baseline().dtlb;
+        let mut tlb = Tlb::new(cfg, Some(StructureId::Dtlb));
+        let mut e = AvfEngine::new(2);
+        tlb.configure_avf(&mut e);
+        let mut now = 0u64;
+        for &(addr, _, _, th) in &accesses {
+            now += 3;
+            tlb.translate(th, addr, now, &mut e);
+        }
+        let s = tlb.stats();
+        assert_eq!(s.accesses, accesses.len() as u64);
+        assert!(s.misses >= 1, "first access always misses");
+        let tr = e.tracker(StructureId::Dtlb);
+        assert!(tr.total_ace_bit_cycles() <= tr.total_bits() as u128 * now as u128);
+    }
+}
+
+#[test]
+fn hierarchy_latencies_are_monotonic_in_miss_depth() {
+    let mut r = SimRng::seed_from_u64(0x3E04);
+    for _ in 0..256 {
+        let cfg = MachineConfig::ispass07_baseline();
+        let mut m = MemoryHierarchy::new(&cfg);
+        let mut e = AvfEngine::new(1);
+        let addr = r.range_u64(0, 10_000_000) & !7;
+        let cold = m.data_read(ThreadId(0), addr, 8, 0, true, &mut e);
+        let warm = m.data_read(ThreadId(0), addr, 8, 10, true, &mut e);
+        assert!(cold.latency > warm.latency);
+        assert!(warm.l1_hit && warm.tlb_hit);
+        assert_eq!(warm.latency, cfg.dl1.hit_latency);
+    }
+}

@@ -22,6 +22,7 @@ pub mod config;
 pub mod ids;
 pub mod inst;
 pub mod perthread;
+pub mod rng;
 
 pub use config::{
     CacheConfig, FetchPolicyKind, FunctionalUnitConfig, MachineConfig, PredictorConfig, TlbConfig,
@@ -29,3 +30,4 @@ pub use config::{
 pub use ids::{ArchReg, PhysReg, SeqNum, ThreadId};
 pub use inst::{BranchKind, Inst, MemRef, OpClass};
 pub use perthread::PerThread;
+pub use rng::SimRng;

@@ -1,6 +1,7 @@
 //! The SMT core: fetch → dispatch → issue → execute → commit, with
 //! deferred ACE-bit banking at every structure.
 
+use crate::inject::{Fault, FaultState, FaultTarget, Landing, RetiredInst};
 use crate::resources::{FreeList, FuPool, IssueQueue, RegTracker};
 use crate::result::{SimResult, ThreadStats};
 use crate::slot::{FrontEndInst, Slot, SlotState};
@@ -86,6 +87,8 @@ pub struct SmtCore<S = TraceGenerator> {
     measure_mem0: MemSnapshot,
     /// Optional AVF phase-behavior recorder.
     phases: Option<avf_core::PhaseRecorder>,
+    /// Fault-injection bookkeeping (poisoned registers, commit log).
+    faults: FaultState,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -182,6 +185,7 @@ impl<S: InstSource> SmtCore<S> {
         );
         let iq = IssueQueue::new(cfg.iq_entries);
         let n = cfg.contexts;
+        let cfg2 = (cfg.int_phys_regs, cfg.fp_phys_regs);
         SmtCore {
             cfg,
             cycle: 0,
@@ -206,6 +210,7 @@ impl<S: InstSource> SmtCore<S> {
             measure_thread0: vec![(0, 0, 0, 0); n],
             measure_mem0: MemSnapshot::default(),
             phases: None,
+            faults: FaultState::new(cfg2.0, cfg2.1),
         }
     }
 
@@ -441,6 +446,21 @@ impl<S: InstSource> SmtCore<S> {
         assert!(!inst.wrong_path, "wrong-path op reached commit");
         let k = DeallocKind::Committed;
 
+        // Fault injection: a tainted retirement is an architectural-output
+        // corruption; the commit log is the diffable record of it.
+        if slot.tainted {
+            self.faults.corrupt_retired += 1;
+        }
+        if let Some(log) = &mut self.faults.commit_log {
+            log.push(RetiredInst {
+                thread: t as u8,
+                pc: inst.pc,
+                op: inst.op,
+                mem_addr: inst.mem.map(|m| m.addr).unwrap_or(0),
+                tainted: slot.tainted,
+            });
+        }
+
         // ROB residency.
         self.avf.bank_split(
             StructureId::Rob,
@@ -506,6 +526,7 @@ impl<S: InstSource> SmtCore<S> {
             };
             regs.on_free(old, &mut self.avf);
             free.free(old);
+            self.faults.poison(fp)[old.index()] = false;
         }
         self.threads[t].committed += 1;
         self.total_committed += 1;
@@ -534,6 +555,7 @@ impl<S: InstSource> SmtCore<S> {
             let counted_pred_l2 = std::mem::take(&mut slot.counted_pred_l2);
             let mispredicted = slot.mispredicted;
             let dest_phys = slot.dest_phys;
+            let tainted = slot.tainted;
 
             let th = &mut self.threads[t];
             if counted_l1 {
@@ -552,11 +574,15 @@ impl<S: InstSource> SmtCore<S> {
             // data from write-back onward.
             if let Some(p) = dest_phys {
                 let value_ace = !(inst.dyn_dead || inst.wrong_path);
-                if inst.dest.expect("phys without arch dest").is_fp() {
+                let fp = inst.dest.expect("phys without arch dest").is_fp();
+                if fp {
                     self.fp_regs.on_write(p, now, value_ace);
                 } else {
                     self.int_regs.on_write(p, now, value_ace);
                 }
+                // A tainted producer writes a corrupt value; a clean one
+                // heals whatever the register held before.
+                self.faults.poison(fp)[p.index()] = tainted;
             }
             // Resolve mispredicted branches: squash the wrong path.
             if inst.op.is_branch() && mispredicted {
@@ -650,6 +676,16 @@ impl<S: InstSource> SmtCore<S> {
             slot.state = SlotState::Issued;
             slot.issued_at = now;
             slot.in_iq = false;
+            // Fault injection: consuming a corrupt source value corrupts
+            // this instruction's result.
+            for (i, phys) in slot.srcs_phys.iter().enumerate() {
+                if let Some(p) = phys {
+                    let arch = slot.inst.srcs[i].expect("phys src without arch src");
+                    if self.faults.poison(arch.is_fp())[p.index()] {
+                        slot.tainted = true;
+                    }
+                }
+            }
             let slot_snapshot = slot.clone();
             self.record_reads(&slot_snapshot, now);
             let th = &mut self.threads[t];
@@ -684,6 +720,9 @@ impl<S: InstSource> SmtCore<S> {
                             .update(slot_snapshot.inst.pc, access.is_l2_miss());
                         let slot = th.slot_mut(e.ftag).unwrap();
                         slot.exec_latency = 1;
+                        if access.poisoned {
+                            slot.tainted = true; // loaded a corrupt word
+                        }
                         if access.is_l1_miss() {
                             slot.counted_l1 = true;
                         }
@@ -842,6 +881,7 @@ impl<S: InstSource> SmtCore<S> {
                 regs.on_squash(p);
                 regs.on_free(p, &mut self.avf);
                 free.free(p);
+                self.faults.poison(arch.is_fp())[p.index()] = false;
                 self.threads[t].rename[arch.index()] =
                     slot.old_phys.expect("dest without old mapping");
             }
@@ -956,6 +996,9 @@ impl<S: InstSource> SmtCore<S> {
                     };
                     let p = free.alloc().expect("checked availability above");
                     regs.on_alloc(p, id);
+                    // A reallocated register no longer holds the old
+                    // (possibly corrupt) value.
+                    self.faults.poison(arch.is_fp())[p.index()] = false;
                     slot.dest_phys = Some(p);
                     slot.old_phys = Some(self.threads[t].rename[arch.index()]);
                     self.threads[t].rename[arch.index()] = p;
@@ -1105,6 +1148,322 @@ impl<S: InstSource> SmtCore<S> {
                     break;
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (see `crate::inject` and the `sim-inject` crate)
+// ---------------------------------------------------------------------
+
+impl<S: InstSource> SmtCore<S> {
+    /// Cycles elapsed since the last commit — the hang detector for fault
+    /// trials (an injected fault can wedge the scheduler).
+    pub fn cycles_since_last_commit(&self) -> u64 {
+        self.cycle - self.last_commit_cycle
+    }
+
+    /// Start recording the retired-instruction stream (the diffable
+    /// architectural output proxy).
+    pub fn enable_commit_log(&mut self) {
+        self.faults.commit_log = Some(Vec::new());
+    }
+
+    /// Take the recorded commit log, if recording was enabled.
+    pub fn take_commit_log(&mut self) -> Option<Vec<RetiredInst>> {
+        self.faults.commit_log.take()
+    }
+
+    /// A strike landed on control state classified as hardware-detectable.
+    pub fn fault_detected(&self) -> bool {
+        self.faults.detected
+    }
+
+    /// Instructions that retired with corrupt results so far.
+    pub fn corrupt_retired(&self) -> u64 {
+        self.faults.corrupt_retired
+    }
+
+    /// Corrupt state still latent in the machine: poisoned registers,
+    /// tainted in-flight instructions, or poisoned/stale memory words.
+    pub fn residual_corruption(&self) -> bool {
+        self.faults.any_poison()
+            || self.mem.has_poison()
+            || self
+                .threads
+                .iter()
+                .any(|th| th.rob.iter().any(|s| s.tainted))
+    }
+
+    /// Flip one bit *now*: apply `fault` to the current microarchitectural
+    /// state and report what the strike landed on. Entry indices are
+    /// uniform over each array's physical entries, so strikes on empty or
+    /// architecturally idle state return [`Landing::Empty`] /
+    /// [`Landing::Benign`] — exactly the derating the ACE model accounts
+    /// for analytically.
+    ///
+    /// Wrong-path occupants return [`Landing::Benign`]: the squash that
+    /// removes them discards the corrupt entry wholesale (and the matching
+    /// ACE classification is un-ACE).
+    pub fn inject_fault(&mut self, fault: &Fault) -> Landing {
+        match fault.target {
+            FaultTarget::Iq => self.inject_iq(fault.entry, fault.bit),
+            FaultTarget::Rob => self.inject_rob(fault.entry, fault.bit),
+            FaultTarget::LsqTag => self.inject_lsq(fault.entry, fault.bit),
+            FaultTarget::RegFile => self.inject_regfile(fault.entry),
+            FaultTarget::Fu => self.inject_fu(fault.entry, fault.bit),
+            FaultTarget::Dl1Data => {
+                let word = (fault.bit / 64) as usize % self.mem.dl1_words_per_line();
+                if self.mem.inject_dl1_data(fault.entry, word) {
+                    Landing::Injected
+                } else {
+                    Landing::Empty
+                }
+            }
+            FaultTarget::Dl1Tag => match self.mem.inject_dl1_tag(fault.entry, fault.bit % 24) {
+                sim_mem::TagInject::Empty => Landing::Empty,
+                sim_mem::TagInject::Benign => Landing::Benign,
+                // The refill restores the lost clean line; only timing
+                // changes. Run the trial anyway: that is the measurement.
+                sim_mem::TagInject::CleanInvalidate => Landing::Injected,
+                sim_mem::TagInject::DirtyLost => Landing::Injected,
+            },
+            FaultTarget::Dtlb => {
+                // A lost translation is refilled by the page walk; with the
+                // model's identity mapping the refill is identical, so these
+                // strikes measure as masked — the gap to the nonzero ACE
+                // estimate is the model's conservatism on TLBs.
+                if self.mem.inject_dtlb(fault.entry) {
+                    Landing::Injected
+                } else {
+                    Landing::Empty
+                }
+            }
+            FaultTarget::Itlb => {
+                if self.mem.inject_itlb(fault.entry) {
+                    Landing::Injected
+                } else {
+                    Landing::Empty
+                }
+            }
+        }
+    }
+
+    /// Mark control-state corruption as a detectable fault.
+    fn detect(&mut self) -> Landing {
+        self.faults.detected = true;
+        Landing::Detected
+    }
+
+    fn inject_iq(&mut self, entry: u64, bit: u64) -> Landing {
+        let occupied = self.iq.by_age();
+        let Some(e) = occupied.get(entry as usize) else {
+            return Landing::Empty; // struck an unoccupied IQ entry
+        };
+        let (thread, ftag) = (e.thread, e.ftag);
+        let t = thread.index();
+        let int_pool = self.cfg.int_phys_regs;
+        let fp_pool = self.cfg.fp_phys_regs;
+        let slot = self.threads[t].slot_mut(ftag).expect("IQ entry has a slot");
+        if slot.inst.wrong_path {
+            return Landing::Benign;
+        }
+        let b = bit % budgets::iq::ENTRY;
+        // Entry layout: opcode | src0 | src1 | dest tag | immediate | status.
+        let src_end = budgets::iq::OPCODE + 2 * budgets::iq::SRC_TAG;
+        let dest_end = src_end + budgets::iq::DEST_TAG;
+        let imm_end = dest_end + budgets::iq::IMMEDIATE;
+        if b < budgets::iq::OPCODE {
+            // A corrupted opcode decodes as a different/illegal operation.
+            self.detect()
+        } else if b < src_end {
+            let idx = ((b - budgets::iq::OPCODE) / budgets::iq::SRC_TAG) as usize;
+            let tag_bit = (b - budgets::iq::OPCODE) % budgets::iq::SRC_TAG;
+            let Some(p) = slot.srcs_phys[idx] else {
+                return Landing::Benign; // the op has no such source
+            };
+            let pool = if slot.inst.srcs[idx].expect("arch src").is_fp() {
+                fp_pool
+            } else {
+                int_pool
+            };
+            let flipped = (p.0 ^ (1 << tag_bit.min(15))) as u32 % pool;
+            if flipped == p.0 as u32 {
+                return Landing::Benign;
+            }
+            // The op now waits on — and reads — the wrong register: its
+            // result is corrupt, and it may wait forever (hang → detected).
+            slot.srcs_phys[idx] = Some(PhysReg(flipped as u16));
+            slot.tainted = true;
+            Landing::Injected
+        } else if b < dest_end {
+            if slot.dest_phys.is_none() {
+                return Landing::Benign;
+            }
+            // The result is steered to the wrong physical register.
+            slot.tainted = true;
+            Landing::Injected
+        } else if b < imm_end {
+            if slot.inst.dyn_dead {
+                return Landing::Benign;
+            }
+            if slot.inst.op.is_mem() {
+                // The effective address changes: flip an address bit above
+                // the word offset (accesses stay 8-byte aligned).
+                if let Some(m) = &mut slot.inst.mem {
+                    m.addr ^= 1 << (3 + (b - dest_end) % 34);
+                }
+                slot.tainted = true;
+                Landing::Injected
+            } else if slot.inst.op.is_branch() {
+                // A corrupted branch displacement misdirects fetch.
+                self.detect()
+            } else {
+                slot.tainted = true;
+                Landing::Injected
+            }
+        } else {
+            // Scheduling status. For an instruction whose result is dead
+            // the scramble only perturbs timing; for a live one the issue
+            // logic misfires.
+            if slot.inst.dyn_dead || slot.inst.op == OpClass::Nop {
+                Landing::Benign
+            } else {
+                self.detect()
+            }
+        }
+    }
+
+    fn inject_rob(&mut self, entry: u64, bit: u64) -> Landing {
+        let per = self.cfg.rob_entries_per_thread as u64;
+        let t = (entry / per) as usize % self.threads.len();
+        let idx = (entry % per) as usize;
+        let Some(slot) = self.threads[t].rob.get_mut(idx) else {
+            return Landing::Empty;
+        };
+        if slot.inst.wrong_path {
+            return Landing::Benign;
+        }
+        let b = bit % budgets::rob::ENTRY;
+        let arch_end = budgets::rob::PC + budgets::rob::DEST_ARCH;
+        let dest_end = arch_end + budgets::rob::DEST_PHYS;
+        let old_end = dest_end + budgets::rob::OLD_PHYS;
+        let status_end = old_end + budgets::rob::STATUS;
+        let opcode_end = status_end + budgets::rob::OPCODE;
+        if b < budgets::rob::PC {
+            // The architectural PC record changes: visible in the retired
+            // stream unless the instruction's execution is dead anyway.
+            if slot.inst.dyn_dead {
+                return Landing::Benign;
+            }
+            slot.inst.pc ^= 1 << (b % 32);
+            Landing::Injected
+        } else if b < old_end {
+            // Destination arch/phys or previous-mapping tag: the value ends
+            // up in (or frees) the wrong register.
+            if slot.dest_phys.is_none() {
+                return Landing::Benign;
+            }
+            slot.tainted = true;
+            Landing::Injected
+        } else if b < opcode_end {
+            // Status and opcode corruption break retirement control for
+            // live *and* dead instructions (the ROB still sequences them) —
+            // the same fields the ACE model keeps ACE for dead ops.
+            self.detect()
+        } else {
+            // Branch-state bits.
+            if slot.inst.op.is_branch() {
+                slot.tainted = true;
+                Landing::Injected
+            } else {
+                Landing::Benign
+            }
+        }
+    }
+
+    fn inject_lsq(&mut self, entry: u64, bit: u64) -> Landing {
+        let per = self.cfg.lsq_entries_per_thread as u64;
+        let t = (entry / per) as usize % self.threads.len();
+        let idx = (entry % per) as usize;
+        let Some(slot) = self.threads[t].rob.iter_mut().filter(|s| s.in_lsq).nth(idx) else {
+            return Landing::Empty;
+        };
+        if slot.inst.wrong_path {
+            return Landing::Benign;
+        }
+        let b = bit % budgets::lsq::TAG_ENTRY;
+        if b < budgets::lsq::ADDR {
+            if slot.inst.dyn_dead {
+                return Landing::Benign;
+            }
+            // The access address changes: a load reads (or has read) the
+            // wrong data, a store retires to the wrong location.
+            if let Some(m) = &mut slot.inst.mem {
+                m.addr ^= 1 << (3 + b % 34);
+            }
+            slot.tainted = true;
+            Landing::Injected
+        } else {
+            // Load/store control state (op kind, size, ordering flags).
+            self.detect()
+        }
+    }
+
+    fn inject_regfile(&mut self, entry: u64) -> Landing {
+        let int_pool = self.cfg.int_phys_regs as u64;
+        let fp_pool = self.cfg.fp_phys_regs as u64;
+        let e = entry % (int_pool + fp_pool);
+        let (fp, reg) = if e < int_pool {
+            (false, PhysReg(e as u16))
+        } else {
+            (true, PhysReg((e - int_pool) as u16))
+        };
+        let written = if fp {
+            self.fp_regs.is_ready(reg)
+        } else {
+            self.int_regs.is_ready(reg)
+        };
+        if !written {
+            // Free, or allocated but not yet written: the bits are idle and
+            // the eventual write overwrites the flip.
+            return Landing::Empty;
+        }
+        self.faults.poison(fp)[reg.index()] = true;
+        Landing::Injected
+    }
+
+    fn inject_fu(&mut self, entry: u64, bit: u64) -> Landing {
+        let now = self.cycle;
+        // Instructions currently holding a functional-unit latch: issued,
+        // and still inside their occupancy window (one cycle for pipelined
+        // units, the full latency for dividers) — the same window the ACE
+        // accounting banks.
+        let mut executing: Vec<(usize, u64)> = Vec::new();
+        for (t, th) in self.threads.iter().enumerate() {
+            for s in &th.rob {
+                if s.state == SlotState::Issued
+                    && s.inst.op != OpClass::Nop
+                    && s.issued_at + s.exec_latency.max(1) >= now
+                {
+                    executing.push((t, s.ftag));
+                }
+            }
+        }
+        let Some(&(t, ftag)) = executing.get(entry as usize) else {
+            return Landing::Empty;
+        };
+        let slot = self.threads[t].slot_mut(ftag).expect("listed slot");
+        if slot.inst.wrong_path || slot.inst.dyn_dead {
+            return Landing::Benign;
+        }
+        if bit % budgets::fu::ENTRY < 128 {
+            // Operand latch: the in-flight computation is corrupt.
+            slot.tainted = true;
+            Landing::Injected
+        } else {
+            // FU control (op select, stage valid bits).
+            self.detect()
         }
     }
 }

@@ -1,0 +1,156 @@
+//! Statistical fault-injection hooks: single-bit fault descriptions, the
+//! immediate landing outcome of a strike, and the retired-instruction
+//! records the campaign runner diffs against a golden run.
+//!
+//! The ACE analysis (the paper's method) *infers* vulnerability from
+//! lifetime accounting; these hooks let `sim-inject` *measure* it by
+//! flipping one bit mid-simulation and watching what retires. The core
+//! models corruption symbolically: a struck value is marked *tainted*
+//! rather than numerically altered, and taint propagates along true
+//! dataflow — through register reads, loads of poisoned cache words, and
+//! stores — exactly the paths the ACE model reasons about. Fields whose
+//! corruption the simulator cannot meaningfully propagate (opcodes,
+//! scheduling status, LSQ control) are conservatively classified as
+//! *detected* at injection time, the hardware-detectable-error (DUE)
+//! proxy.
+
+use sim_model::OpClass;
+
+/// The microarchitectural array a fault strikes. Entry/bit layouts follow
+/// `avf_core::budgets`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// Issue-queue entry (64-bit layout: opcode, source tags, dest tag,
+    /// immediate, status).
+    Iq,
+    /// Reorder-buffer entry (80-bit layout: PC, dest arch/phys, old phys,
+    /// status, opcode, branch state). Entries are numbered
+    /// `thread * rob_entries_per_thread + index`.
+    Rob,
+    /// Load/store queue *tag* entry (48-bit layout: address + control),
+    /// numbered `thread * lsq_entries_per_thread + index`.
+    LsqTag,
+    /// A physical register (64 data bits), numbered across the integer
+    /// pool then the floating-point pool.
+    RegFile,
+    /// A functional-unit latch (two 64-bit operand latches + 16 control
+    /// bits), numbered over the machine's functional units.
+    Fu,
+    /// A DL1 data word: entry is the physical line (`set * assoc + way`),
+    /// bit selects the 64-bit word and bit within it.
+    Dl1Data,
+    /// A DL1 tag entry (address tag, valid, dirty, LRU bits).
+    Dl1Tag,
+    /// A data-TLB entry (any of its 56 bits: the entry is lost).
+    Dtlb,
+    /// An instruction-TLB entry.
+    Itlb,
+}
+
+impl FaultTarget {
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTarget::Iq => "IQ",
+            FaultTarget::Rob => "ROB",
+            FaultTarget::LsqTag => "LSQ_tag",
+            FaultTarget::RegFile => "RegFile",
+            FaultTarget::Fu => "FU",
+            FaultTarget::Dl1Data => "DL1_data",
+            FaultTarget::Dl1Tag => "DL1_tag",
+            FaultTarget::Dtlb => "DTLB",
+            FaultTarget::Itlb => "ITLB",
+        }
+    }
+}
+
+/// One single-bit fault: flip `bit` of physical `entry` in `target` at the
+/// moment [`SmtCore::inject_fault`](crate::SmtCore::inject_fault) is
+/// called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The struck array.
+    pub target: FaultTarget,
+    /// Physical entry index (uniform over the array, occupied or not).
+    pub entry: u64,
+    /// Bit within the entry's budgeted layout.
+    pub bit: u64,
+}
+
+/// What a strike did at the instant of injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Landing {
+    /// The struck entry held no instruction / no valid state: the fault is
+    /// masked by emptiness.
+    Empty,
+    /// The entry was occupied but the struck field is architecturally idle
+    /// for it (e.g. the branch field of a non-branch, a dead instruction's
+    /// PC): masked by construction, no need to run further.
+    Benign,
+    /// State was corrupted; the outcome depends on propagation — the trial
+    /// must run to completion and be diffed against the golden run.
+    Injected,
+    /// The strike hit control state whose corruption a real pipeline traps
+    /// on or wedges over (opcode, scheduling status, LSQ control): counted
+    /// as a detectable error without running further.
+    Detected,
+}
+
+/// One retired instruction as recorded by the commit log: the fields an
+/// architectural-output diff can observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredInst {
+    /// Committing thread.
+    pub thread: u8,
+    /// Instruction PC.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Effective address for memory ops (0 otherwise).
+    pub mem_addr: u64,
+    /// The retired result was corrupt (taint reached commit) — a silent
+    /// data corruption even if the visible fields match.
+    pub tainted: bool,
+}
+
+/// Per-core fault bookkeeping: which physical registers hold corrupt
+/// values, whether a detectable fault fired, and the optional commit log.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// Integer physical registers holding corrupt values.
+    pub(crate) int_poison: Vec<bool>,
+    /// Floating-point physical registers holding corrupt values.
+    pub(crate) fp_poison: Vec<bool>,
+    /// A control-state strike classified as detectable landed.
+    pub(crate) detected: bool,
+    /// Instructions that retired with corrupt results.
+    pub(crate) corrupt_retired: u64,
+    /// Retired-instruction stream, recorded when enabled.
+    pub(crate) commit_log: Option<Vec<RetiredInst>>,
+}
+
+impl FaultState {
+    pub(crate) fn new(int_regs: u32, fp_regs: u32) -> FaultState {
+        FaultState {
+            int_poison: vec![false; int_regs as usize],
+            fp_poison: vec![false; fp_regs as usize],
+            detected: false,
+            corrupt_retired: 0,
+            commit_log: None,
+        }
+    }
+
+    /// The poison table for one register class.
+    pub(crate) fn poison(&mut self, fp: bool) -> &mut Vec<bool> {
+        if fp {
+            &mut self.fp_poison
+        } else {
+            &mut self.int_poison
+        }
+    }
+
+    /// Any register still holding a corrupt, unconsumed value?
+    pub(crate) fn any_poison(&self) -> bool {
+        self.int_poison.iter().chain(&self.fp_poison).any(|&p| p)
+    }
+}

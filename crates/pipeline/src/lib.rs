@@ -36,10 +36,12 @@
 //! ```
 
 pub mod core;
+pub mod inject;
 pub mod resources;
 pub mod result;
 pub mod slot;
 pub mod thread;
 
 pub use crate::core::{SimBudget, SmtCore};
+pub use inject::{Fault, FaultTarget, Landing, RetiredInst};
 pub use result::SimResult;

@@ -67,6 +67,9 @@ pub struct Slot {
     pub counted_pred: bool,
     /// Load counted in the thread's PSTALL predicted-L2-miss counter.
     pub counted_pred_l2: bool,
+    /// Fault injection: this instruction consumed or produced a corrupt
+    /// value (its result, if any, is corrupt).
+    pub tainted: bool,
 }
 
 impl Slot {
@@ -90,6 +93,7 @@ impl Slot {
             counted_l2: false,
             counted_pred: fe.predicted_miss,
             counted_pred_l2: fe.predicted_l2_miss,
+            tainted: false,
         }
     }
 

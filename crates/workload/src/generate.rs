@@ -9,9 +9,7 @@
 //! region.
 
 use crate::profile::BenchmarkProfile;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sim_model::{ArchReg, BranchKind, Inst, MemRef, OpClass, SeqNum};
+use sim_model::{ArchReg, BranchKind, Inst, MemRef, OpClass, SeqNum, SimRng};
 use std::collections::{HashMap, VecDeque};
 
 /// Depth of the recent-writer window used for dependence sampling.
@@ -31,8 +29,8 @@ struct CallFrame {
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     profile: BenchmarkProfile,
-    rng: SmallRng,
-    wrong_path_rng: SmallRng,
+    rng: SimRng,
+    wrong_path_rng: SimRng,
     /// Per-thread salt for PC-keyed structural hashing.
     salt: u64,
     seq: SeqNum,
@@ -70,9 +68,9 @@ impl TraceGenerator {
         let data_base = 0x1_0000_0000u64 + ((seed & 0xFF) << 36) + ((mixed >> 16) & 0xFF_FFC0);
         let mut gen = TraceGenerator {
             profile,
-            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             salt: mixed,
-            wrong_path_rng: SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
+            wrong_path_rng: SimRng::seed_from_u64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
             seq: SeqNum(0),
             pc: code_base,
             code_base,
@@ -163,7 +161,7 @@ impl TraceGenerator {
         // Geometric with the profile's mean, at least 1.
         let mean = self.profile.branch.mean_loop_iters.max(1.0);
         let p = 1.0 / mean;
-        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        let u: f64 = self.rng.range_f64(1e-12, 1.0);
         ((u.ln() / (1.0 - p).max(1e-12).ln()).floor() as u32).clamp(1, 100_000)
     }
 
@@ -199,17 +197,17 @@ impl TraceGenerator {
         // values over windows of hundreds of instructions, which is what
         // gives the register file its substantial ACE residency.
         if fp {
-            ArchReg::fp(self.rng.gen_range(0..31))
+            ArchReg::fp(self.rng.range_u64(0, 31) as u8)
         } else {
-            ArchReg::int(self.rng.gen_range(0..31))
+            ArchReg::int(self.rng.range_u64(0, 31) as u8)
         }
     }
 
     fn pick_dest(&mut self, fp: bool) -> (ArchReg, bool) {
         let reg = if fp {
-            ArchReg::fp(self.rng.gen_range(1..31))
+            ArchReg::fp(self.rng.range_u64(1, 31) as u8)
         } else {
-            ArchReg::int(self.rng.gen_range(1..31))
+            ArchReg::int(self.rng.range_u64(1, 31) as u8)
         };
         let dead = self.rng.gen_bool(self.profile.dyn_dead_fraction);
         let window = if fp {
@@ -226,7 +224,7 @@ impl TraceGenerator {
 
     fn sample_address(&mut self) -> u64 {
         let m = self.profile.memory;
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.next_f64();
         let (region_base, region_size, streaming, ptr) = if r < m.hot_fraction {
             (0u64, m.hot_bytes.max(64), false, None)
         } else if r < m.hot_fraction + m.warm_fraction {
@@ -256,10 +254,10 @@ impl TraceGenerator {
                     self.warm_ptr = (self.warm_ptr + m.stride) % region_size;
                     self.warm_ptr
                 }
-                None => self.rng.gen_range(0..region_size),
+                None => self.rng.range_u64(0, region_size),
             }
         } else {
-            self.rng.gen_range(0..region_size)
+            self.rng.range_u64(0, region_size)
         };
         self.data_base + region_base + (offset & !7)
     }
@@ -448,23 +446,23 @@ impl TraceGenerator {
     pub fn wrong_path_inst(&mut self, pc: u64, seq: SeqNum) -> Inst {
         let mut inst = Inst::nop(pc, seq);
         inst.wrong_path = true;
-        let r: f64 = self.wrong_path_rng.gen();
+        let r: f64 = self.wrong_path_rng.next_f64();
         if r < 0.55 {
             inst.op = OpClass::IntAlu;
             inst.srcs = [
-                Some(ArchReg::int(self.wrong_path_rng.gen_range(0..31))),
-                Some(ArchReg::int(self.wrong_path_rng.gen_range(0..31))),
+                Some(ArchReg::int(self.wrong_path_rng.range_u64(0, 31) as u8)),
+                Some(ArchReg::int(self.wrong_path_rng.range_u64(0, 31) as u8)),
             ];
-            inst.dest = Some(ArchReg::int(self.wrong_path_rng.gen_range(1..31)));
+            inst.dest = Some(ArchReg::int(self.wrong_path_rng.range_u64(1, 31) as u8));
         } else if r < 0.80 {
             inst.op = OpClass::Load;
             inst.srcs = [
-                Some(ArchReg::int(self.wrong_path_rng.gen_range(0..31))),
+                Some(ArchReg::int(self.wrong_path_rng.range_u64(0, 31) as u8)),
                 None,
             ];
-            inst.dest = Some(ArchReg::int(self.wrong_path_rng.gen_range(1..31)));
+            inst.dest = Some(ArchReg::int(self.wrong_path_rng.range_u64(1, 31) as u8));
             let span = (self.profile.memory.hot_bytes + self.profile.memory.warm_bytes).max(64);
-            let off = self.wrong_path_rng.gen_range(0..span) & !7;
+            let off = self.wrong_path_rng.range_u64(0, span) & !7;
             inst.mem = Some(MemRef::new(self.data_base + off, 8));
         } else {
             inst.op = OpClass::Nop;

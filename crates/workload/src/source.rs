@@ -8,9 +8,7 @@
 //! downstream users can plug in traces captured from real workloads.
 
 use crate::generate::TraceGenerator;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sim_model::{ArchReg, Inst, MemRef, OpClass, SeqNum};
+use sim_model::{ArchReg, Inst, MemRef, OpClass, SeqNum, SimRng};
 
 /// A per-thread instruction stream with wrong-path synthesis.
 pub trait InstSource {
@@ -57,7 +55,7 @@ pub struct RecordedTrace {
     insts: Vec<Inst>,
     cursor: usize,
     seq: u64,
-    wrong_rng: SmallRng,
+    wrong_rng: SimRng,
 }
 
 impl RecordedTrace {
@@ -100,7 +98,7 @@ impl RecordedTrace {
             insts,
             cursor: 0,
             seq: 0,
-            wrong_rng: SmallRng::seed_from_u64(0x7261_6365_7472_6163),
+            wrong_rng: SimRng::seed_from_u64(0x7261_6365_7472_6163),
         }
     }
 
@@ -164,23 +162,23 @@ impl InstSource for RecordedTrace {
         if self.wrong_rng.gen_bool(0.7) {
             inst.op = OpClass::IntAlu;
             inst.srcs = [
-                Some(ArchReg::int(self.wrong_rng.gen_range(0..31))),
-                Some(ArchReg::int(self.wrong_rng.gen_range(0..31))),
+                Some(ArchReg::int(self.wrong_rng.range_u64(0, 31) as u8)),
+                Some(ArchReg::int(self.wrong_rng.range_u64(0, 31) as u8)),
             ];
-            inst.dest = Some(ArchReg::int(self.wrong_rng.gen_range(1..31)));
+            inst.dest = Some(ArchReg::int(self.wrong_rng.range_u64(1, 31) as u8));
         } else {
             inst.op = OpClass::Load;
-            inst.srcs = [Some(ArchReg::int(self.wrong_rng.gen_range(0..31))), None];
-            inst.dest = Some(ArchReg::int(self.wrong_rng.gen_range(1..31)));
+            inst.srcs = [
+                Some(ArchReg::int(self.wrong_rng.range_u64(0, 31) as u8)),
+                None,
+            ];
+            inst.dest = Some(ArchReg::int(self.wrong_rng.range_u64(1, 31) as u8));
             let base = self
                 .insts
                 .iter()
                 .find_map(|i| i.mem.map(|m| m.addr))
                 .unwrap_or(0x1_0000_0000);
-            inst.mem = Some(MemRef::new(
-                base + self.wrong_rng.gen_range(0..4096u64) * 8,
-                8,
-            ));
+            inst.mem = Some(MemRef::new(base + self.wrong_rng.range_u64(0, 4096) * 8, 8));
         }
         inst
     }

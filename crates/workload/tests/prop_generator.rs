@@ -1,0 +1,101 @@
+//! Seeded property tests for the synthetic trace generator: any known
+//! profile and seed must yield a well-formed, PC-continuous,
+//! bounded-footprint stream.
+
+use sim_model::{BranchKind, SimRng};
+use sim_workload::{all_profiles, TraceGenerator};
+
+#[test]
+fn streams_are_well_formed_and_continuous() {
+    let mut r = SimRng::seed_from_u64(0x6E01);
+    let profiles = all_profiles();
+    for _ in 0..32 {
+        let p = profiles[r.range_usize(0, profiles.len())].clone();
+        let seed = r.range_u64(0, 1_000);
+        let mut g = TraceGenerator::new(p, seed);
+        let mut prev: Option<sim_model::Inst> = None;
+        for _ in 0..3_000 {
+            let i = g.next_inst();
+            assert!(i.is_well_formed(), "{i:?}");
+            if let Some(prev) = prev {
+                if prev.op.is_branch() && prev.taken {
+                    assert_eq!(i.pc, prev.target);
+                } else {
+                    assert_eq!(i.pc, prev.pc + 4);
+                }
+            }
+            prev = Some(i);
+        }
+    }
+}
+
+#[test]
+fn static_instructions_are_pc_stable() {
+    // Revisiting a PC must re-yield the same operation class (that is what
+    // makes the synthetic code "static code").
+    let mut r = SimRng::seed_from_u64(0x6E02);
+    let profiles = all_profiles();
+    for _ in 0..24 {
+        let p = profiles[r.range_usize(0, profiles.len())].clone();
+        let mut g = TraceGenerator::new(p, r.range_u64(0, 500));
+        let mut seen: std::collections::HashMap<u64, sim_model::OpClass> =
+            std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            let i = g.next_inst();
+            // Control decisions at block ends are role-dependent (a loop
+            // back-edge still terminates the block); body ops must be
+            // PC-stable.
+            if !i.op.is_branch() {
+                if let Some(&prev_op) = seen.get(&i.pc) {
+                    assert_eq!(prev_op, i.op, "pc {:#x} changed class", i.pc);
+                } else {
+                    seen.insert(i.pc, i.op);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn call_depth_is_bounded_and_balanced() {
+    let mut r = SimRng::seed_from_u64(0x6E03);
+    let profiles = all_profiles();
+    for _ in 0..16 {
+        let p = profiles[r.range_usize(0, profiles.len())].clone();
+        let mut g = TraceGenerator::new(p, r.range_u64(0, 200));
+        let mut depth = 0i64;
+        for _ in 0..20_000 {
+            let i = g.next_inst();
+            match i.branch_kind {
+                BranchKind::Call => depth += 1,
+                BranchKind::Return => depth -= 1,
+                _ => {}
+            }
+            assert!((0..=8).contains(&depth));
+        }
+    }
+}
+
+#[test]
+fn wrong_path_stream_is_independent_of_when_its_sampled() {
+    let mut r = SimRng::seed_from_u64(0x6E04);
+    let profiles = all_profiles();
+    for _ in 0..16 {
+        let p = profiles[r.range_usize(0, profiles.len())].clone();
+        let seed = r.range_u64(0, 200);
+        let split = r.range_usize(1, 50);
+        let mut a = TraceGenerator::new(p.clone(), seed);
+        let mut b = TraceGenerator::new(p, seed);
+        // Interleave wrong-path synthesis differently in the two copies.
+        for k in 0..split {
+            let _ = a.next_inst();
+            let _ = b.next_inst();
+            if k % 2 == 0 {
+                let _ = a.wrong_path_inst(0x100, sim_model::SeqNum(k as u64));
+            }
+        }
+        for _ in 0..200 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+}

@@ -34,7 +34,7 @@ fn main() {
         cfg.iq_entries = iq;
         cfg.int_phys_regs = regs;
         cfg.fp_phys_regs = regs;
-        let r = run_workload_on(&cfg, &workload, budget);
+        let r = run_workload_on(&cfg, &workload, budget).expect("table2 programs are profiled");
         println!(
             "{:<22} {:>6.3} {:>7.1}% {:>7.1}% {:>7.1}%",
             name,

@@ -29,7 +29,7 @@ fn main() {
         .into_iter()
         .chain(FetchPolicyKind::EXTENSIONS)
     {
-        let r = run_workload(&workload, policy, budget);
+        let r = run_workload(&workload, policy, budget).expect("table2 programs are profiled");
         println!(
             "{:<8} {:>6.3} {:>7.1}% {:>7.1}% {:>7.1}% {:>9.1}% {:>12.1}",
             policy.label(),

@@ -21,7 +21,8 @@ fn main() {
     // 40k warm-up + 60k measured instructions per thread.
     let budget = SimBudget::total_instructions(60_000 * workload.contexts as u64)
         .with_warmup(40_000 * workload.contexts as u64);
-    let result = run_workload(&workload, FetchPolicyKind::Icount, budget);
+    let result = run_workload(&workload, FetchPolicyKind::Icount, budget)
+        .expect("table2 programs are profiled");
 
     println!(
         "\ncycles={}  IPC={:.3}  DL1 miss={:.1}%  L2 miss={:.1}%\n",

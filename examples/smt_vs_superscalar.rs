@@ -22,7 +22,7 @@ fn main() {
         "Comparing {} threads alone vs. concurrently...\n",
         workload.name
     );
-    let c = st_comparison(&workload, scale);
+    let c = st_comparison(&workload, scale).expect("table2 programs are profiled");
 
     println!(
         "{:<12} {:>9} {:>9} {:>9} {:>9}",

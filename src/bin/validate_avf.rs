@@ -1,0 +1,142 @@
+//! Cross-validate ACE-derived AVF against statistical fault injection.
+//!
+//! Runs an SFI campaign (default: 200 single-bit strikes per structure)
+//! and the ACE analysis over the same workload and measurement window,
+//! then prints the per-structure comparison table. See DESIGN.md §5c.
+//!
+//! ```text
+//! cargo run --release --bin validate_avf -- [--workload 2T-MIX-A]
+//!     [--trials 200] [--seed 12] [--workers N] [--scale quick|default]
+//! ```
+
+use smt_avf::experiments::campaign::{default_campaign, validate_workload};
+use smt_avf::ExperimentScale;
+use std::process::ExitCode;
+
+struct Options {
+    workload: String,
+    trials: usize,
+    seed: u64,
+    workers: usize,
+    scale: ExperimentScale,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workload: "2T-MIX-A".to_string(),
+        trials: 200,
+        seed: 12,
+        workers: 0, // 0 = auto
+        scale: ExperimentScale::quick(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--workload" => opts.workload = value("--workload")?,
+            "--trials" => {
+                opts.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--scale" => {
+                opts.scale = match value("--scale")?.as_str() {
+                    "quick" => ExperimentScale::quick(),
+                    "default" => ExperimentScale::default_scale(),
+                    other => return Err(format!("--scale: unknown scale '{other}'")),
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: validate_avf [--workload NAME] [--trials N] \
+                     [--seed S] [--workers W] [--scale quick|default]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if opts.trials == 0 {
+        return Err("--trials must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workload = match sim_workload::table2()
+        .into_iter()
+        .find(|w| w.name == opts.workload)
+    {
+        Some(w) => w,
+        None => {
+            eprintln!(
+                "unknown workload '{}'; Table 2 defines: {}",
+                opts.workload,
+                sim_workload::table2()
+                    .iter()
+                    .map(|w| w.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut campaign = default_campaign(&workload, opts.trials, opts.seed, opts.scale);
+    if opts.workers > 0 {
+        campaign.workers = opts.workers;
+    }
+    println!(
+        "SFI campaign: workload {}, {} trials/structure over {} structures, seed {}, {} workers",
+        workload.name,
+        campaign.trials_per_structure,
+        campaign.targets.len(),
+        campaign.seed,
+        campaign.workers,
+    );
+
+    let v = match validate_workload(&workload, &campaign) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (start, end) = v.campaign.window;
+    println!(
+        "golden window: cycles [{start}, {end}), {} instructions committed\n",
+        v.ace.report.total_committed()
+    );
+    print!("{}", v.render());
+    let masked: u64 = v.campaign.per_target.iter().map(|t| t.masked).sum();
+    let latent: u64 = v.campaign.per_target.iter().map(|t| t.latent).sum();
+    let sdc: u64 = v.campaign.per_target.iter().map(|t| t.sdc).sum();
+    let detected: u64 = v.campaign.per_target.iter().map(|t| t.detected).sum();
+    println!("\noutcomes: {masked} masked, {latent} latent, {sdc} SDC, {detected} detected");
+    if v.bound_holds() {
+        println!("ACE AVF upper-bounds the SFI estimate for every structure.");
+        ExitCode::SUCCESS
+    } else {
+        println!("BOUND VIOLATED: ACE AVF fell below an SFI lower confidence bound.");
+        ExitCode::FAILURE
+    }
+}

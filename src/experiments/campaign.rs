@@ -1,0 +1,152 @@
+//! SFI-vs-ACE cross-validation: run a statistical fault-injection
+//! campaign and the ACE analysis over the *same* workload, machine and
+//! measurement window, and compare the two vulnerability estimates
+//! (DESIGN.md §5c).
+//!
+//! The expected relationship is one-sided: the ACE-derived AVF is a
+//! conservative upper bound, so for every structure it should sit at or
+//! above the SFI estimate's lower confidence bound. A `VIOLATED` row in
+//! the rendered table means the ACE model under-counted somewhere.
+
+use crate::runner::{run_workload_on, workload_generators, RunError};
+use crate::scale::ExperimentScale;
+use avf_core::{compare, ComparisonRow};
+use sim_inject::{run_campaign, CampaignConfig, CampaignResult, InjectError};
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::{SimResult, SmtCore};
+use sim_workload::SmtWorkload;
+
+/// An error raised while cross-validating a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The reference (ACE) simulation could not be prepared.
+    Run(RunError),
+    /// The fault-injection campaign failed.
+    Inject(InjectError),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::Run(e) => write!(f, "reference run failed: {e}"),
+            ValidationError::Inject(e) => write!(f, "injection campaign failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl From<RunError> for ValidationError {
+    fn from(e: RunError) -> ValidationError {
+        ValidationError::Run(e)
+    }
+}
+
+impl From<InjectError> for ValidationError {
+    fn from(e: InjectError) -> ValidationError {
+        ValidationError::Inject(e)
+    }
+}
+
+/// The outcome of one cross-validation: the ACE reference run, the
+/// campaign, and the paired comparison rows.
+#[derive(Debug)]
+pub struct SfiValidation {
+    /// The validated workload.
+    pub workload: SmtWorkload,
+    /// The uninjected reference run whose report carries the ACE AVFs.
+    pub ace: SimResult,
+    /// The completed injection campaign.
+    pub campaign: CampaignResult,
+    /// Per-structure SFI estimate paired with its ACE AVF.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl SfiValidation {
+    /// Does `ACE AVF >= SFI lower bound` hold for every structure?
+    pub fn bound_holds(&self) -> bool {
+        self.rows.iter().all(|r| r.bound_holds)
+    }
+
+    /// The comparison as an aligned text table.
+    pub fn render(&self) -> String {
+        avf_core::render(&self.rows)
+    }
+}
+
+/// The standard campaign configuration for `workload`: `trials` injections
+/// per structure into the default target set, with the measurement window
+/// sized by `scale` exactly like the ACE experiments.
+pub fn default_campaign(
+    workload: &SmtWorkload,
+    trials: usize,
+    seed: u64,
+    scale: ExperimentScale,
+) -> CampaignConfig {
+    CampaignConfig::new(trials, seed, scale.budget(workload.contexts))
+}
+
+/// Cross-validate one workload under ICOUNT: run the injection campaign
+/// and the ACE reference with the same budget, then pair the estimates.
+pub fn validate_workload(
+    workload: &SmtWorkload,
+    campaign: &CampaignConfig,
+) -> Result<SfiValidation, ValidationError> {
+    // Resolve profiles once up front so the factory below cannot fail.
+    workload_generators(workload)?;
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let factory = || {
+        SmtCore::new(
+            cfg.clone(),
+            workload_generators(workload).expect("profiles resolved above"),
+        )
+    };
+    let result = run_campaign(factory, campaign)?;
+    let ace = run_workload_on(&cfg, workload, campaign.budget)?;
+    let rows = compare(&ace.report, &result.sfi_points());
+    Ok(SfiValidation {
+        workload: workload.clone(),
+        ace,
+        campaign: result,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_inject::FaultTarget;
+    use sim_workload::table2;
+
+    #[test]
+    fn validation_pairs_every_target() {
+        let w = table2().into_iter().find(|w| w.name == "2T-MIX-A").unwrap();
+        let mut cc = default_campaign(
+            &w,
+            4,
+            9,
+            ExperimentScale {
+                warmup_per_thread: 1_000,
+                measure_per_thread: 1_500,
+            },
+        );
+        cc.targets = vec![FaultTarget::Iq, FaultTarget::RegFile];
+        let v = validate_workload(&w, &cc).unwrap();
+        assert_eq!(v.rows.len(), 2);
+        assert_eq!(v.campaign.records.len(), 8);
+        assert!(v.ace.report.total_committed() > 0);
+        let text = v.render();
+        assert!(text.contains("IQ") && text.contains("Reg"));
+    }
+
+    #[test]
+    fn unknown_program_is_a_run_error() {
+        let mut w = table2().into_iter().find(|w| w.contexts == 2).unwrap();
+        w.programs[0] = "bogus";
+        let cc = default_campaign(&w, 1, 1, ExperimentScale::quick());
+        let err = validate_workload(&w, &cc).unwrap_err();
+        assert!(matches!(err, ValidationError::Run(_)));
+    }
+}

@@ -9,7 +9,7 @@
 //! both a sanity check that each synthetic profile lands in its declared
 //! class and the data a user needs to calibrate new profiles.
 
-use crate::runner::run_single_thread;
+use crate::runner::{run_single_thread, RunError};
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use sim_workload::{all_profiles, WorkloadClass};
@@ -45,7 +45,7 @@ impl Characterization {
 }
 
 /// Characterize every profiled benchmark at `scale`.
-pub fn characterize_all(scale: ExperimentScale) -> Vec<Characterization> {
+pub fn characterize_all(scale: ExperimentScale) -> Result<Vec<Characterization>, RunError> {
     all_profiles()
         .into_iter()
         .map(|p| {
@@ -54,22 +54,22 @@ pub fn characterize_all(scale: ExperimentScale) -> Vec<Characterization> {
                 0xC0FFEE,
                 sim_pipeline::SimBudget::total_instructions(scale.measure_per_thread)
                     .with_warmup(scale.warmup_per_thread),
-            );
-            Characterization {
+            )?;
+            Ok(Characterization {
                 name: p.name,
                 class: p.class,
                 ipc: r.ipc(),
                 dl1_miss_rate: r.dl1_miss_rate,
                 l2_miss_rate: r.l2_miss_rate,
                 mispredict_rate: r.threads[0].mispredict_rate,
-            }
+            })
         })
         .collect()
 }
 
 /// The characterization table (sorted CPU class first, then by name).
-pub fn characterize(scale: ExperimentScale) -> Table {
-    let mut rows = characterize_all(scale);
+pub fn characterize(scale: ExperimentScale) -> Result<Table, RunError> {
+    let mut rows = characterize_all(scale)?;
     rows.sort_by_key(|c| (c.class != WorkloadClass::Cpu, c.name));
     let mut t = Table::new(
         "Workload characterization — single-thread IPC and miss rates (Section 3 method)",
@@ -82,7 +82,7 @@ pub fn characterize(scale: ExperimentScale) -> Table {
             vec![c.ipc, c.dl1_miss_rate, c.l2_miss_rate, c.mispredict_rate],
         );
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -97,7 +97,7 @@ mod tests {
             warmup_per_thread: 150_000,
             measure_per_thread: 60_000,
         };
-        let rows = characterize_all(scale);
+        let rows = characterize_all(scale).unwrap();
         assert_eq!(rows.len(), all_profiles().len());
         for c in &rows {
             assert_eq!(
@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn cpu_class_is_faster_than_mem_class_on_average() {
         let scale = ExperimentScale::quick();
-        let rows = characterize_all(scale);
+        let rows = characterize_all(scale).unwrap();
         let avg = |class: WorkloadClass| {
             let v: Vec<f64> = rows
                 .iter()

@@ -5,7 +5,7 @@
 //! MIX workloads where thread diversity makes resource allocation matter.
 
 use super::{avg_avf, avg_efficiency, mean, workloads_of};
-use crate::runner::{run_workload, run_workload_on};
+use crate::runner::{run_workload, run_workload_on, RunError};
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::StructureId;
@@ -15,7 +15,11 @@ use sim_pipeline::SimResult;
 /// Design points compared by the extension study.
 const POINTS: [&str; 6] = ["ICOUNT", "FLUSH", "STALL", "PSTALL", "RAFT", "IQ-PART"];
 
-fn run_point(point: &str, contexts: usize, scale: ExperimentScale) -> Vec<SimResult> {
+fn run_point(
+    point: &str,
+    contexts: usize,
+    scale: ExperimentScale,
+) -> Result<Vec<SimResult>, RunError> {
     workloads_of(contexts, "MIX")
         .iter()
         .map(|w| match point {
@@ -43,13 +47,13 @@ fn run_point(point: &str, contexts: usize, scale: ExperimentScale) -> Vec<SimRes
 
 /// Run the extension study on the 4-context MIX workloads: per design
 /// point, IPC, IQ/ROB AVF, and IQ reliability efficiency.
-pub fn extensions(scale: ExperimentScale) -> Table {
+pub fn extensions(scale: ExperimentScale) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Extension study — Section 5 proposals on 4-context MIX workloads",
         &["IPC", "IQ AVF", "ROB AVF", "Reg AVF", "IQ IPC/AVF"],
     );
     for point in POINTS {
-        let runs = run_point(point, 4, scale);
+        let runs = run_point(point, 4, scale)?;
         let ipc = mean(&runs.iter().map(|r| r.ipc()).collect::<Vec<_>>());
         t.push(
             point,
@@ -62,7 +66,7 @@ pub fn extensions(scale: ExperimentScale) -> Table {
             ],
         );
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -71,7 +75,7 @@ mod tests {
 
     #[test]
     fn extension_points_all_run_and_improve_iq_avf() {
-        let t = extensions(ExperimentScale::quick());
+        let t = extensions(ExperimentScale::quick()).unwrap();
         assert_eq!(t.rows().len(), POINTS.len());
         let icount_iq = t.value("ICOUNT", "IQ AVF").unwrap();
         for point in ["PSTALL", "RAFT", "IQ-PART"] {

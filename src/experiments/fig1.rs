@@ -3,6 +3,7 @@
 //! workloads (average of groups A and B).
 
 use super::{avg_avf, run_mix, MIX_LABELS};
+use crate::runner::RunError;
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::StructureId;
@@ -11,7 +12,7 @@ use sim_pipeline::SimResult;
 
 /// Run the 4-context ICOUNT baselines Figures 1 and 2 share: one result
 /// set per mix label.
-pub fn baseline_mix_runs(scale: ExperimentScale) -> Vec<Vec<SimResult>> {
+pub fn baseline_mix_runs(scale: ExperimentScale) -> Result<Vec<Vec<SimResult>>, RunError> {
     MIX_LABELS
         .iter()
         .map(|mix| run_mix(4, mix, FetchPolicyKind::Icount, scale))
@@ -19,8 +20,8 @@ pub fn baseline_mix_runs(scale: ExperimentScale) -> Vec<Vec<SimResult>> {
 }
 
 /// Regenerate Figure 1.
-pub fn figure1(scale: ExperimentScale) -> Table {
-    figure1_from(&baseline_mix_runs(scale))
+pub fn figure1(scale: ExperimentScale) -> Result<Table, RunError> {
+    Ok(figure1_from(&baseline_mix_runs(scale)?))
 }
 
 /// Build Figure 1 from existing baseline runs.
@@ -45,7 +46,7 @@ mod tests {
 
     #[test]
     fn figure1_shape_matches_paper() {
-        let t = figure1(ExperimentScale::quick());
+        let t = figure1(ExperimentScale::quick()).unwrap();
         // Shared pipeline structures are more vulnerable on MEM workloads.
         assert!(t.value("IQ", "MEM").unwrap() > t.value("IQ", "CPU").unwrap());
         // FU and DL1 data AVF drop on MEM workloads.

@@ -3,14 +3,15 @@
 
 use super::fig1::baseline_mix_runs;
 use super::{avg_efficiency, MIX_LABELS};
+use crate::runner::RunError;
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::StructureId;
 use sim_pipeline::SimResult;
 
 /// Regenerate Figure 2.
-pub fn figure2(scale: ExperimentScale) -> Table {
-    figure2_from(&baseline_mix_runs(scale))
+pub fn figure2(scale: ExperimentScale) -> Result<Table, RunError> {
+    Ok(figure2_from(&baseline_mix_runs(scale)?))
 }
 
 /// Build Figure 2 from existing baseline runs (shared with Figure 1).
@@ -35,7 +36,7 @@ mod tests {
 
     #[test]
     fn cpu_workloads_have_best_reliability_efficiency() {
-        let t = figure2(ExperimentScale::quick());
+        let t = figure2(ExperimentScale::quick()).unwrap();
         // "SMT microarchitecture yields the highest reliability efficiency
         // on CPU-bound workloads" — check on the majority of structures.
         let mut cpu_wins = 0;

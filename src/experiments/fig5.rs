@@ -3,6 +3,7 @@
 //! structures (right panel), per workload mix.
 
 use super::{avg_avf, run_mix, MIX_LABELS};
+use crate::runner::RunError;
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::StructureId;
@@ -26,7 +27,7 @@ pub const MEMORY_PANEL: [StructureId; 4] = [
 
 /// Regenerate Figure 5 (both panels). Rows are `structure mix`, columns
 /// are context counts.
-pub fn figure5(scale: ExperimentScale) -> (Table, Table) {
+pub fn figure5(scale: ExperimentScale) -> Result<(Table, Table), RunError> {
     let contexts = [2usize, 4, 8];
     // (mix, ctx) -> results
     let runs: Vec<Vec<_>> = MIX_LABELS
@@ -35,9 +36,9 @@ pub fn figure5(scale: ExperimentScale) -> (Table, Table) {
             contexts
                 .iter()
                 .map(|&c| run_mix(c, mix, FetchPolicyKind::Icount, scale))
-                .collect()
+                .collect::<Result<_, _>>()
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let build = |title: &str, panel: &[StructureId]| {
         let mut t = Table::new(title, &["2T", "4T", "8T"]).percent();
         for &s in panel {
@@ -52,7 +53,7 @@ pub fn figure5(scale: ExperimentScale) -> (Table, Table) {
         }
         t
     };
-    (
+    Ok((
         build(
             "Figure 5a — Pipeline-structure AVF vs contexts",
             &PIPELINE_PANEL,
@@ -61,7 +62,7 @@ pub fn figure5(scale: ExperimentScale) -> (Table, Table) {
             "Figure 5b — Memory-structure AVF vs contexts",
             &MEMORY_PANEL,
         ),
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -70,7 +71,7 @@ mod tests {
 
     #[test]
     fn iq_avf_rises_with_contexts() {
-        let (pipe, mem) = figure5(ExperimentScale::quick());
+        let (pipe, mem) = figure5(ExperimentScale::quick()).unwrap();
         for mix in MIX_LABELS {
             let two = pipe.value(&format!("IQ {mix}"), "2T").unwrap();
             let eight = pipe.value(&format!("IQ {mix}"), "8T").unwrap();

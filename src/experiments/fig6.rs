@@ -3,6 +3,7 @@
 //! (panel b) workloads, per mix.
 
 use super::{mean, policy_sweep, SweepEntry, MIX_LABELS};
+use crate::runner::RunError;
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::StructureId;
@@ -10,8 +11,8 @@ use sim_model::FetchPolicyKind;
 
 /// Regenerate Figure 6 from a fresh policy sweep: one table per (context
 /// count, mix); rows are structures, columns are fetch policies.
-pub fn figure6(scale: ExperimentScale) -> Vec<Table> {
-    figure6_from(&policy_sweep(&[4, 8], scale))
+pub fn figure6(scale: ExperimentScale) -> Result<Vec<Table>, RunError> {
+    Ok(figure6_from(&policy_sweep(&[4, 8], scale)?))
 }
 
 /// Build the Figure 6 tables from an existing sweep (the `all` binary
@@ -60,7 +61,7 @@ mod tests {
 
     #[test]
     fn flush_collapses_iq_rob_lsq_avf_on_mem_workloads() {
-        let tables = figure6(ExperimentScale::quick());
+        let tables = figure6(ExperimentScale::quick()).unwrap();
         assert_eq!(tables.len(), 6);
         // 4-context MEM panel.
         let t = &tables[2];

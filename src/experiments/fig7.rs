@@ -2,6 +2,7 @@
 //! advanced fetch policies, normalized to the ICOUNT baseline.
 
 use super::{mean, policy_sweep, SweepEntry};
+use crate::runner::RunError;
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::StructureId;
@@ -18,9 +19,9 @@ pub const ADVANCED: [FetchPolicyKind; 5] = [
 
 /// Regenerate Figure 7 from a fresh policy sweep over the 4- and 8-context
 /// workloads.
-pub fn figure7(scale: ExperimentScale) -> Table {
-    let sweep = policy_sweep(&[4, 8], scale);
-    figure7_from(&sweep)
+pub fn figure7(scale: ExperimentScale) -> Result<Table, RunError> {
+    let sweep = policy_sweep(&[4, 8], scale)?;
+    Ok(figure7_from(&sweep))
 }
 
 /// Build the Figure 7 table from an existing sweep (shared with Figure 8).
@@ -89,7 +90,7 @@ mod tests {
 
     #[test]
     fn flush_improves_iq_reliability_efficiency() {
-        let t = figure7(ExperimentScale::quick());
+        let t = figure7(ExperimentScale::quick()).unwrap();
         let flush_iq = t.value("IQ", "FLUSH").unwrap();
         assert!(
             flush_iq > 1.0,

@@ -4,36 +4,43 @@
 
 use super::fig7::{normalized_metric, ADVANCED};
 use super::{policy_sweep, StIpcCache, SweepEntry};
+use crate::runner::RunError;
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::{metrics, StructureId};
 
 /// Regenerate both panels of Figure 8.
-pub fn figure8(scale: ExperimentScale) -> (Table, Table) {
-    let sweep = policy_sweep(&[4, 8], scale);
+pub fn figure8(scale: ExperimentScale) -> Result<(Table, Table), RunError> {
+    let sweep = policy_sweep(&[4, 8], scale)?;
     figure8_from(&sweep, scale)
 }
 
 /// Build Figure 8 from an existing sweep (shared with Figure 7).
-pub fn figure8_from(sweep: &[SweepEntry], scale: ExperimentScale) -> (Table, Table) {
+pub fn figure8_from(
+    sweep: &[SweepEntry],
+    scale: ExperimentScale,
+) -> Result<(Table, Table), RunError> {
     let mut st = StIpcCache::new(scale);
     // Precompute fairness metrics per sweep entry.
-    let fairness: Vec<(f64, f64)> = sweep
-        .iter()
-        .map(|e| {
-            let smt_ipc: Vec<f64> = e
-                .result
-                .thread_ipcs()
-                .iter()
-                .map(|&v| v.max(1e-6))
-                .collect();
-            let st_ipc: Vec<f64> = e.workload.programs.iter().map(|p| st.ipc(p)).collect();
-            (
-                metrics::weighted_speedup(&smt_ipc, &st_ipc),
-                metrics::harmonic_weighted_ipc(&smt_ipc, &st_ipc),
-            )
-        })
-        .collect();
+    let mut fairness: Vec<(f64, f64)> = Vec::with_capacity(sweep.len());
+    for e in sweep {
+        let smt_ipc: Vec<f64> = e
+            .result
+            .thread_ipcs()
+            .iter()
+            .map(|&v| v.max(1e-6))
+            .collect();
+        let st_ipc: Vec<f64> = e
+            .workload
+            .programs
+            .iter()
+            .map(|p| st.ipc(p))
+            .collect::<Result<_, _>>()?;
+        fairness.push((
+            metrics::weighted_speedup(&smt_ipc, &st_ipc),
+            metrics::harmonic_weighted_ipc(&smt_ipc, &st_ipc),
+        ));
+    }
     let idx = |e: &SweepEntry| {
         sweep
             .iter()
@@ -73,7 +80,7 @@ pub fn figure8_from(sweep: &[SweepEntry], scale: ExperimentScale) -> (Table, Tab
                 .collect(),
         );
     }
-    (a, b)
+    Ok((a, b))
 }
 
 #[cfg(test)]
@@ -82,7 +89,7 @@ mod tests {
 
     #[test]
     fn fairness_metrics_produce_finite_tables() {
-        let (a, b) = figure8(ExperimentScale::quick());
+        let (a, b) = figure8(ExperimentScale::quick()).unwrap();
         for t in [&a, &b] {
             assert_eq!(t.rows().len(), StructureId::FIGURE_SET.len());
             for (_, row) in t.rows() {

@@ -3,6 +3,7 @@
 //! memory-structure panel to the full hierarchy the framework tracks.
 
 use super::{avg_avf, run_mix, MIX_LABELS};
+use crate::runner::RunError;
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use avf_core::StructureId;
@@ -21,7 +22,7 @@ pub const HIERARCHY: [StructureId; 8] = [
 ];
 
 /// Run the memory-hierarchy AVF study (4 contexts, ICOUNT).
-pub fn memory_hierarchy(scale: ExperimentScale) -> Table {
+pub fn memory_hierarchy(scale: ExperimentScale) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Memory-hierarchy AVF (4 contexts, ICOUNT) — extension beyond Figure 1",
         &MIX_LABELS,
@@ -30,14 +31,17 @@ pub fn memory_hierarchy(scale: ExperimentScale) -> Table {
     let per_mix: Vec<_> = MIX_LABELS
         .iter()
         .map(|mix| run_mix(4, mix, FetchPolicyKind::Icount, scale))
-        .collect();
+        .collect::<Result<_, _>>()?;
     for s in HIERARCHY {
         t.push(
             s.label(),
-            per_mix.iter().map(|runs| avg_avf(runs, s)).collect(),
+            per_mix
+                .iter()
+                .map(|runs: &Vec<_>| avg_avf(runs, s))
+                .collect(),
         );
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -46,7 +50,7 @@ mod tests {
 
     #[test]
     fn hierarchy_avfs_are_sane() {
-        let t = memory_hierarchy(ExperimentScale::quick());
+        let t = memory_hierarchy(ExperimentScale::quick()).unwrap();
         assert_eq!(t.rows().len(), HIERARCHY.len());
         for (label, row) in t.rows() {
             for &v in row {

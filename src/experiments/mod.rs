@@ -6,6 +6,7 @@
 //! (`cargo run --release -p smt-avf-bench --bin fig1`), and EXPERIMENTS.md
 //! records measured-vs-paper shapes.
 
+pub mod campaign;
 pub mod characterize;
 pub mod extensions;
 pub mod fig1;
@@ -19,6 +20,7 @@ pub mod fig8;
 pub mod memhier;
 pub mod tables;
 
+pub use campaign::{default_campaign, validate_workload, SfiValidation, ValidationError};
 pub use characterize::{characterize, characterize_all, Characterization};
 pub use extensions::extensions;
 pub use fig1::figure1;
@@ -32,7 +34,7 @@ pub use fig8::figure8;
 pub use memhier::memory_hierarchy;
 pub use tables::{table1, table2_listing};
 
-use crate::runner::{run_single_thread, run_workload, workload_seed};
+use crate::runner::{run_single_thread, run_workload, workload_seed, RunError};
 use crate::scale::ExperimentScale;
 use avf_core::StructureId;
 use sim_model::FetchPolicyKind;
@@ -66,7 +68,7 @@ pub(crate) fn run_mix(
     mix_label: &str,
     policy: FetchPolicyKind,
     scale: ExperimentScale,
-) -> Vec<SimResult> {
+) -> Result<Vec<SimResult>, RunError> {
     workloads_of(contexts, mix_label)
         .iter()
         .map(|w| run_workload(w, policy, scale.budget(contexts)))
@@ -113,12 +115,15 @@ pub struct StComparison {
 /// Build the Figure 3/4 comparison for one workload: run SMT, then replay
 /// each thread's *same dynamic instruction stream* alone for the same
 /// instruction count (the paper's methodology, Section 4.1).
-pub fn st_comparison(workload: &SmtWorkload, scale: ExperimentScale) -> StComparison {
+pub fn st_comparison(
+    workload: &SmtWorkload,
+    scale: ExperimentScale,
+) -> Result<StComparison, RunError> {
     let smt = run_workload(
         workload,
         FetchPolicyKind::Icount,
         scale.budget(workload.contexts),
-    );
+    )?;
     let st = workload
         .programs
         .iter()
@@ -129,12 +134,12 @@ pub fn st_comparison(workload: &SmtWorkload, scale: ExperimentScale) -> StCompar
                 SimBudget::total_instructions(committed).with_warmup(scale.warmup_per_thread);
             run_single_thread(name, workload_seed(workload, i), budget)
         })
-        .collect();
-    StComparison {
+        .collect::<Result<_, _>>()?;
+    Ok(StComparison {
         workload: workload.clone(),
         smt,
         st,
-    }
+    })
 }
 
 /// A thread's AVF contribution in the SMT run, made comparable to a
@@ -162,12 +167,15 @@ pub struct SweepEntry {
 
 /// Run every `(workload, policy)` pair for the given context counts —
 /// the data behind Figures 6, 7 and 8.
-pub fn policy_sweep(contexts_list: &[usize], scale: ExperimentScale) -> Vec<SweepEntry> {
+pub fn policy_sweep(
+    contexts_list: &[usize],
+    scale: ExperimentScale,
+) -> Result<Vec<SweepEntry>, RunError> {
     let mut out = Vec::new();
     for &contexts in contexts_list {
         for w in table2().into_iter().filter(|w| w.contexts == contexts) {
             for policy in FetchPolicyKind::STUDIED {
-                let result = run_workload(&w, policy, scale.budget(contexts));
+                let result = run_workload(&w, policy, scale.budget(contexts))?;
                 out.push(SweepEntry {
                     workload: w.clone(),
                     policy,
@@ -176,7 +184,7 @@ pub fn policy_sweep(contexts_list: &[usize], scale: ExperimentScale) -> Vec<Swee
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Cached single-thread IPC per program (fixed-length steady-state run),
@@ -196,9 +204,9 @@ impl StIpcCache {
     }
 
     /// The single-thread IPC of `program` (memoized).
-    pub fn ipc(&mut self, program: &str) -> f64 {
+    pub fn ipc(&mut self, program: &str) -> Result<f64, RunError> {
         if let Some(&v) = self.cache.get(program) {
-            return v;
+            return Ok(v);
         }
         let budget = SimBudget::total_instructions(self.scale.measure_per_thread)
             .with_warmup(self.scale.warmup_per_thread);
@@ -206,9 +214,9 @@ impl StIpcCache {
         // steady-state single-thread IPC (the workload-instance seeds are
         // irrelevant because the synthetic streams are phase-stationary).
         let seed = 1_000 + program.len() as u64;
-        let v = run_single_thread(program, seed, budget).ipc().max(1e-6);
+        let v = run_single_thread(program, seed, budget)?.ipc().max(1e-6);
         self.cache.insert(program.to_string(), v);
-        v
+        Ok(v)
     }
 }
 

@@ -27,7 +27,7 @@
 //!
 //! // Run a 2-thread CPU-bound workload under the ICOUNT fetch policy.
 //! let workload = table2().into_iter().find(|w| w.name == "2T-CPU-A").unwrap();
-//! let result = run_workload(&workload, FetchPolicyKind::Icount, quick_budget(2));
+//! let result = run_workload(&workload, FetchPolicyKind::Icount, quick_budget(2)).unwrap();
 //! assert!(result.ipc() > 0.5);
 //! let iq = result.report.structure(StructureId::Iq);
 //! assert!(iq.avf > 0.0 && iq.avf < 1.0);
@@ -38,14 +38,17 @@ pub mod runner;
 pub mod scale;
 pub mod table;
 
-pub use runner::{run_single_thread, run_workload, workload_seed};
+pub use runner::{run_single_thread, run_workload, workload_seed, RunError};
 pub use scale::ExperimentScale;
 pub use table::Table;
 
 /// Convenience re-exports for examples and downstream tools.
 pub mod prelude {
     pub use crate::experiments;
-    pub use crate::runner::{run_single_thread, run_workload};
+    pub use crate::experiments::campaign::{
+        default_campaign, validate_workload, SfiValidation, ValidationError,
+    };
+    pub use crate::runner::{run_single_thread, run_workload, RunError};
     pub use crate::scale::ExperimentScale;
     pub use crate::table::Table;
     pub use avf_core::{metrics, AvfReport, StructureId};

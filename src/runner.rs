@@ -5,6 +5,28 @@ use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::{SimBudget, SimResult, SmtCore};
 use sim_workload::{profile, SmtWorkload, TraceGenerator};
 
+/// An error raised while preparing or executing a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A program named by the workload has no benchmark profile.
+    UnknownBenchmark {
+        /// The unprofiled program name as given.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark: {name} (no profile registered)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// The deterministic seed for context `index` of `workload`.
 ///
 /// Seeds derive from the workload name so groups A and B of the same mix
@@ -21,14 +43,13 @@ pub fn workload_seed(workload: &SmtWorkload, index: usize) -> u64 {
 /// Run one Table 2 workload under `policy` with the given budget on the
 /// Table 1 baseline machine.
 ///
-/// # Panics
-/// Panics if a program in the workload has no profile (all Table 2
-/// programs do).
+/// Returns [`RunError::UnknownBenchmark`] if a program in the workload has
+/// no profile (all Table 2 programs do).
 pub fn run_workload(
     workload: &SmtWorkload,
     policy: FetchPolicyKind,
     budget: SimBudget,
-) -> SimResult {
+) -> Result<SimResult, RunError> {
     let cfg = MachineConfig::ispass07_baseline()
         .with_contexts(workload.contexts)
         .with_fetch_policy(policy);
@@ -36,23 +57,31 @@ pub fn run_workload(
 }
 
 /// Run one workload on an explicit machine configuration (used by the
-/// ablation benches).
+/// ablation benches and the fault-injection campaigns).
 pub fn run_workload_on(
     cfg: &MachineConfig,
     workload: &SmtWorkload,
     budget: SimBudget,
-) -> SimResult {
-    let gens = workload
+) -> Result<SimResult, RunError> {
+    let mut core = SmtCore::new(cfg.clone(), workload_generators(workload)?);
+    Ok(core.run(budget))
+}
+
+/// Build the per-context trace generators for `workload` with the standard
+/// deterministic seeding, without running anything. Fault-injection trials
+/// use this to construct many identical cores from one workload.
+pub fn workload_generators(workload: &SmtWorkload) -> Result<Vec<TraceGenerator>, RunError> {
+    workload
         .programs
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let p = profile(name).unwrap_or_else(|| panic!("unknown benchmark: {name}"));
-            TraceGenerator::new(p, workload_seed(workload, i))
+            let p = profile(name).ok_or_else(|| RunError::UnknownBenchmark {
+                name: name.to_string(),
+            })?;
+            Ok(TraceGenerator::new(p, workload_seed(workload, i)))
         })
-        .collect();
-    let mut core = SmtCore::new(cfg.clone(), gens);
-    core.run(budget)
+        .collect()
 }
 
 /// Run `program` alone on the superscalar (1-context) configuration of the
@@ -61,11 +90,17 @@ pub fn run_workload_on(
 /// instruction stream* is replayed (Section 4.1: "we record the progress of
 /// each thread in the SMT execution and then simulate the same amount of
 /// instructions ... in the single thread execution mode").
-pub fn run_single_thread(program: &str, seed: u64, budget: SimBudget) -> SimResult {
+pub fn run_single_thread(
+    program: &str,
+    seed: u64,
+    budget: SimBudget,
+) -> Result<SimResult, RunError> {
     let cfg = MachineConfig::ispass07_baseline().with_contexts(1);
-    let p = profile(program).unwrap_or_else(|| panic!("unknown benchmark: {program}"));
+    let p = profile(program).ok_or_else(|| RunError::UnknownBenchmark {
+        name: program.to_string(),
+    })?;
     let mut core = SmtCore::new(cfg, vec![TraceGenerator::new(p, seed)]);
-    core.run(budget)
+    Ok(core.run(budget))
 }
 
 #[cfg(test)]
@@ -90,8 +125,8 @@ mod tests {
     fn run_workload_is_deterministic() {
         let w = first_2t();
         let b = SimBudget::total_instructions(6_000).with_warmup(2_000);
-        let a = run_workload(&w, FetchPolicyKind::Icount, b);
-        let c = run_workload(&w, FetchPolicyKind::Icount, b);
+        let a = run_workload(&w, FetchPolicyKind::Icount, b).unwrap();
+        let c = run_workload(&w, FetchPolicyKind::Icount, b).unwrap();
         assert_eq!(a.cycles, c.cycles);
         assert_eq!(a.report, c.report);
     }
@@ -99,8 +134,26 @@ mod tests {
     #[test]
     fn single_thread_runs() {
         let b = SimBudget::total_instructions(6_000).with_warmup(2_000);
-        let r = run_single_thread("bzip2", 1, b);
+        let r = run_single_thread("bzip2", 1, b).unwrap();
         assert_eq!(r.threads.len(), 1);
         assert!(r.ipc() > 0.1);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error_not_a_panic() {
+        let b = SimBudget::total_instructions(1_000);
+        let err = run_single_thread("no-such-benchmark", 1, b).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::UnknownBenchmark {
+                name: "no-such-benchmark".into()
+            }
+        );
+        assert!(err.to_string().contains("no-such-benchmark"));
+
+        let mut w = first_2t();
+        w.programs[0] = "bogus";
+        let err = run_workload(&w, FetchPolicyKind::Icount, b).unwrap_err();
+        assert!(matches!(err, RunError::UnknownBenchmark { .. }));
     }
 }

@@ -6,8 +6,8 @@ use smt_avf::prelude::*;
 #[test]
 fn identical_runs_are_bit_identical() {
     let w = table2().into_iter().find(|w| w.name == "2T-MIX-A").unwrap();
-    let a = run_workload(&w, FetchPolicyKind::Icount, quick_budget(2));
-    let b = run_workload(&w, FetchPolicyKind::Icount, quick_budget(2));
+    let a = run_workload(&w, FetchPolicyKind::Icount, quick_budget(2)).unwrap();
+    let b = run_workload(&w, FetchPolicyKind::Icount, quick_budget(2)).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.report, b.report);
     assert_eq!(a.threads, b.threads);
@@ -16,8 +16,8 @@ fn identical_runs_are_bit_identical() {
 #[test]
 fn different_policies_change_behavior() {
     let w = table2().into_iter().find(|w| w.name == "4T-MEM-A").unwrap();
-    let icount = run_workload(&w, FetchPolicyKind::Icount, quick_budget(4));
-    let flush = run_workload(&w, FetchPolicyKind::Flush, quick_budget(4));
+    let icount = run_workload(&w, FetchPolicyKind::Icount, quick_budget(4)).unwrap();
+    let flush = run_workload(&w, FetchPolicyKind::Flush, quick_budget(4)).unwrap();
     assert_ne!(
         icount.cycles, flush.cycles,
         "FLUSH must alter timing on a MEM workload"
@@ -28,18 +28,18 @@ fn different_policies_change_behavior() {
 fn groups_a_and_b_differ() {
     let a = table2().into_iter().find(|w| w.name == "4T-CPU-A").unwrap();
     let b = table2().into_iter().find(|w| w.name == "4T-CPU-B").unwrap();
-    let ra = run_workload(&a, FetchPolicyKind::Icount, quick_budget(4));
-    let rb = run_workload(&b, FetchPolicyKind::Icount, quick_budget(4));
+    let ra = run_workload(&a, FetchPolicyKind::Icount, quick_budget(4)).unwrap();
+    let rb = run_workload(&b, FetchPolicyKind::Icount, quick_budget(4)).unwrap();
     assert_ne!(ra.cycles, rb.cycles);
 }
 
 #[test]
 fn single_thread_replay_uses_the_same_stream() {
     // The same (program, seed) must produce the same run twice.
-    let a = run_single_thread("equake", 9, quick_budget(1));
-    let b = run_single_thread("equake", 9, quick_budget(1));
+    let a = run_single_thread("equake", 9, quick_budget(1)).unwrap();
+    let b = run_single_thread("equake", 9, quick_budget(1)).unwrap();
     assert_eq!(a.report, b.report);
     // And a different seed must not.
-    let c = run_single_thread("equake", 10, quick_budget(1));
+    let c = run_single_thread("equake", 10, quick_budget(1)).unwrap();
     assert_ne!(a.cycles, c.cycles);
 }

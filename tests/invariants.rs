@@ -52,7 +52,7 @@ fn check(result: &SimResult, label: &str) {
 fn every_workload_satisfies_invariants_under_icount() {
     for w in table2() {
         let budget = quick_budget(w.contexts);
-        let r = run_workload(&w, FetchPolicyKind::Icount, budget);
+        let r = run_workload(&w, FetchPolicyKind::Icount, budget).unwrap();
         check(&r, &w.name);
         // The measured window commits what the budget asked for (within a
         // final partial cycle of commit width).
@@ -70,7 +70,7 @@ fn every_workload_satisfies_invariants_under_icount() {
 fn every_policy_satisfies_invariants_on_a_mem_workload() {
     let w = table2().into_iter().find(|w| w.name == "4T-MEM-A").unwrap();
     for policy in FetchPolicyKind::STUDIED {
-        let r = run_workload(&w, policy, quick_budget(4));
+        let r = run_workload(&w, policy, quick_budget(4)).unwrap();
         check(&r, &format!("{} under {}", w.name, policy.label()));
     }
 }
@@ -78,7 +78,7 @@ fn every_policy_satisfies_invariants_on_a_mem_workload() {
 #[test]
 fn superscalar_mode_satisfies_invariants() {
     for prog in ["bzip2", "mcf", "swim", "gcc", "wupwise"] {
-        let r = run_single_thread(prog, 3, quick_budget(1));
+        let r = run_single_thread(prog, 3, quick_budget(1)).unwrap();
         check(&r, prog);
         assert_eq!(r.threads.len(), 1);
     }
@@ -87,7 +87,7 @@ fn superscalar_mode_satisfies_invariants() {
 #[test]
 fn shared_structures_attribute_to_every_active_thread() {
     let w = table2().into_iter().find(|w| w.name == "4T-CPU-A").unwrap();
-    let r = run_workload(&w, FetchPolicyKind::Icount, quick_budget(4));
+    let r = run_workload(&w, FetchPolicyKind::Icount, quick_budget(4)).unwrap();
     let iq = r.report.structure(StructureId::Iq);
     for (i, &v) in iq.per_thread.iter().enumerate() {
         assert!(v > 0.0, "thread {i} contributed no IQ vulnerability");

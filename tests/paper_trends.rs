@@ -13,7 +13,8 @@ fn mix_avg(contexts: usize, mix: &str, s: StructureId) -> f64 {
         .into_iter()
         .filter(|w| w.contexts == contexts && w.mix.to_string() == mix)
         .map(|w| run_workload(&w, FetchPolicyKind::Icount, scale().budget(contexts)))
-        .collect();
+        .collect::<Result<_, _>>()
+        .unwrap();
     runs.iter().map(|r| r.report.structure(s).avf).sum::<f64>() / runs.len() as f64
 }
 
@@ -86,8 +87,8 @@ fn flush_reduces_iq_rob_lsq_and_raises_fu_dl1_on_mem() {
     // of the AVF under other fetch policies") and can increase FU / data
     // cache AVF.
     let w = table2().into_iter().find(|w| w.name == "4T-MEM-A").unwrap();
-    let icount = run_workload(&w, FetchPolicyKind::Icount, scale().budget(4));
-    let flush = run_workload(&w, FetchPolicyKind::Flush, scale().budget(4));
+    let icount = run_workload(&w, FetchPolicyKind::Icount, scale().budget(4)).unwrap();
+    let flush = run_workload(&w, FetchPolicyKind::Flush, scale().budget(4)).unwrap();
     for s in [StructureId::Iq, StructureId::Rob, StructureId::LsqTag] {
         let a = icount.report.structure(s).avf;
         let b = flush.report.structure(s).avf;
@@ -100,12 +101,16 @@ fn smt_outperforms_sequential_execution_in_throughput() {
     // The premise of the study: SMT delivers higher throughput than the
     // same threads run back-to-back.
     let w = table2().into_iter().find(|w| w.name == "4T-CPU-A").unwrap();
-    let smt = run_workload(&w, FetchPolicyKind::Icount, scale().budget(4));
+    let smt = run_workload(&w, FetchPolicyKind::Icount, scale().budget(4)).unwrap();
     let st_ipcs: Vec<f64> = w
         .programs
         .iter()
         .enumerate()
-        .map(|(i, p)| run_single_thread(p, smt_avf::workload_seed(&w, i), scale().budget(1)).ipc())
+        .map(|(i, p)| {
+            run_single_thread(p, smt_avf::workload_seed(&w, i), scale().budget(1))
+                .unwrap()
+                .ipc()
+        })
         .collect();
     let best_st = st_ipcs.iter().cloned().fold(0.0_f64, f64::max);
     assert!(
@@ -120,7 +125,7 @@ fn stall_never_starves_all_threads() {
     // STALL "always allows at least one thread to continue fetching": the
     // all-MEM 8-thread workload must still make progress.
     let w = table2().into_iter().find(|w| w.name == "8T-MEM-A").unwrap();
-    let r = run_workload(&w, FetchPolicyKind::Stall, scale().budget(8));
+    let r = run_workload(&w, FetchPolicyKind::Stall, scale().budget(8)).unwrap();
     assert!(r.report.total_committed() > 0);
     assert!(r.ipc() > 0.01);
 }

@@ -1,0 +1,79 @@
+//! Seeded property tests over the full stack: arbitrary (bounded) machine
+//! shapes and workload mixes must never violate the accounting invariants.
+
+use sim_model::{MachineConfig, SimRng};
+use sim_workload::{MixType, SmtWorkload};
+use smt_avf::prelude::*;
+use smt_avf::runner::run_workload_on;
+
+fn program_pool() -> Vec<&'static str> {
+    vec![
+        "bzip2", "eon", "gcc", "perlbmk", "mesa", "mcf", "twolf", "vpr", "equake", "swim",
+    ]
+}
+
+fn arb_workload(r: &mut SimRng) -> Vec<&'static str> {
+    let pool = program_pool();
+    let contexts = r.range_usize(1, 5);
+    (0..contexts)
+        .map(|_| pool[r.range_usize(0, pool.len())])
+        .collect()
+}
+
+fn run(programs: &[&'static str], cfg: &MachineConfig, budget: SimBudget) -> SimResult {
+    // Reuse the public runner by constructing an ad-hoc workload: the mix
+    // label is irrelevant for execution.
+    let w = SmtWorkload {
+        name: format!("prop-{}", programs.join("-")),
+        contexts: programs.len(),
+        mix: MixType::Cpu,
+        group: 'A',
+        programs: programs.to_vec(),
+    };
+    run_workload_on(cfg, &w, budget).expect("pool programs are profiled")
+}
+
+#[test]
+fn random_workloads_respect_avf_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x57AC_0001);
+    for _ in 0..8 {
+        let programs = arb_workload(&mut rng);
+        let cfg = MachineConfig::ispass07_baseline().with_contexts(programs.len());
+        let budget = SimBudget::total_instructions(4_000 * programs.len() as u64)
+            .with_warmup(2_000 * programs.len() as u64);
+        let r = run(&programs, &cfg, budget);
+        for s in StructureId::ALL {
+            let sa = r.report.structure(s);
+            assert!((0.0..=1.0).contains(&sa.avf), "{s}: {}", sa.avf);
+            assert!(sa.avf <= sa.utilization + 1e-9);
+            let sum: f64 = sa.per_thread.iter().sum();
+            assert!((sum - sa.avf).abs() < 1e-9);
+        }
+        assert!(r.report.total_committed() >= budget.total_instructions);
+    }
+}
+
+#[test]
+fn random_machine_shapes_run_cleanly() {
+    let mut rng = SimRng::seed_from_u64(0x57AC_0002);
+    for _ in 0..6 {
+        let mut cfg = MachineConfig::ispass07_baseline().with_contexts(2);
+        cfg.iq_entries = r_u32(&mut rng, 16, 129);
+        cfg.rob_entries_per_thread = r_u32(&mut rng, 32, 129);
+        cfg.lsq_entries_per_thread = r_u32(&mut rng, 16, 65);
+        cfg.fetch_width = r_u32(&mut rng, 2, 9);
+        cfg.fetch_policy = FetchPolicyKind::STUDIED[rng.range_usize(0, 6)];
+        assert!(cfg.validate().is_ok());
+        let budget = SimBudget::total_instructions(6_000).with_warmup(2_000);
+        let r = run(&["bzip2", "twolf"], &cfg, budget);
+        assert!(r.report.total_committed() >= budget.total_instructions);
+        for s in StructureId::ALL {
+            let sa = r.report.structure(s);
+            assert!((0.0..=1.0).contains(&sa.avf));
+        }
+    }
+}
+
+fn r_u32(r: &mut SimRng, lo: u64, hi: u64) -> u32 {
+    r.range_u64(lo, hi) as u32
+}
