@@ -1,8 +1,4 @@
 //! Characterize every synthetic benchmark (the Section 3 categorization).
 fn main() {
-    println!(
-        "{}",
-        smt_avf::experiments::characterize(smt_avf_bench::scale_from_env())
-            .expect("experiment failed")
-    );
+    smt_avf_bench::run_experiment("characterize");
 }

@@ -1,8 +1,4 @@
 //! Run the Section 5 extension study (PSTALL / RAFT / IQ partitioning).
 fn main() {
-    println!(
-        "{}",
-        smt_avf::experiments::extensions(smt_avf_bench::scale_from_env())
-            .expect("experiment failed")
-    );
+    smt_avf_bench::run_experiment("extensions");
 }

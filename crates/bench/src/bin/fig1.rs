@@ -1,7 +1,4 @@
 //! Regenerate Figure 1: the SMT microarchitecture vulnerability profile.
 fn main() {
-    println!(
-        "{}",
-        smt_avf::experiments::figure1(smt_avf_bench::scale_from_env()).expect("experiment failed")
-    );
+    smt_avf_bench::run_experiment("fig1");
 }

@@ -1,7 +1,4 @@
-//! Regenerate Figure 2: reliability efficiency (IPC/AVF) per structure.
+//! Regenerate Figure 2: per-structure AVF by workload mix.
 fn main() {
-    println!(
-        "{}",
-        smt_avf::experiments::figure2(smt_avf_bench::scale_from_env()).expect("experiment failed")
-    );
+    smt_avf_bench::run_experiment("fig2");
 }

@@ -1,8 +1,4 @@
 //! Regenerate Figure 3: AVF of SMT vs single-thread execution.
 fn main() {
-    for t in
-        smt_avf::experiments::figure3(smt_avf_bench::scale_from_env()).expect("experiment failed")
-    {
-        println!("{t}");
-    }
+    smt_avf_bench::run_experiment("fig3");
 }

@@ -1,8 +1,4 @@
-//! Regenerate Figure 4: IPC/AVF of SMT vs single-thread execution.
+//! Regenerate Figure 4: per-thread AVF inside SMT vs alone.
 fn main() {
-    for t in
-        smt_avf::experiments::figure4(smt_avf_bench::scale_from_env()).expect("experiment failed")
-    {
-        println!("{t}");
-    }
+    smt_avf_bench::run_experiment("fig4");
 }

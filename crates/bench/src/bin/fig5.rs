@@ -1,7 +1,4 @@
-//! Regenerate Figure 5: AVF vs number of thread contexts.
+//! Regenerate Figure 5: AVF scaling with context count.
 fn main() {
-    let (a, b) =
-        smt_avf::experiments::figure5(smt_avf_bench::scale_from_env()).expect("experiment failed");
-    println!("{a}");
-    println!("{b}");
+    smt_avf_bench::run_experiment("fig5");
 }

@@ -1,8 +1,4 @@
 //! Regenerate Figure 6: AVF under the six fetch policies (4 & 8 contexts).
 fn main() {
-    for t in
-        smt_avf::experiments::figure6(smt_avf_bench::scale_from_env()).expect("experiment failed")
-    {
-        println!("{t}");
-    }
+    smt_avf_bench::run_experiment("fig6");
 }

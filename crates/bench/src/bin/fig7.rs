@@ -1,7 +1,4 @@
-//! Regenerate Figure 7: IPC/AVF of the advanced policies vs ICOUNT.
+//! Regenerate Figure 7: IPC under the six fetch policies.
 fn main() {
-    println!(
-        "{}",
-        smt_avf::experiments::figure7(smt_avf_bench::scale_from_env()).expect("experiment failed")
-    );
+    smt_avf_bench::run_experiment("fig7");
 }

@@ -1,7 +1,4 @@
-//! Regenerate Figure 8: fairness-aware reliability efficiency.
+//! Regenerate Figure 8: reliability efficiency of the fetch policies.
 fn main() {
-    let (a, b) =
-        smt_avf::experiments::figure8(smt_avf_bench::scale_from_env()).expect("experiment failed");
-    println!("{a}");
-    println!("{b}");
+    smt_avf_bench::run_experiment("fig8");
 }

@@ -1,8 +1,4 @@
 //! Memory-hierarchy AVF study (extension beyond the paper's Figure 1).
 fn main() {
-    println!(
-        "{}",
-        smt_avf::experiments::memory_hierarchy(smt_avf_bench::scale_from_env())
-            .expect("experiment failed")
-    );
+    smt_avf_bench::run_experiment("memhier");
 }

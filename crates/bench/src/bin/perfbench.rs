@@ -1,0 +1,170 @@
+//! perfbench — the performance-trajectory recorder.
+//!
+//! Measures two things and writes them to `BENCH_pipeline.json`:
+//!
+//! 1. **Steady-state `step()` throughput** — simulated cycles per wall
+//!    second of the 4-thread `4T-MIX-A` workload under ICOUNT, after a
+//!    warm-up long enough that the cycle loop is allocation-free.
+//! 2. **Sweep wall clock** — the quick 2-context policy sweep run at 1, 2
+//!    and 4 workers on the `sim_exec` pool, asserting the merged reports
+//!    are bit-identical to the serial reference before timing is trusted.
+//!
+//! The baseline constants below were measured at the pre-optimization
+//! commit on the same machine, so the JSON records the perf trajectory
+//! (baseline → current) rather than a single point.
+//!
+//! Environment knobs (for CI smoke runs on tiny budgets):
+//!
+//! * `PERFBENCH_WARMUP_CYCLES` — warm-up steps before timing (default 50000)
+//! * `PERFBENCH_CYCLES` — timed steps (default 500000)
+//! * `PERFBENCH_SWEEP` — set to `0` to skip the sweep section entirely
+//! * `PERFBENCH_OUT` — output path (default `BENCH_pipeline.json`)
+
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::SmtCore;
+use sim_workload::{table2, SmtWorkload};
+use smt_avf::experiments::sweep;
+use smt_avf::runner::workload_generators;
+use smt_avf::ExperimentScale;
+use std::time::Instant;
+
+/// Steady-state `step()` throughput at the seed commit (a889bd5), measured
+/// with the default knobs on the reference machine, in simulated
+/// cycles/sec.
+const BASELINE_STEP_CPS: f64 = 290_757.0;
+
+/// Serial wall clock of the quick 2-context policy sweep (36 runs) at the
+/// same commit, in seconds.
+const BASELINE_SWEEP_SECS: f64 = 6.32;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Simulated cycles/sec of `step()` on `workload`, after `warmup` steps.
+fn step_throughput(workload: &SmtWorkload, warmup: u64, timed: u64) -> f64 {
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let mut core = SmtCore::new(
+        cfg,
+        workload_generators(workload).expect("bundled workload"),
+    );
+    for _ in 0..warmup {
+        core.step();
+    }
+    let t0 = Instant::now();
+    for _ in 0..timed {
+        core.step();
+    }
+    timed as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let warmup = env_u64("PERFBENCH_WARMUP_CYCLES", 50_000);
+    let timed = env_u64("PERFBENCH_CYCLES", 500_000);
+    let run_sweep = env_u64("PERFBENCH_SWEEP", 1) != 0;
+    let out_path =
+        std::env::var("PERFBENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+
+    let w = table2()
+        .into_iter()
+        .find(|w| w.name == "4T-MIX-A")
+        .expect("bundled workload");
+    let cps = step_throughput(&w, warmup, timed);
+    let step_speedup = cps / BASELINE_STEP_CPS;
+    println!(
+        "step: {cps:.0} simulated cycles/sec on {} ({timed} timed cycles) — \
+         {step_speedup:.2}x the {BASELINE_STEP_CPS:.0} baseline",
+        w.name
+    );
+
+    // Sweep at 1/2/4 workers. The serial run is the reference; the parallel
+    // runs must merge bit-identical before their timings mean anything.
+    let mut sweep_json = String::from("null");
+    if run_sweep {
+        let scale = ExperimentScale::quick();
+        let mut jobs = Vec::new();
+        for wl in table2().into_iter().filter(|w| w.contexts == 2) {
+            for policy in FetchPolicyKind::STUDIED {
+                jobs.push((wl.clone(), policy));
+            }
+        }
+        let mut timings = Vec::new();
+        let mut reference = None;
+        for workers in [1usize, 2, 4] {
+            let t0 = Instant::now();
+            let results = sweep(&jobs, scale, workers).expect("sweep failed");
+            let secs = t0.elapsed().as_secs_f64();
+            match &reference {
+                None => reference = Some(results),
+                Some(serial) => {
+                    for (s, p) in serial.iter().zip(&results) {
+                        assert_eq!(
+                            (s.result.cycles, &s.result.report),
+                            (p.result.cycles, &p.result.report),
+                            "{} under {:?}: {workers}-worker sweep diverged from serial",
+                            s.workload.name,
+                            s.policy
+                        );
+                    }
+                }
+            }
+            println!(
+                "sweep: {} runs in {secs:.2}s at {workers} workers",
+                jobs.len()
+            );
+            timings.push((workers, secs));
+        }
+        let serial_secs = timings[0].1;
+        let per_worker = timings
+            .iter()
+            .map(|(workers, secs)| {
+                format!(
+                    "{{\"workers\": {workers}, \"secs\": {secs:.3}, \
+                     \"speedup_vs_serial\": {:.3}}}",
+                    serial_secs / secs
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        sweep_json = format!(
+            "{{\n    \"jobs\": {},\n    \"scale\": \"quick\",\n    \
+             \"baseline_serial_secs\": {BASELINE_SWEEP_SECS},\n    \
+             \"serial_secs\": {serial_secs:.3},\n    \
+             \"serial_speedup_vs_baseline\": {:.3},\n    \
+             \"bit_identical_across_workers\": true,\n    \
+             \"per_worker\": [{per_worker}]\n  }}",
+            jobs.len(),
+            BASELINE_SWEEP_SECS / serial_secs,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"smt-avf/perfbench/v1\",\n  \"commit\": \"{}\",\n  \
+         \"config\": {{\n    \"workload\": \"{}\",\n    \"policy\": \"ICOUNT\",\n    \
+         \"warmup_cycles\": {warmup},\n    \"timed_cycles\": {timed}\n  }},\n  \
+         \"step\": {{\n    \"cycles_per_sec\": {cps:.0},\n    \
+         \"baseline_cycles_per_sec\": {BASELINE_STEP_CPS},\n    \
+         \"speedup_vs_baseline\": {step_speedup:.3}\n  }},\n  \
+         \"sweep\": {sweep_json}\n}}\n",
+        git_sha(),
+        w.name,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out_path}");
+}

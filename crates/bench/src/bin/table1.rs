@@ -1,4 +1,4 @@
 //! Print Table 1 (simulated machine configuration).
 fn main() {
-    print!("{}", smt_avf::experiments::table1());
+    smt_avf_bench::run_experiment("table1");
 }

@@ -1,4 +1,4 @@
-//! Print Table 2 (the studied SMT workloads).
+//! Print Table 2 (the studied workload mixes).
 fn main() {
-    print!("{}", smt_avf::experiments::table2_listing());
+    smt_avf_bench::run_experiment("table2");
 }

@@ -14,6 +14,7 @@
 
 pub mod timing;
 
+use smt_avf::runner::RunError;
 use smt_avf::ExperimentScale;
 
 /// Resolve the experiment scale from `SMT_AVF_SCALE`.
@@ -37,6 +38,129 @@ pub fn bench_scale() -> ExperimentScale {
     }
 }
 
+/// One named experiment: a declarative row binding a binary name to the
+/// experiment function it runs, with the output normalized to a list of
+/// rendered blocks. Every `fig*`/table binary is one [`run_experiment`]
+/// call against this registry instead of hand-rolled main-fn boilerplate.
+pub struct Experiment {
+    /// Registry/binary name (`fig1`, `table2`, `characterize`, ...).
+    pub name: &'static str,
+    /// One-line description, mirroring the binary's doc comment.
+    pub about: &'static str,
+    /// Run at `scale`, returning the rendered tables in print order.
+    pub run: fn(ExperimentScale) -> Result<Vec<String>, RunError>,
+}
+
+/// Every named experiment, in the paper's presentation order. (`all` is
+/// not listed: it shares one policy sweep across Figures 6–8 and so has a
+/// custom driver.)
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "table1",
+        about: "Table 1: simulated machine configuration",
+        run: |_| Ok(vec![smt_avf::experiments::table1()]),
+    },
+    Experiment {
+        name: "table2",
+        about: "Table 2: the studied workload mixes",
+        run: |_| Ok(vec![smt_avf::experiments::table2_listing()]),
+    },
+    Experiment {
+        name: "characterize",
+        about: "Section 3 benchmark categorization",
+        run: |s| Ok(vec![smt_avf::experiments::characterize(s)?.to_string()]),
+    },
+    Experiment {
+        name: "fig1",
+        about: "Figure 1: SMT microarchitecture vulnerability profile",
+        run: |s| Ok(vec![smt_avf::experiments::figure1(s)?.to_string()]),
+    },
+    Experiment {
+        name: "fig2",
+        about: "Figure 2: per-structure AVF by workload mix",
+        run: |s| Ok(vec![smt_avf::experiments::figure2(s)?.to_string()]),
+    },
+    Experiment {
+        name: "fig3",
+        about: "Figure 3: AVF of SMT vs single-thread execution",
+        run: |s| {
+            Ok(smt_avf::experiments::figure3(s)?
+                .iter()
+                .map(|t| t.to_string())
+                .collect())
+        },
+    },
+    Experiment {
+        name: "fig4",
+        about: "Figure 4: per-thread AVF inside SMT vs alone",
+        run: |s| {
+            Ok(smt_avf::experiments::figure4(s)?
+                .iter()
+                .map(|t| t.to_string())
+                .collect())
+        },
+    },
+    Experiment {
+        name: "fig5",
+        about: "Figure 5: AVF scaling with context count",
+        run: |s| {
+            let (a, b) = smt_avf::experiments::figure5(s)?;
+            Ok(vec![a.to_string(), b.to_string()])
+        },
+    },
+    Experiment {
+        name: "fig6",
+        about: "Figure 6: AVF under the six fetch policies",
+        run: |s| {
+            Ok(smt_avf::experiments::figure6(s)?
+                .iter()
+                .map(|t| t.to_string())
+                .collect())
+        },
+    },
+    Experiment {
+        name: "fig7",
+        about: "Figure 7: IPC under the six fetch policies",
+        run: |s| Ok(vec![smt_avf::experiments::figure7(s)?.to_string()]),
+    },
+    Experiment {
+        name: "fig8",
+        about: "Figure 8: reliability efficiency of the fetch policies",
+        run: |s| {
+            let (a, b) = smt_avf::experiments::figure8(s)?;
+            Ok(vec![a.to_string(), b.to_string()])
+        },
+    },
+    Experiment {
+        name: "memhier",
+        about: "Memory-hierarchy AVF study (extension)",
+        run: |s| Ok(vec![smt_avf::experiments::memory_hierarchy(s)?.to_string()]),
+    },
+    Experiment {
+        name: "extensions",
+        about: "Section 5 extension study (PSTALL / RAFT / IQ partitioning)",
+        run: |s| Ok(vec![smt_avf::experiments::extensions(s)?.to_string()]),
+    },
+];
+
+/// Look up a registry row by name.
+pub fn experiment(name: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.name == name)
+}
+
+/// The whole body of a `fig*`/table binary: resolve the scale from the
+/// environment, run the named experiment, print each rendered block.
+///
+/// # Panics
+/// Panics on an unknown name or a failed experiment, which is exactly the
+/// `.expect("experiment failed")` the binaries used to hand-roll.
+pub fn run_experiment(name: &str) {
+    let e = experiment(name).unwrap_or_else(|| panic!("unknown experiment: {name}"));
+    for block in (e.run)(scale_from_env()).expect("experiment failed") {
+        println!("{block}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +176,15 @@ mod tests {
     #[test]
     fn bench_scale_is_tiny() {
         assert!(bench_scale().measure_per_thread < ExperimentScale::quick().measure_per_thread);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<_> = EXPERIMENTS.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EXPERIMENTS.len(), "duplicate registry name");
+        assert!(experiment("fig1").is_some());
+        assert!(experiment("no-such-experiment").is_none());
     }
 }

@@ -40,6 +40,7 @@ impl ResidencyTracker {
     }
 
     /// The structure this tracker covers.
+    #[inline]
     pub fn structure(&self) -> StructureId {
         self.structure
     }
@@ -50,6 +51,7 @@ impl ResidencyTracker {
     }
 
     /// Total bits configured for this structure.
+    #[inline]
     pub fn total_bits(&self) -> u64 {
         self.total_bits
     }
@@ -75,11 +77,13 @@ impl ResidencyTracker {
     }
 
     /// Total banked ACE-bit-cycles across threads.
+    #[inline]
     pub fn total_ace_bit_cycles(&self) -> u128 {
         self.ace_bit_cycles.iter().sum()
     }
 
     /// Banked ACE-bit-cycles for one thread.
+    #[inline]
     pub fn thread_ace_bit_cycles(&self, thread: ThreadId) -> u128 {
         self.ace_bit_cycles[thread.index()]
     }
@@ -182,6 +186,7 @@ impl AvfEngine {
     }
 
     /// Borrow a structure's tracker.
+    #[inline]
     pub fn tracker(&self, structure: StructureId) -> &ResidencyTracker {
         &self.trackers[structure.index()]
     }
@@ -285,6 +290,42 @@ mod tests {
     fn finish_rejects_wrong_thread_count() {
         let e = AvfEngine::new(2);
         let _ = e.finish(10, vec![1]);
+    }
+
+    #[test]
+    fn banked_totals_match_hand_computed_example() {
+        // Two threads sharing a 64-entry × 32-bit IQ (2048 bits total),
+        // exercising both banking paths. Hand-computed ledger:
+        //   thread 0: bank(20 ACE bits × 7 cycles)        = 140
+        //             bank_split(8 ACE / 32 occ × 5)      =  40 (occ 160)
+        //   thread 1: bank(32 ACE bits × 3 cycles)        =  96
+        //             bank_split(0 ACE / 32 occ × 10)     =   0 (occ 320)
+        let mut t = ResidencyTracker::new(StructureId::Iq, 2);
+        t.set_total_bits(2048);
+        t.bank(ThreadId(0), 20, 7);
+        t.bank_split(ThreadId(0), 8, 32, 5);
+        t.bank(ThreadId(1), 32, 3);
+        t.bank_split(ThreadId(1), 0, 32, 10);
+
+        assert_eq!(t.thread_ace_bit_cycles(ThreadId(0)), 180);
+        assert_eq!(t.thread_ace_bit_cycles(ThreadId(1)), 96);
+        assert_eq!(t.total_ace_bit_cycles(), 276);
+
+        // Over 100 cycles: AVF = 276 / (2048 × 100); occupancy adds the
+        // plain banks (ACE == occupied there) to the split occupancies:
+        // (140 + 160) + (96 + 320) = 716 occupied-bit-cycles.
+        let denom = 2048.0 * 100.0;
+        assert_eq!(t.avf(100), 276.0 / denom);
+        assert_eq!(t.thread_avf(ThreadId(0), 100), 180.0 / denom);
+        assert_eq!(t.thread_avf(ThreadId(1), 100), 96.0 / denom);
+        assert_eq!(t.utilization(100), 716.0 / denom);
+
+        // And the reset for a measurement window zeroes the ledger but
+        // keeps the bit budget.
+        t.reset();
+        assert_eq!(t.total_ace_bit_cycles(), 0);
+        assert_eq!(t.total_bits(), 2048);
+        assert_eq!(t.utilization(100), 0.0);
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn committed_ace_dominates_dead_variant() {
         if inst.dest.is_none() || inst.wrong_path {
             continue;
         }
-        let mut dead = inst.clone();
+        let mut dead = inst;
         dead.dyn_dead = true;
         let mut live = inst;
         live.dyn_dead = false;

@@ -1,0 +1,164 @@
+#![warn(missing_docs)]
+//! `sim-exec`: a deterministic scoped-thread worker pool for independent
+//! simulation jobs.
+//!
+//! Every experiment sweep in the workspace — figure regenerations, policy
+//! sweeps, fault-injection campaigns — has the same shape: `total`
+//! independent jobs, each a pure function of its index, whose results must
+//! be merged **in index order** so the output is bit-identical to a serial
+//! run regardless of how many workers executed it.
+//!
+//! # Determinism contract
+//!
+//! [`run_indexed`] guarantees that for a fixed job function `f`:
+//!
+//! 1. every index in `0..total` is executed exactly once;
+//! 2. the returned vector holds `f(i)` at position `i`;
+//! 3. the result is identical for **any** worker count (including 1),
+//!    because jobs never communicate and the merge is by index, never by
+//!    completion order.
+//!
+//! Jobs must therefore not derive behavior from shared mutable state,
+//! wall-clock time, or thread identity — the same rule the simulators
+//! already obey (they are pure functions of their seeds).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count used by sweep drivers when the caller does not choose
+/// one: the `SMT_AVF_WORKERS` environment variable if set and nonzero,
+/// otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    match std::env::var("SMT_AVF_WORKERS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_parallelism(),
+        },
+        Err(_) => default_parallelism(),
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Execute `f(0..total)` on `workers` scoped threads and return the results
+/// in index order. See the module docs for the determinism contract.
+///
+/// `workers` is clamped to `[1, total]`; `workers == 1` degenerates to a
+/// serial in-order loop on the calling thread (no threads spawned), which
+/// is the reference order parallel runs are bit-identical to.
+///
+/// # Panics
+/// Panics if any job panics (the panic is propagated once every worker has
+/// stopped).
+pub fn run_indexed<T, F>(total: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, total);
+    if workers == 1 {
+        return (0..total).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..total).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let r = f(i);
+                results.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every index in 0..total was claimed exactly once"))
+        .collect()
+}
+
+/// Map `f` over a slice on `workers` threads, preserving input order.
+/// Convenience wrapper over [`run_indexed`].
+pub fn par_map<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed(items.len(), workers, |i| f(&items[i]))
+}
+
+/// Map a fallible `f` over a slice on `workers` threads; all jobs run to
+/// completion, then the first error **in index order** (not completion
+/// order) is returned, keeping error reporting deterministic too.
+pub fn try_par_map<I, T, E, F>(items: &[I], workers: usize, f: F) -> Result<Vec<T>, E>
+where
+    I: Sync,
+    T: Send,
+    E: Send,
+    F: Fn(&I) -> Result<T, E> + Sync,
+{
+    run_indexed(items.len(), workers, |i| f(&items[i]))
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        let serial = run_indexed(37, 1, |i| i * i);
+        for workers in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(run_indexed(37, workers, |i| i * i), serial, "{workers}");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        run_indexed(100, 7, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_totals() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(par_map(&items, 2, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_par_map_returns_first_error_by_index() {
+        let items = [1u32, 2, 3, 4];
+        let r: Result<Vec<u32>, u32> =
+            try_par_map(&items, 4, |&x| if x % 2 == 0 { Err(x) } else { Ok(x) });
+        assert_eq!(r, Err(2), "index order, not completion order");
+        let ok: Result<Vec<u32>, u32> = try_par_map(&items, 2, |&x| Ok(x * 10));
+        assert_eq!(ok.unwrap(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -69,17 +69,26 @@ impl FetchPolicyEngine {
     /// Compute this cycle's fetch priority order. Threads not in the
     /// returned vector must not fetch this cycle.
     pub fn priority(&mut self, telemetry: &[ThreadTelemetry]) -> Vec<ThreadId> {
-        let order = fetch_priority(
+        let mut order = Vec::new();
+        self.priority_into(telemetry, &mut order);
+        order
+    }
+
+    /// Allocation-free variant of [`FetchPolicyEngine::priority`]: the order
+    /// is written into `out` (cleared first). Steady-state callers reuse one
+    /// buffer across cycles so the fetch stage never touches the heap.
+    pub fn priority_into(&mut self, telemetry: &[ThreadTelemetry], out: &mut Vec<ThreadId>) {
+        fetch_priority_into(
             self.policy,
             self.dg_threshold,
             self.iq_quota,
             self.rr_next,
             telemetry,
+            out,
         );
         if self.policy == FetchPolicyKind::RoundRobin && !telemetry.is_empty() {
             self.rr_next = (self.rr_next + 1) % telemetry.len();
         }
-        order
     }
 }
 
@@ -94,81 +103,115 @@ pub fn fetch_priority(
     rr_start: usize,
     telemetry: &[ThreadTelemetry],
 ) -> Vec<ThreadId> {
+    let mut out = Vec::new();
+    fetch_priority_into(
+        policy,
+        dg_threshold,
+        iq_quota,
+        rr_start,
+        telemetry,
+        &mut out,
+    );
+    out
+}
+
+/// Allocation-free core of [`fetch_priority`]: writes the order into `out`
+/// (cleared first, capacity retained). Every sort key embeds the thread
+/// index, so keys are unique and the unstable sorts are deterministic.
+pub fn fetch_priority_into(
+    policy: FetchPolicyKind,
+    dg_threshold: u32,
+    iq_quota: u32,
+    rr_start: usize,
+    telemetry: &[ThreadTelemetry],
+    out: &mut Vec<ThreadId>,
+) {
     let n = telemetry.len();
-    let active = |i: usize| telemetry[i].active;
-    let by_icount = |ids: &mut Vec<usize>| {
-        ids.sort_by_key(|&i| (telemetry[i].in_flight, i));
+    let tele = |id: &ThreadId| &telemetry[id.index()];
+    let by_icount = |ids: &mut Vec<ThreadId>| {
+        ids.sort_unstable_by_key(|id| (telemetry[id.index()].in_flight, id.index()));
     };
 
-    let mut ids: Vec<usize> = (0..n).filter(|&i| active(i)).collect();
+    out.clear();
+    out.extend(
+        (0..n)
+            .filter(|&i| telemetry[i].active)
+            .map(|i| ThreadId(i as u8)),
+    );
     match policy {
         FetchPolicyKind::RoundRobin => {
-            ids.sort_by_key(|&i| ((i + n - rr_start % n.max(1)) % n.max(1), i));
+            out.sort_unstable_by_key(|id| {
+                let i = id.index();
+                ((i + n - rr_start % n.max(1)) % n.max(1), i)
+            });
         }
-        FetchPolicyKind::Icount => by_icount(&mut ids),
+        FetchPolicyKind::Icount => by_icount(out),
         FetchPolicyKind::Flush => {
             // Threads with an outstanding L2 miss were flushed and must not
             // fetch until the miss returns.
-            ids.retain(|&i| telemetry[i].outstanding_l2_misses == 0);
-            by_icount(&mut ids);
+            out.retain(|id| tele(id).outstanding_l2_misses == 0);
+            by_icount(out);
         }
         FetchPolicyKind::Stall => {
-            let mut allowed: Vec<usize> = ids
+            if out.iter().any(|id| tele(id).outstanding_l2_misses == 0) {
+                out.retain(|id| tele(id).outstanding_l2_misses == 0);
+                by_icount(out);
+            } else if let Some(sole) = out
                 .iter()
                 .copied()
-                .filter(|&i| telemetry[i].outstanding_l2_misses == 0)
-                .collect();
-            if allowed.is_empty() && !ids.is_empty() {
+                .min_by_key(|id| (tele(id).in_flight, id.index()))
+            {
                 // "always allows at least one thread to continue fetching"
-                by_icount(&mut ids);
-                allowed.push(ids[0]);
+                out.clear();
+                out.push(sole);
             }
-            ids = allowed;
-            by_icount(&mut ids);
         }
         FetchPolicyKind::DataGating => {
-            ids.retain(|&i| telemetry[i].outstanding_l1_misses < dg_threshold);
-            by_icount(&mut ids);
+            out.retain(|id| tele(id).outstanding_l1_misses < dg_threshold);
+            by_icount(out);
         }
         FetchPolicyKind::PredictiveDataGating => {
-            ids.retain(|&i| telemetry[i].predicted_l1_misses < dg_threshold);
-            by_icount(&mut ids);
+            out.retain(|id| tele(id).predicted_l1_misses < dg_threshold);
+            by_icount(out);
         }
         FetchPolicyKind::PredictiveStall => {
             // STALL, but reacting to predicted as well as detected L2
             // misses; like STALL it never starves every thread.
-            let gated = |i: usize| {
-                telemetry[i].outstanding_l2_misses > 0 || telemetry[i].predicted_l2_misses > 0
+            let gated = |id: &ThreadId| {
+                tele(id).outstanding_l2_misses > 0 || tele(id).predicted_l2_misses > 0
             };
-            let mut allowed: Vec<usize> = ids.iter().copied().filter(|&i| !gated(i)).collect();
-            if allowed.is_empty() && !ids.is_empty() {
-                by_icount(&mut ids);
-                allowed.push(ids[0]);
+            if out.iter().any(|id| !gated(id)) {
+                out.retain(|id| !gated(id));
+                by_icount(out);
+            } else if let Some(sole) = out
+                .iter()
+                .copied()
+                .min_by_key(|id| (tele(id).in_flight, id.index()))
+            {
+                out.clear();
+                out.push(sole);
             }
-            ids = allowed;
-            by_icount(&mut ids);
         }
         FetchPolicyKind::VulnerabilityAware => {
             // Soft dynamic partitioning: a thread holding more than its
             // fair share of IQ entries is parking ACE bits in the shared
             // structure — throttle it until it drains back under quota.
             // Among the rest, prioritize the least resident vulnerability.
-            ids.retain(|&i| telemetry[i].iq_occupancy < iq_quota);
-            ids.sort_by_key(|&i| (telemetry[i].iq_occupancy, telemetry[i].in_flight, i));
+            out.retain(|id| tele(id).iq_occupancy < iq_quota);
+            out.sort_unstable_by_key(|id| (tele(id).iq_occupancy, tele(id).in_flight, id.index()));
         }
         FetchPolicyKind::DWarn => {
             // Two tiers: miss-free threads first, ICOUNT within each tier.
-            ids.sort_by_key(|&i| {
+            out.sort_unstable_by_key(|id| {
                 (
-                    (telemetry[i].outstanding_l1_misses > 0
-                        || telemetry[i].outstanding_l2_misses > 0) as u32,
-                    telemetry[i].in_flight,
-                    i,
+                    (tele(id).outstanding_l1_misses > 0 || tele(id).outstanding_l2_misses > 0)
+                        as u32,
+                    tele(id).in_flight,
+                    id.index(),
                 )
             });
         }
     }
-    ids.into_iter().map(|i| ThreadId(i as u8)).collect()
 }
 
 #[cfg(test)]

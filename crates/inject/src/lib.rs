@@ -44,8 +44,6 @@ use sim_model::{MachineConfig, SimRng};
 pub use sim_pipeline::{Fault, FaultTarget, Landing, RetiredInst};
 use sim_pipeline::{SimBudget, SmtCore};
 use sim_workload::InstSource;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// An error preparing or executing a fault-injection campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -221,7 +219,7 @@ impl CampaignConfig {
         CampaignConfig {
             trials_per_structure,
             seed,
-            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers: sim_exec::worker_count(),
             budget,
             hang_cycles: 20_000,
             targets: vec![
@@ -436,45 +434,30 @@ where
 
     let per = cfg.trials_per_structure;
     let total = cfg.targets.len() * per;
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<TrialRecord>>> = Mutex::new(vec![None; total]);
-    let workers = cfg.workers.clamp(1, total);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let target = cfg.targets[i / per];
-                let mut rng = trial_rng(cfg.seed, i);
-                let entry = rng.range_u64(0, target_entries(target, &machine));
-                let bit = rng.range_u64(0, target_bits(target, &machine));
-                let cycle = rng.range_u64(golden.start, golden.end);
-                let fault = Fault { target, entry, bit };
-                let (landing, outcome) =
-                    run_trial(&factory, cfg.budget, &golden, fault, cycle, cfg.hang_cycles)
-                        .expect("sampled cycle lies inside the golden window");
-                results.lock().unwrap()[i] = Some(TrialRecord {
-                    target,
-                    trial: i % per,
-                    entry,
-                    bit,
-                    cycle,
-                    landing,
-                    outcome,
-                });
-            });
+    // Each trial is a pure function of `(campaign seed, global index)`, so
+    // the sim-exec pool's index-ordered merge makes the record vector
+    // bit-identical for any worker count.
+    let records: Vec<TrialRecord> = sim_exec::run_indexed(total, cfg.workers, |i| {
+        let target = cfg.targets[i / per];
+        let mut rng = trial_rng(cfg.seed, i);
+        let entry = rng.range_u64(0, target_entries(target, &machine));
+        let bit = rng.range_u64(0, target_bits(target, &machine));
+        let cycle = rng.range_u64(golden.start, golden.end);
+        let fault = Fault { target, entry, bit };
+        let (landing, outcome) =
+            run_trial(&factory, cfg.budget, &golden, fault, cycle, cfg.hang_cycles)
+                .expect("sampled cycle lies inside the golden window");
+        TrialRecord {
+            target,
+            trial: i % per,
+            entry,
+            bit,
+            cycle,
+            landing,
+            outcome,
         }
     });
-
-    let records: Vec<TrialRecord> = results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("every trial index was claimed"))
-        .collect();
 
     let per_target = cfg
         .targets

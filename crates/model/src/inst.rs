@@ -123,7 +123,11 @@ impl MemRef {
 /// `dyn_dead` flag marks *first-order dynamically dead* instructions — their
 /// result is never consumed before being overwritten, so result-carrying
 /// fields are un-ACE for vulnerability purposes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Inst` is `Copy`: every field is a plain scalar, so the pipeline's hot
+/// path moves instruction records between stages with fixed-size copies and
+/// never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Inst {
     /// Program counter (byte address) of the instruction.
     pub pc: u64,

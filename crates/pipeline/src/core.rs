@@ -2,7 +2,7 @@
 //! deferred ACE-bit banking at every structure.
 
 use crate::inject::{Fault, FaultState, FaultTarget, Landing, RetiredInst};
-use crate::resources::{FreeList, FuPool, IssueQueue, RegTracker};
+use crate::resources::{FreeList, FuPool, IqEntry, IssueQueue, RegTracker};
 use crate::result::{SimResult, ThreadStats};
 use crate::slot::{FrontEndInst, Slot, SlotState};
 use crate::thread::{MemDep, ThreadCtx, FETCH_QUEUE_CAP};
@@ -69,8 +69,10 @@ pub struct SmtCore<S = TraceGenerator> {
     fp_free: FreeList,
     int_regs: RegTracker,
     fp_regs: RegTracker,
-    /// (completion cycle, thread, ftag), min-heap.
-    events: BinaryHeap<Reverse<(u64, u8, u64)>>,
+    /// (completion cycle, thread, ftag, slab index), min-heap. The slab
+    /// index rides along for O(1) slot resolution; it does not participate
+    /// in ordering decisions (the (cycle, thread, ftag) prefix is unique).
+    events: BinaryHeap<Reverse<(u64, u8, u64, u32)>>,
     total_committed: u64,
     last_commit_cycle: u64,
     commit_rr: usize,
@@ -89,6 +91,35 @@ pub struct SmtCore<S = TraceGenerator> {
     phases: Option<avf_core::PhaseRecorder>,
     /// Fault-injection bookkeeping (poisoned registers, commit log).
     faults: FaultState,
+    /// Reusable per-cycle buffers (see [`Scratch`]).
+    scratch: Scratch,
+}
+
+/// Per-cycle scratch buffers, owned by the core and reused every cycle.
+///
+/// Each buffer is `clear()`ed (capacity retained) before use and handed to
+/// the stage via `std::mem::take`, so after the first few thousand cycles
+/// every buffer has reached its high-water capacity and `step()` performs
+/// no heap allocation. The take/restore dance is what lets a stage iterate
+/// a buffer while mutating the rest of the core; a stage must put the
+/// buffer back before returning. Buffers carry no state across cycles —
+/// only capacity.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// FLUSH triggers `(thread, ftag)` collected while issuing.
+    flushes: Vec<(usize, u64)>,
+    /// Copy of the IQ's oldest-first entries iterated by select.
+    iq_order: Vec<IqEntry>,
+    /// Squashed correct-path ROB tail, youngest-first (replayed oldest-first).
+    replay_rev: Vec<sim_model::Inst>,
+    /// Squashed correct-path front-end instructions, oldest-first.
+    frontend: Vec<sim_model::Inst>,
+    /// Thread visit order for dispatch (ICOUNT ascending).
+    dispatch_order: Vec<usize>,
+    /// Per-thread telemetry fed to the fetch policy.
+    telemetry: Vec<ThreadTelemetry>,
+    /// Fetch priority order produced by the policy.
+    priority: Vec<ThreadId>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -186,6 +217,7 @@ impl<S: InstSource> SmtCore<S> {
         let iq = IssueQueue::new(cfg.iq_entries);
         let n = cfg.contexts;
         let cfg2 = (cfg.int_phys_regs, cfg.fp_phys_regs);
+        let rob_total = n * cfg.rob_entries_per_thread as usize;
         SmtCore {
             cfg,
             cycle: 0,
@@ -199,7 +231,10 @@ impl<S: InstSource> SmtCore<S> {
             fp_free,
             int_regs,
             fp_regs,
-            events: BinaryHeap::new(),
+            // Pre-size to the architectural bound on in-flight completions
+            // (every ROB slot of every thread) so steady-state pushes never
+            // grow the heap.
+            events: BinaryHeap::with_capacity(rob_total),
             total_committed: 0,
             last_commit_cycle: 0,
             commit_rr: 0,
@@ -211,6 +246,7 @@ impl<S: InstSource> SmtCore<S> {
             measure_mem0: MemSnapshot::default(),
             phases: None,
             faults: FaultState::new(cfg2.0, cfg2.1),
+            scratch: Scratch::default(),
         }
     }
 
@@ -287,7 +323,8 @@ impl<S: InstSource> SmtCore<S> {
         // In-flight instructions straddling the warm-up boundary must not
         // bank pre-window residency into the measured AVF.
         for th in &mut self.threads {
-            for slot in &mut th.rob {
+            for i in 0..th.rob.len() {
+                let slot = &mut th.slab[th.rob[i] as usize];
                 slot.dispatched_at = slot.dispatched_at.max(now);
                 if slot.issued_at > 0 {
                     slot.issued_at = slot.issued_at.max(now);
@@ -420,8 +457,7 @@ impl<S: InstSource> SmtCore<S> {
             let t = (self.commit_rr + i) % n;
             while committed < width {
                 let head_done = self.threads[t]
-                    .rob
-                    .front()
+                    .front_slot()
                     .is_some_and(|s| s.state == SlotState::Done);
                 if !head_done {
                     break;
@@ -438,8 +474,7 @@ impl<S: InstSource> SmtCore<S> {
 
     fn commit_one(&mut self, t: usize, now: u64) {
         let slot = self.threads[t]
-            .rob
-            .pop_front()
+            .pop_front_slot()
             .expect("commit on empty ROB");
         let id = ThreadId(t as u8);
         let inst = &slot.inst;
@@ -537,18 +572,18 @@ impl<S: InstSource> SmtCore<S> {
     // -----------------------------------------------------------------
 
     fn process_completions(&mut self, now: u64) {
-        while let Some(&Reverse((cycle, t8, ftag))) = self.events.peek() {
+        while let Some(&Reverse((cycle, t8, ftag, idx))) = self.events.peek() {
             if cycle > now {
                 break;
             }
             self.events.pop();
             let t = t8 as usize;
-            let Some(slot) = self.threads[t].slot_mut(ftag) else {
+            let Some(slot) = self.threads[t].slot_at_mut(idx, ftag) else {
                 continue; // squashed while in flight
             };
             slot.state = SlotState::Done;
             slot.completed_at = now;
-            let inst = slot.inst.clone();
+            let inst = slot.inst;
             let counted_l1 = std::mem::take(&mut slot.counted_l1);
             let counted_l2 = std::mem::take(&mut slot.counted_l2);
             let counted_pred = std::mem::take(&mut slot.counted_pred);
@@ -622,13 +657,13 @@ impl<S: InstSource> SmtCore<S> {
         true
     }
 
-    fn record_reads(&mut self, slot: &Slot, now: u64) {
-        if slot.inst.wrong_path {
+    fn record_reads(&mut self, inst: &sim_model::Inst, srcs_phys: &[Option<PhysReg>; 2], now: u64) {
+        if inst.wrong_path {
             return; // wrong-path reads do not extend ACE lifetimes
         }
-        for (i, phys) in slot.srcs_phys.iter().enumerate() {
+        for (i, phys) in srcs_phys.iter().enumerate() {
             if let Some(p) = phys {
-                let arch = slot.inst.srcs[i].expect("phys src without arch src");
+                let arch = inst.srcs[i].expect("phys src without arch src");
                 if arch.is_fp() {
                     self.fp_regs.on_read(*p, now);
                 } else {
@@ -640,16 +675,22 @@ impl<S: InstSource> SmtCore<S> {
 
     fn issue(&mut self, now: u64) {
         let mut issued = 0u32;
-        let mut flushes: Vec<(usize, u64)> = Vec::new();
-        let candidates = self.iq.by_age();
-        for e in candidates {
+        let mut flushes = std::mem::take(&mut self.scratch.flushes);
+        let mut candidates = std::mem::take(&mut self.scratch.iq_order);
+        flushes.clear();
+        candidates.clear();
+        // Select walks a snapshot: issuing removes entries from the IQ, and
+        // the slice must stay stable across the loop.
+        candidates.extend_from_slice(self.iq.entries());
+        for &e in &candidates {
             if issued >= self.cfg.issue_width {
                 break;
             }
             let t = e.thread.index();
-            let Some(slot) = self.threads[t].slot(e.ftag) else {
-                unreachable!("IQ entry without ROB slot");
-            };
+            // IQ entries are removed on squash, so the slab reference is
+            // always live while the entry exists.
+            let slot = &self.threads[t].slab[e.slot as usize];
+            debug_assert_eq!(slot.ftag, e.ftag, "IQ entry without ROB slot");
             if !self.srcs_ready(slot) {
                 continue;
             }
@@ -670,9 +711,7 @@ impl<S: InstSource> SmtCore<S> {
             // Commit to issuing this op.
             assert!(self.iq.remove(e.thread, e.ftag));
             issued += 1;
-            let slot = self.threads[t]
-                .slot_mut(e.ftag)
-                .expect("slot vanished mid-issue");
+            let slot = &mut self.threads[t].slab[e.slot as usize];
             slot.state = SlotState::Issued;
             slot.issued_at = now;
             slot.in_iq = false;
@@ -686,8 +725,11 @@ impl<S: InstSource> SmtCore<S> {
                     }
                 }
             }
-            let slot_snapshot = slot.clone();
-            self.record_reads(&slot_snapshot, now);
+            // `Inst` and the renamed-source array are `Copy`: snapshot the
+            // fields the rest of the loop needs instead of cloning the slot.
+            let inst = slot.inst;
+            let srcs_phys = slot.srcs_phys;
+            self.record_reads(&inst, &srcs_phys, now);
             let th = &mut self.threads[t];
             th.iq_used -= 1;
             if op != OpClass::Nop {
@@ -696,15 +738,15 @@ impl<S: InstSource> SmtCore<S> {
 
             let completion = match op {
                 OpClass::Load => {
-                    let m = slot_snapshot.inst.mem.expect("load without address");
+                    let m = inst.mem.expect("load without address");
                     if forward {
-                        th.miss_pred.update(slot_snapshot.inst.pc, false);
-                        th.l2_miss_pred.update(slot_snapshot.inst.pc, false);
-                        let slot = self.threads[t].slot_mut(e.ftag).unwrap();
+                        th.miss_pred.update(inst.pc, false);
+                        th.l2_miss_pred.update(inst.pc, false);
+                        let slot = &mut self.threads[t].slab[e.slot as usize];
                         slot.exec_latency = 1;
                         now + 2
                     } else {
-                        let ace = !slot_snapshot.inst.wrong_path;
+                        let ace = !inst.wrong_path;
                         let access = self.mem.data_read(
                             e.thread,
                             m.addr,
@@ -714,11 +756,9 @@ impl<S: InstSource> SmtCore<S> {
                             &mut self.avf,
                         );
                         let th = &mut self.threads[t];
-                        th.miss_pred
-                            .update(slot_snapshot.inst.pc, access.is_l1_miss());
-                        th.l2_miss_pred
-                            .update(slot_snapshot.inst.pc, access.is_l2_miss());
-                        let slot = th.slot_mut(e.ftag).unwrap();
+                        th.miss_pred.update(inst.pc, access.is_l1_miss());
+                        th.l2_miss_pred.update(inst.pc, access.is_l2_miss());
+                        let slot = &mut th.slab[e.slot as usize];
                         slot.exec_latency = 1;
                         if access.poisoned {
                             slot.tainted = true; // loaded a corrupt word
@@ -743,13 +783,13 @@ impl<S: InstSource> SmtCore<S> {
                     }
                 }
                 OpClass::Store => {
-                    let slot = self.threads[t].slot_mut(e.ftag).unwrap();
+                    let slot = &mut self.threads[t].slab[e.slot as usize];
                     slot.exec_latency = 1;
                     now + 1
                 }
                 _ => {
                     let lat = self.fus.latency(op);
-                    let slot = self.threads[t].slot_mut(e.ftag).unwrap();
+                    let slot = &mut self.threads[t].slab[e.slot as usize];
                     // Pipelined units hold an op in their issue latch for
                     // one cycle (a new op enters every cycle); unpipelined
                     // dividers occupy their unit for the full latency. The
@@ -762,14 +802,15 @@ impl<S: InstSource> SmtCore<S> {
                     now + lat
                 }
             };
-            self.events.push(Reverse((completion, t as u8, e.ftag)));
+            self.events
+                .push(Reverse((completion, t as u8, e.ftag, e.slot)));
         }
 
         // FLUSH: squash everything younger than each L2-missing load and
         // queue the squashed correct-path work for refetch.
-        flushes.sort_by_key(|&(t, ftag)| (t, ftag));
+        flushes.sort_unstable_by_key(|&(t, ftag)| (t, ftag));
         flushes.dedup_by_key(|&mut (t, _)| t); // oldest boundary per thread
-        for (t, ftag) in flushes {
+        for &(t, ftag) in &flushes {
             // The default trigger squashes from the first instruction
             // *following* the offending load; the alternative scheme
             // re-fetches the load itself too.
@@ -780,6 +821,8 @@ impl<S: InstSource> SmtCore<S> {
             };
             self.squash_after(t, boundary, now, true);
         }
+        self.scratch.flushes = flushes;
+        self.scratch.iq_order = candidates;
     }
 
     // -----------------------------------------------------------------
@@ -792,12 +835,13 @@ impl<S: InstSource> SmtCore<S> {
     /// recovery, where everything younger is wrong-path).
     fn squash_after(&mut self, t: usize, boundary: u64, now: u64, replay: bool) {
         let id = ThreadId(t as u8);
-        let mut replay_rev: Vec<sim_model::Inst> = Vec::new();
-        while let Some(back) = self.threads[t].rob.back() {
+        let mut replay_rev = std::mem::take(&mut self.scratch.replay_rev);
+        replay_rev.clear();
+        while let Some(back) = self.threads[t].back_slot() {
             if back.ftag <= boundary {
                 break;
             }
-            let slot = self.threads[t].rob.pop_back().expect("just peeked");
+            let slot = self.threads[t].pop_back_slot().expect("just peeked");
             let inst = &slot.inst;
             let k = DeallocKind::Squashed;
             // Occupancy-only banking for every structure the op touched.
@@ -890,8 +934,9 @@ impl<S: InstSource> SmtCore<S> {
             }
         }
         // Front-end pipe: drop wrong-path work, optionally replay the rest.
+        let mut frontend = std::mem::take(&mut self.scratch.frontend);
+        frontend.clear();
         let th = &mut self.threads[t];
-        let mut frontend: Vec<sim_model::Inst> = Vec::new();
         for fe in th.fetch_queue.drain(..) {
             if fe.predicted_miss {
                 th.predicted_l1 = th.predicted_l1.saturating_sub(1);
@@ -908,10 +953,10 @@ impl<S: InstSource> SmtCore<S> {
         if replay {
             // Oldest-first: squashed ROB tail (reversed) then the front end,
             // ahead of anything already awaiting replay.
-            for inst in frontend.into_iter().rev() {
+            for &inst in frontend.iter().rev() {
                 th.replay.push_front(inst);
             }
-            for inst in replay_rev {
+            for &inst in &replay_rev {
                 th.replay.push_front(inst);
             }
         }
@@ -927,6 +972,8 @@ impl<S: InstSource> SmtCore<S> {
         } else {
             th.gen.current_pc()
         };
+        self.scratch.replay_rev = replay_rev;
+        self.scratch.frontend = frontend;
     }
 
     // -----------------------------------------------------------------
@@ -935,10 +982,12 @@ impl<S: InstSource> SmtCore<S> {
 
     fn dispatch(&mut self, now: u64) {
         let width = self.cfg.issue_width;
-        let mut order: Vec<usize> = (0..self.threads.len()).collect();
-        order.sort_by_key(|&t| (self.threads[t].icount, t));
+        let mut order = std::mem::take(&mut self.scratch.dispatch_order);
+        order.clear();
+        order.extend(0..self.threads.len());
+        order.sort_unstable_by_key(|&t| (self.threads[t].icount, t));
         let mut dispatched = 0u32;
-        for t in order {
+        for &t in &order {
             while dispatched < width {
                 let th = &self.threads[t];
                 let Some(fe) = th.fetch_queue.front() else {
@@ -1004,50 +1053,62 @@ impl<S: InstSource> SmtCore<S> {
                     self.threads[t].rename[arch.index()] = p;
                 }
                 slot.mispredicted = self.threads[t].pending_mispredict == Some(slot.ftag);
-                if slot.inst.op == OpClass::Nop {
+                let needs_iq = slot.inst.op != OpClass::Nop;
+                if needs_iq {
+                    slot.in_iq = true;
+                    self.threads[t].iq_used += 1;
+                } else {
                     slot.state = SlotState::Done;
                     slot.completed_at = now;
                     self.threads[t].icount = self.threads[t].icount.saturating_sub(1);
-                } else {
-                    self.iq.insert(id, slot.ftag);
-                    slot.in_iq = true;
-                    self.threads[t].iq_used += 1;
                 }
                 if slot.inst.op.is_mem() {
                     slot.in_lsq = true;
                     self.threads[t].lsq_used += 1;
                 }
-                self.threads[t].rob.push_back(slot);
+                let ftag = slot.ftag;
+                let idx = self.threads[t].push_slot(slot);
+                if needs_iq {
+                    self.iq.insert(id, ftag, idx);
+                }
                 dispatched += 1;
             }
         }
+        self.scratch.dispatch_order = order;
     }
 
     // -----------------------------------------------------------------
     // Fetch
     // -----------------------------------------------------------------
 
+    fn fill_telemetry(&self, out: &mut Vec<ThreadTelemetry>) {
+        out.clear();
+        out.extend(self.threads.iter().map(|th| ThreadTelemetry {
+            active: true,
+            in_flight: th.icount,
+            outstanding_l1_misses: th.outstanding_l1,
+            outstanding_l2_misses: th.outstanding_l2,
+            predicted_l1_misses: th.predicted_l1,
+            predicted_l2_misses: th.predicted_l2,
+            iq_occupancy: th.iq_used,
+        }));
+    }
+
+    #[cfg(test)]
     fn telemetry(&self) -> Vec<ThreadTelemetry> {
-        self.threads
-            .iter()
-            .map(|th| ThreadTelemetry {
-                active: true,
-                in_flight: th.icount,
-                outstanding_l1_misses: th.outstanding_l1,
-                outstanding_l2_misses: th.outstanding_l2,
-                predicted_l1_misses: th.predicted_l1,
-                predicted_l2_misses: th.predicted_l2,
-                iq_occupancy: th.iq_used,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.fill_telemetry(&mut out);
+        out
     }
 
     fn fetch(&mut self, now: u64) {
-        let telemetry = self.telemetry();
-        let priority = self.policy.priority(&telemetry);
+        let mut telemetry = std::mem::take(&mut self.scratch.telemetry);
+        let mut priority = std::mem::take(&mut self.scratch.priority);
+        self.fill_telemetry(&mut telemetry);
+        self.policy.priority_into(&telemetry, &mut priority);
         let mut fetched_total = 0u32;
         let mut threads_used = 0u32;
-        for id in priority {
+        for &id in &priority {
             if fetched_total >= self.cfg.fetch_width
                 || threads_used >= self.cfg.fetch_threads_per_cycle
             {
@@ -1149,6 +1210,8 @@ impl<S: InstSource> SmtCore<S> {
                 }
             }
         }
+        self.scratch.telemetry = telemetry;
+        self.scratch.priority = priority;
     }
 }
 
@@ -1192,7 +1255,7 @@ impl<S: InstSource> SmtCore<S> {
             || self
                 .threads
                 .iter()
-                .any(|th| th.rob.iter().any(|s| s.tainted))
+                .any(|th| th.rob_slots().any(|s| s.tainted))
     }
 
     /// Flip one bit *now*: apply `fault` to the current microarchitectural
@@ -1256,8 +1319,7 @@ impl<S: InstSource> SmtCore<S> {
     }
 
     fn inject_iq(&mut self, entry: u64, bit: u64) -> Landing {
-        let occupied = self.iq.by_age();
-        let Some(e) = occupied.get(entry as usize) else {
+        let Some(&e) = self.iq.entries().get(entry as usize) else {
             return Landing::Empty; // struck an unoccupied IQ entry
         };
         let (thread, ftag) = (e.thread, e.ftag);
@@ -1338,9 +1400,10 @@ impl<S: InstSource> SmtCore<S> {
         let per = self.cfg.rob_entries_per_thread as u64;
         let t = (entry / per) as usize % self.threads.len();
         let idx = (entry % per) as usize;
-        let Some(slot) = self.threads[t].rob.get_mut(idx) else {
+        let Some(&slab_i) = self.threads[t].rob.get(idx) else {
             return Landing::Empty;
         };
+        let slot = &mut self.threads[t].slab[slab_i as usize];
         if slot.inst.wrong_path {
             return Landing::Benign;
         }
@@ -1386,9 +1449,17 @@ impl<S: InstSource> SmtCore<S> {
         let per = self.cfg.lsq_entries_per_thread as u64;
         let t = (entry / per) as usize % self.threads.len();
         let idx = (entry % per) as usize;
-        let Some(slot) = self.threads[t].rob.iter_mut().filter(|s| s.in_lsq).nth(idx) else {
+        let th = &self.threads[t];
+        let Some(slab_i) = th
+            .rob
+            .iter()
+            .copied()
+            .filter(|&i| th.slab[i as usize].in_lsq)
+            .nth(idx)
+        else {
             return Landing::Empty;
         };
+        let slot = &mut self.threads[t].slab[slab_i as usize];
         if slot.inst.wrong_path {
             return Landing::Benign;
         }
@@ -1439,18 +1510,19 @@ impl<S: InstSource> SmtCore<S> {
         // and still inside their occupancy window (one cycle for pipelined
         // units, the full latency for dividers) — the same window the ACE
         // accounting banks.
-        let mut executing: Vec<(usize, u64)> = Vec::new();
-        for (t, th) in self.threads.iter().enumerate() {
-            for s in &th.rob {
-                if s.state == SlotState::Issued
+        let Some((t, ftag)) = self
+            .threads
+            .iter()
+            .enumerate()
+            .flat_map(|(t, th)| th.rob_slots().map(move |s| (t, s)))
+            .filter(|(_, s)| {
+                s.state == SlotState::Issued
                     && s.inst.op != OpClass::Nop
                     && s.issued_at + s.exec_latency.max(1) >= now
-                {
-                    executing.push((t, s.ftag));
-                }
-            }
-        }
-        let Some(&(t, ftag)) = executing.get(entry as usize) else {
+            })
+            .map(|(t, s)| (t, s.ftag))
+            .nth(entry as usize)
+        else {
             return Landing::Empty;
         };
         let slot = self.threads[t].slot_mut(ftag).expect("listed slot");
@@ -1485,7 +1557,7 @@ impl<S: InstSource> SmtCore<S> {
             self.events.len()
         );
         for (t, th) in self.threads.iter().enumerate() {
-            let head = th.rob.front().map(|sl| {
+            let head = th.front_slot().map(|sl| {
                 format!(
                     "{:?} op={:?} ftag={} wrong={} in_iq={} disp@{} iss@{}",
                     sl.state,

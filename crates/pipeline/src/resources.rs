@@ -25,6 +25,7 @@ impl FreeList {
     }
 
     /// Allocate a register, if any is free.
+    #[inline]
     pub fn alloc(&mut self) -> Option<PhysReg> {
         self.free.pop()
     }
@@ -43,6 +44,7 @@ impl FreeList {
     }
 
     /// Number of currently free registers.
+    #[inline]
     pub fn available(&self) -> usize {
         self.free.len()
     }
@@ -78,6 +80,7 @@ impl RegTracker {
     }
 
     /// A register was allocated at rename by `thread`.
+    #[inline]
     pub fn on_alloc(&mut self, r: PhysReg, thread: ThreadId) {
         let i = r.index();
         self.write_time[i] = 0;
@@ -89,6 +92,7 @@ impl RegTracker {
 
     /// The producing instruction wrote the register at `now`; `value_ace`
     /// is false for dynamically dead or wrong-path values.
+    #[inline]
     pub fn on_write(&mut self, r: PhysReg, now: u64, value_ace: bool) {
         let i = r.index();
         self.write_time[i] = now;
@@ -97,6 +101,7 @@ impl RegTracker {
     }
 
     /// A (correct-path) consumer read the register at `now`.
+    #[inline]
     pub fn on_read(&mut self, r: PhysReg, now: u64) {
         let i = r.index();
         self.last_read[i] = self.last_read[i].max(now);
@@ -104,6 +109,7 @@ impl RegTracker {
 
     /// The producing instruction was squashed: whatever was or will be
     /// written is not architecturally live.
+    #[inline]
     pub fn on_squash(&mut self, r: PhysReg) {
         self.value_ace[r.index()] = false;
     }
@@ -125,6 +131,7 @@ impl RegTracker {
     }
 
     /// Whether the register's value has been produced (scoreboard bit).
+    #[inline]
     pub fn is_ready(&self, r: PhysReg) -> bool {
         self.written[r.index()]
     }
@@ -162,19 +169,28 @@ impl RegTracker {
 // Issue queue
 // ---------------------------------------------------------------------------
 
-/// One issue-queue entry (the payload lives in the owning thread's ROB;
-/// the IQ holds a reference by `(thread, ftag)` plus an age stamp).
+/// One issue-queue entry (the payload lives in the owning thread's ROB
+/// slab; the IQ holds a reference by `(thread, ftag)` plus the slab index
+/// for O(1) payload access and an age stamp).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IqEntry {
     /// Owning thread.
     pub thread: ThreadId,
     /// The instruction's per-thread fetch tag.
     pub ftag: u64,
+    /// Index of the instruction's slot in the owning thread's ROB slab.
+    pub slot: u32,
     /// Global dispatch order stamp (age priority for select).
     pub age: u64,
 }
 
 /// The shared issue queue.
+///
+/// `entries` is maintained oldest-first at all times: insertions append
+/// with a strictly increasing age stamp and removals shift rather than
+/// swap, so the select order is available as a slice with no per-cycle
+/// snapshot-and-sort. The queue is small (tens of entries), making the
+/// shifting removal cheaper than the allocation it replaces.
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
     entries: Vec<IqEntry>,
@@ -193,6 +209,7 @@ impl IssueQueue {
     }
 
     /// Whether an entry can be inserted.
+    #[inline]
     pub fn has_space(&self) -> bool {
         self.entries.len() < self.capacity
     }
@@ -211,36 +228,43 @@ impl IssueQueue {
     ///
     /// # Panics
     /// Panics if the IQ is full (callers must check [`IssueQueue::has_space`]).
-    pub fn insert(&mut self, thread: ThreadId, ftag: u64) {
+    pub fn insert(&mut self, thread: ThreadId, ftag: u64, slot: u32) {
         assert!(self.has_space(), "issue queue overflow");
         self.age_counter += 1;
         self.entries.push(IqEntry {
             thread,
             ftag,
+            slot,
             age: self.age_counter,
         });
     }
 
     /// Remove a specific entry (on issue or squash). Returns whether it was
-    /// present.
+    /// present. Shifts rather than swaps to preserve age order.
     pub fn remove(&mut self, thread: ThreadId, ftag: u64) -> bool {
         if let Some(pos) = self
             .entries
             .iter()
             .position(|e| e.thread == thread && e.ftag == ftag)
         {
-            self.entries.swap_remove(pos);
+            self.entries.remove(pos);
             true
         } else {
             false
         }
     }
 
-    /// Snapshot of entries sorted oldest-first (the select order).
+    /// The entries oldest-first (the select order), allocation-free.
+    #[inline]
+    pub fn entries(&self) -> &[IqEntry] {
+        debug_assert!(self.entries.windows(2).all(|w| w[0].age < w[1].age));
+        &self.entries
+    }
+
+    /// Snapshot of entries sorted oldest-first (the select order). Prefer
+    /// [`IssueQueue::entries`] on hot paths; this allocates.
     pub fn by_age(&self) -> Vec<IqEntry> {
-        let mut v = self.entries.clone();
-        v.sort_unstable_by_key(|e| e.age);
-        v
+        self.entries.clone()
     }
 }
 
@@ -321,6 +345,7 @@ impl FuPool {
 
     /// Try to start `op` at cycle `now`. Returns `true` if a unit accepted
     /// it.
+    #[inline]
     pub fn try_issue(&mut self, op: OpClass, now: u64) -> bool {
         let busy = self.busy_time(op);
         let pool = self.pool_for(op);
@@ -418,8 +443,8 @@ mod tests {
     #[test]
     fn iq_age_order_and_capacity() {
         let mut q = IssueQueue::new(2);
-        q.insert(ThreadId(0), 5);
-        q.insert(ThreadId(1), 3);
+        q.insert(ThreadId(0), 5, 0);
+        q.insert(ThreadId(1), 3, 0);
         assert!(!q.has_space());
         let order = q.by_age();
         assert_eq!(order[0].thread, ThreadId(0));
@@ -432,8 +457,8 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn iq_overflow_panics() {
         let mut q = IssueQueue::new(1);
-        q.insert(ThreadId(0), 1);
-        q.insert(ThreadId(0), 2);
+        q.insert(ThreadId(0), 1, 0);
+        q.insert(ThreadId(0), 2, 0);
     }
 
     #[test]

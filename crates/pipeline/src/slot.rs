@@ -15,7 +15,7 @@ pub enum SlotState {
 }
 
 /// An instruction in the front-end pipe (fetched, not yet dispatched).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct FrontEndInst {
     /// The micro-op.
     pub inst: Inst,
@@ -31,7 +31,10 @@ pub struct FrontEndInst {
 
 /// A reorder-buffer slot: one in-flight instruction and every timestamp and
 /// flag the deferred AVF classification needs.
-#[derive(Debug, Clone)]
+///
+/// `Slot` is `Copy` (every field is a scalar): the slab-based ROB moves
+/// slots in and out by fixed-size copy, never via the heap.
+#[derive(Debug, Clone, Copy)]
 pub struct Slot {
     /// The micro-op.
     pub inst: Inst,

@@ -24,8 +24,20 @@ pub struct ThreadCtx<S = TraceGenerator> {
     pub miss_pred: MissPredictor,
     /// PSTALL's L2-miss predictor (trained on load L2 outcomes).
     pub l2_miss_pred: MissPredictor,
-    /// Reorder buffer (oldest at the front).
-    pub rob: VecDeque<Slot>,
+    /// Slab holding the payload of every in-flight slot. Entries are reused
+    /// via `free_slots`; a vacant entry has `ftag == u64::MAX`. External
+    /// references (IQ entries, completion events) carry a slab index and
+    /// revalidate it against the expected ftag, so a reused entry can never
+    /// be mistaken for its previous occupant (per-thread ftags never repeat).
+    pub slab: Vec<Slot>,
+    /// Vacant slab indices (LIFO).
+    free_slots: Vec<u32>,
+    /// Reorder buffer: slab indices in program order (oldest at the front).
+    pub rob: VecDeque<u32>,
+    /// Slab indices of in-flight stores in program order — the subset
+    /// `load_store_dep` scans, so loads check tens of stores instead of a
+    /// few hundred ROB slots.
+    store_idxs: VecDeque<u32>,
     /// Front-end pipe between fetch and dispatch.
     pub fetch_queue: VecDeque<FrontEndInst>,
     /// Correct-path instructions squashed by FLUSH awaiting refetch.
@@ -84,7 +96,10 @@ impl<S: InstSource> ThreadCtx<S> {
             predictor,
             miss_pred: MissPredictor::default(),
             l2_miss_pred: MissPredictor::default(),
+            slab: Vec::new(),
+            free_slots: Vec::new(),
             rob: VecDeque::new(),
+            store_idxs: VecDeque::new(),
             fetch_queue: VecDeque::new(),
             replay: VecDeque::new(),
             rename: rename_init,
@@ -125,17 +140,101 @@ impl<S: InstSource> ThreadCtx<S> {
         self.rename[reg.index()]
     }
 
+    /// Append a freshly dispatched slot to the ROB tail, reusing a vacant
+    /// slab entry if one exists. Returns the slot's slab index.
+    pub fn push_slot(&mut self, slot: Slot) -> u32 {
+        let is_store = slot.inst.op == sim_model::OpClass::Store;
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.slab[i as usize] = slot;
+                i
+            }
+            None => {
+                self.slab.push(slot);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.rob.push_back(idx);
+        if is_store {
+            self.store_idxs.push_back(idx);
+        }
+        idx
+    }
+
+    /// Pop the oldest slot (commit). Returns the slot by value; its slab
+    /// entry becomes vacant.
+    pub fn pop_front_slot(&mut self) -> Option<Slot> {
+        let idx = self.rob.pop_front()?;
+        let slot = self.slab[idx as usize];
+        if slot.inst.op == sim_model::OpClass::Store {
+            debug_assert_eq!(self.store_idxs.front(), Some(&idx));
+            self.store_idxs.pop_front();
+        }
+        self.slab[idx as usize].ftag = u64::MAX;
+        self.free_slots.push(idx);
+        Some(slot)
+    }
+
+    /// Pop the youngest slot (squash). Returns the slot by value; its slab
+    /// entry becomes vacant.
+    pub fn pop_back_slot(&mut self) -> Option<Slot> {
+        let idx = self.rob.pop_back()?;
+        let slot = self.slab[idx as usize];
+        if slot.inst.op == sim_model::OpClass::Store {
+            debug_assert_eq!(self.store_idxs.back(), Some(&idx));
+            self.store_idxs.pop_back();
+        }
+        self.slab[idx as usize].ftag = u64::MAX;
+        self.free_slots.push(idx);
+        Some(slot)
+    }
+
+    /// The oldest in-flight slot, if any.
+    pub fn front_slot(&self) -> Option<&Slot> {
+        self.rob.front().map(|&i| &self.slab[i as usize])
+    }
+
+    /// The youngest in-flight slot, if any.
+    pub fn back_slot(&self) -> Option<&Slot> {
+        self.rob.back().map(|&i| &self.slab[i as usize])
+    }
+
+    /// Iterate the in-flight slots oldest-first.
+    pub fn rob_slots(&self) -> impl Iterator<Item = &Slot> + '_ {
+        self.rob.iter().map(|&i| &self.slab[i as usize])
+    }
+
+    /// Resolve a slab index carried by an IQ entry or completion event,
+    /// revalidating against the expected ftag. Returns `None` if the slot
+    /// was squashed (and possibly reused) since the reference was taken.
+    #[inline]
+    pub fn slot_at_mut(&mut self, idx: u32, ftag: u64) -> Option<&mut Slot> {
+        let slot = &mut self.slab[idx as usize];
+        (slot.ftag == ftag).then_some(slot)
+    }
+
     /// Find a slot by fetch tag (binary search: ROB ftags are strictly
-    /// increasing by construction).
+    /// increasing by construction). Hot paths use [`ThreadCtx::slot_at_mut`]
+    /// with a slab index instead.
     pub fn slot(&self, ftag: u64) -> Option<&Slot> {
-        let i = self.rob.partition_point(|s| s.ftag < ftag);
-        self.rob.get(i).filter(|s| s.ftag == ftag)
+        let i = self
+            .rob
+            .partition_point(|&s| self.slab[s as usize].ftag < ftag);
+        self.rob
+            .get(i)
+            .map(|&s| &self.slab[s as usize])
+            .filter(|s| s.ftag == ftag)
     }
 
     /// Find a slot by fetch tag, mutably.
     pub fn slot_mut(&mut self, ftag: u64) -> Option<&mut Slot> {
-        let i = self.rob.partition_point(|s| s.ftag < ftag);
-        self.rob.get_mut(i).filter(|s| s.ftag == ftag)
+        let i = self
+            .rob
+            .partition_point(|&s| self.slab[s as usize].ftag < ftag);
+        match self.rob.get(i) {
+            Some(&s) if self.slab[s as usize].ftag == ftag => Some(&mut self.slab[s as usize]),
+            _ => None,
+        }
     }
 
     /// Recompute the ICOUNT counter after a squash: instructions in the
@@ -143,8 +242,7 @@ impl<S: InstSource> ThreadCtx<S> {
     /// dispatch and never count).
     pub fn recompute_icount(&mut self) {
         let waiting = self
-            .rob
-            .iter()
+            .rob_slots()
             .filter(|s| s.state == SlotState::Waiting && s.inst.op != sim_model::OpClass::Nop)
             .count();
         self.icount = (self.fetch_queue.len() + waiting) as u32;
@@ -157,24 +255,24 @@ impl<S: InstSource> ThreadCtx<S> {
     /// when an older store provides the data, `MemDep::None` otherwise.
     pub fn load_store_dep(&self, load_ftag: u64, addr: u64) -> MemDep {
         let word = addr & !7;
-        // Scan youngest-to-oldest so the *nearest* older store wins.
-        let mut result = MemDep::None;
-        for s in self.rob.iter().rev() {
-            if s.ftag >= load_ftag || s.inst.op != sim_model::OpClass::Store {
+        // Scan youngest-to-oldest so the *nearest* older store wins; only
+        // stores are examined (`store_idxs` tracks them in program order).
+        for &si in self.store_idxs.iter().rev() {
+            let s = &self.slab[si as usize];
+            if s.ftag >= load_ftag {
                 continue;
             }
             if let Some(m) = s.inst.mem {
                 if m.addr & !7 == word {
-                    result = if s.state == SlotState::Waiting {
+                    return if s.state == SlotState::Waiting {
                         MemDep::Blocked
                     } else {
                         MemDep::Forward
                     };
-                    break;
                 }
             }
         }
-        result
+        MemDep::None
     }
 }
 
@@ -239,11 +337,12 @@ mod tests {
     #[test]
     fn load_store_dep_detects_blocking_and_forwarding() {
         let mut c = ctx();
-        c.rob.push_back(store_slot(1, 0x1000, SlotState::Waiting));
+        c.push_slot(store_slot(1, 0x1000, SlotState::Waiting));
         assert_eq!(c.load_store_dep(5, 0x1000), MemDep::Blocked);
         assert_eq!(c.load_store_dep(5, 0x1004), MemDep::Blocked, "same word");
         assert_eq!(c.load_store_dep(5, 0x1008), MemDep::None, "next word");
-        c.rob[0].state = SlotState::Done;
+        let i0 = c.rob[0] as usize;
+        c.slab[i0].state = SlotState::Done;
         assert_eq!(c.load_store_dep(5, 0x1000), MemDep::Forward);
         // Stores younger than the load never match.
         assert_eq!(c.load_store_dep(1, 0x1000), MemDep::None);
@@ -252,8 +351,8 @@ mod tests {
     #[test]
     fn nearest_older_store_wins() {
         let mut c = ctx();
-        c.rob.push_back(store_slot(1, 0x1000, SlotState::Done));
-        c.rob.push_back(store_slot(2, 0x1000, SlotState::Waiting));
+        c.push_slot(store_slot(1, 0x1000, SlotState::Done));
+        c.push_slot(store_slot(2, 0x1000, SlotState::Waiting));
         assert_eq!(c.load_store_dep(5, 0x1000), MemDep::Blocked);
     }
 
@@ -263,22 +362,16 @@ mod tests {
         let mut inst = Inst::nop(0, SeqNum(0));
         inst.op = OpClass::IntAlu;
         let fe = FrontEndInst {
-            inst: inst.clone(),
+            inst,
             ftag: 0,
             ready_at: 5,
             predicted_miss: false,
             predicted_l2_miss: false,
         };
-        c.fetch_queue.push_back(fe.clone());
-        let mut slot = Slot::new(
-            FrontEndInst {
-                ftag: 1,
-                ..fe.clone()
-            },
-            0,
-        );
+        c.fetch_queue.push_back(fe);
+        let mut slot = Slot::new(FrontEndInst { ftag: 1, ..fe }, 0);
         slot.state = SlotState::Waiting;
-        c.rob.push_back(slot);
+        c.push_slot(slot);
         let mut nop_slot = Slot::new(
             FrontEndInst {
                 inst: Inst::nop(4, SeqNum(2)),
@@ -290,7 +383,7 @@ mod tests {
             0,
         );
         nop_slot.state = SlotState::Waiting;
-        c.rob.push_back(nop_slot);
+        c.push_slot(nop_slot);
         c.recompute_icount();
         assert_eq!(c.icount, 2, "1 front-end + 1 waiting ALU; NOP excluded");
     }

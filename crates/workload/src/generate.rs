@@ -10,7 +10,7 @@
 
 use crate::profile::BenchmarkProfile;
 use sim_model::{ArchReg, BranchKind, Inst, MemRef, OpClass, SeqNum, SimRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Depth of the recent-writer window used for dependence sampling.
 const RECENT_WINDOW: usize = 24;
@@ -48,8 +48,10 @@ pub struct TraceGenerator {
     warm_ptr: u64,
     cold_ptr: u64,
     /// Per-static-branch occurrence counters for periodic (history-
-    /// predictable) data-dependent branches.
-    flaky_counters: HashMap<u64, u32>,
+    /// predictable) data-dependent branches, direct-indexed by word offset
+    /// from `code_base`. Sized at construction to cover the whole PC range
+    /// (main region plus subroutine slots) so the cycle loop never grows it.
+    flaky_counters: Vec<u32>,
     // Diagnostics.
     emitted: u64,
 }
@@ -66,6 +68,9 @@ impl TraceGenerator {
         let mixed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let code_base = 0x0040_0000 + ((seed & 0xFF) << 24) + ((mixed >> 32) & 0xF_FFC0);
         let data_base = 0x1_0000_0000u64 + ((seed & 0xFF) << 36) + ((mixed >> 16) & 0xFF_FFC0);
+        // Main code region plus the 8 subroutine slots (0x400 bytes apart)
+        // plus slack for forward skips drifting past a slot boundary.
+        let pc_words = (profile.branch.code_bytes.max(256) / 4) as usize + 4096;
         let mut gen = TraceGenerator {
             profile,
             rng: SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -82,7 +87,7 @@ impl TraceGenerator {
             recent_fp: VecDeque::with_capacity(RECENT_WINDOW),
             warm_ptr: 0,
             cold_ptr: 0,
-            flaky_counters: HashMap::new(),
+            flaky_counters: vec![0; pc_words],
             emitted: 0,
         };
         gen.iters_left = gen.sample_loop_iters();
@@ -314,7 +319,8 @@ impl TraceGenerator {
                 let period = (1.0 / (1.0 - self.profile.branch.flaky_bias).max(0.05))
                     .round()
                     .max(2.0) as u32;
-                let n = self.flaky_counters.entry(pc).or_insert(0);
+                let idx = ((pc - self.code_base) >> 2) as usize % self.flaky_counters.len();
+                let n = &mut self.flaky_counters[idx];
                 *n = n.wrapping_add(1);
                 !(*n).is_multiple_of(period)
             } else {

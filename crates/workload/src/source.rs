@@ -149,7 +149,7 @@ impl InstSource for RecordedTrace {
     }
 
     fn next_inst(&mut self) -> Inst {
-        let mut inst = self.insts[self.cursor].clone();
+        let mut inst = self.insts[self.cursor];
         inst.seq = SeqNum(self.seq);
         self.seq += 1;
         self.cursor = (self.cursor + 1) % self.insts.len();

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the perfbench harness and leave BENCH_pipeline.json in the repo root.
+#
+# Usage: scripts/bench.sh [smoke]
+#   (no arg)  full measurement: 50k warm-up + 500k timed cycles + the
+#             quick policy sweep at 1/2/4 workers
+#   smoke     tiny CI budget: enough to exercise the harness end-to-end
+#             (including the JSON write) in seconds, not minutes
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "smoke" ]]; then
+  export PERFBENCH_WARMUP_CYCLES=5000
+  export PERFBENCH_CYCLES=20000
+  export PERFBENCH_SWEEP=0
+fi
+
+cargo run --release -p smt-avf-bench --bin perfbench

@@ -44,27 +44,27 @@ impl Characterization {
     }
 }
 
-/// Characterize every profiled benchmark at `scale`.
+/// Characterize every profiled benchmark at `scale`. The per-benchmark
+/// runs are independent, so they fan out on the [`sim_exec`] worker pool;
+/// results stay in `all_profiles()` order for any worker count.
 pub fn characterize_all(scale: ExperimentScale) -> Result<Vec<Characterization>, RunError> {
-    all_profiles()
-        .into_iter()
-        .map(|p| {
-            let r = run_single_thread(
-                p.name,
-                0xC0FFEE,
-                sim_pipeline::SimBudget::total_instructions(scale.measure_per_thread)
-                    .with_warmup(scale.warmup_per_thread),
-            )?;
-            Ok(Characterization {
-                name: p.name,
-                class: p.class,
-                ipc: r.ipc(),
-                dl1_miss_rate: r.dl1_miss_rate,
-                l2_miss_rate: r.l2_miss_rate,
-                mispredict_rate: r.threads[0].mispredict_rate,
-            })
+    let profiles = all_profiles();
+    sim_exec::try_par_map(&profiles, sim_exec::worker_count(), |p| {
+        let r = run_single_thread(
+            p.name,
+            0xC0FFEE,
+            sim_pipeline::SimBudget::total_instructions(scale.measure_per_thread)
+                .with_warmup(scale.warmup_per_thread),
+        )?;
+        Ok(Characterization {
+            name: p.name,
+            class: p.class,
+            ipc: r.ipc(),
+            dl1_miss_rate: r.dl1_miss_rate,
+            l2_miss_rate: r.l2_miss_rate,
+            mispredict_rate: r.threads[0].mispredict_rate,
         })
-        .collect()
+    })
 }
 
 /// The characterization table (sorted CPU class first, then by name).

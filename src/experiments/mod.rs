@@ -63,16 +63,19 @@ pub(crate) fn workloads_of(contexts: usize, mix_label: &str) -> Vec<SmtWorkload>
 }
 
 /// Run every group of `(contexts, mix)` under `policy` and return results.
+///
+/// Runs execute on the [`sim_exec`] worker pool; results are in workload
+/// order and bit-identical to a serial run for any worker count.
 pub(crate) fn run_mix(
     contexts: usize,
     mix_label: &str,
     policy: FetchPolicyKind,
     scale: ExperimentScale,
 ) -> Result<Vec<SimResult>, RunError> {
-    workloads_of(contexts, mix_label)
-        .iter()
-        .map(|w| run_workload(w, policy, scale.budget(contexts)))
-        .collect()
+    let workloads = workloads_of(contexts, mix_label);
+    sim_exec::try_par_map(&workloads, sim_exec::worker_count(), |w| {
+        run_workload(w, policy, scale.budget(contexts))
+    })
 }
 
 /// Average AVF of `structure` across runs.
@@ -124,17 +127,15 @@ pub fn st_comparison(
         FetchPolicyKind::Icount,
         scale.budget(workload.contexts),
     )?;
-    let st = workload
-        .programs
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            let committed = smt.report.committed()[i].max(1_000);
-            let budget =
-                SimBudget::total_instructions(committed).with_warmup(scale.warmup_per_thread);
-            run_single_thread(name, workload_seed(workload, i), budget)
-        })
-        .collect::<Result<_, _>>()?;
+    // The per-thread replays are independent of each other (only the SMT
+    // run above feeds them), so they fan out on the worker pool.
+    let st = sim_exec::run_indexed(workload.programs.len(), sim_exec::worker_count(), |i| {
+        let committed = smt.report.committed()[i].max(1_000);
+        let budget = SimBudget::total_instructions(committed).with_warmup(scale.warmup_per_thread);
+        run_single_thread(workload.programs[i], workload_seed(workload, i), budget)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     Ok(StComparison {
         workload: workload.clone(),
         smt,
@@ -166,25 +167,40 @@ pub struct SweepEntry {
 }
 
 /// Run every `(workload, policy)` pair for the given context counts —
-/// the data behind Figures 6, 7 and 8.
+/// the data behind Figures 6, 7 and 8 — on the default worker pool.
 pub fn policy_sweep(
     contexts_list: &[usize],
     scale: ExperimentScale,
 ) -> Result<Vec<SweepEntry>, RunError> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for &contexts in contexts_list {
         for w in table2().into_iter().filter(|w| w.contexts == contexts) {
             for policy in FetchPolicyKind::STUDIED {
-                let result = run_workload(&w, policy, scale.budget(contexts))?;
-                out.push(SweepEntry {
-                    workload: w.clone(),
-                    policy,
-                    result,
-                });
+                jobs.push((w.clone(), policy));
             }
         }
     }
-    Ok(out)
+    sweep(&jobs, scale, sim_exec::worker_count())
+}
+
+/// Run an explicit `(workload, policy)` job list on `workers` threads.
+///
+/// Results come back in job order and are bit-identical for any worker
+/// count ([`sim_exec`]'s determinism contract); `workers == 1` is the
+/// serial reference the parallel runs are checked against in tests.
+pub fn sweep(
+    jobs: &[(SmtWorkload, FetchPolicyKind)],
+    scale: ExperimentScale,
+    workers: usize,
+) -> Result<Vec<SweepEntry>, RunError> {
+    sim_exec::try_par_map(jobs, workers, |(w, policy)| {
+        let result = run_workload(w, *policy, scale.budget(w.contexts))?;
+        Ok(SweepEntry {
+            workload: w.clone(),
+            policy: *policy,
+            result,
+        })
+    })
 }
 
 /// Cached single-thread IPC per program (fixed-length steady-state run),

@@ -1,0 +1,55 @@
+//! The parallel sweep driver must be a pure speedup: for a fixed seed the
+//! merged results — including every `AvfReport` — are bit-identical to the
+//! serial (1-worker) reference at any worker count.
+
+use smt_avf::experiments::sweep;
+use smt_avf::prelude::*;
+
+fn mix(name: &str) -> SmtWorkload {
+    table2().into_iter().find(|w| w.name == name).unwrap()
+}
+
+#[test]
+fn parallel_sweep_matches_serial_at_any_worker_count() {
+    // Two mixes (CPU-bound and memory-bound) under two policies: enough
+    // jobs that 2 and 4 workers genuinely interleave completions.
+    let jobs: Vec<(SmtWorkload, FetchPolicyKind)> = [mix("2T-CPU-A"), mix("2T-MEM-A")]
+        .into_iter()
+        .flat_map(|w| {
+            [
+                (w.clone(), FetchPolicyKind::Icount),
+                (w, FetchPolicyKind::Flush),
+            ]
+        })
+        .collect();
+    let scale = ExperimentScale::quick();
+
+    let serial = sweep(&jobs, scale, 1).unwrap();
+    assert_eq!(serial.len(), jobs.len());
+
+    for workers in [2, 4] {
+        let parallel = sweep(&jobs, scale, workers).unwrap();
+        assert_eq!(parallel.len(), serial.len(), "{workers} workers");
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.workload.name, p.workload.name, "{workers} workers");
+            assert_eq!(s.policy, p.policy, "{workers} workers");
+            // Bit-identical runs: same cycle count, same per-thread stats,
+            // and the same AvfReport down to every residency-derived field.
+            assert_eq!(
+                s.result.cycles, p.result.cycles,
+                "{}/{:?} at {workers} workers",
+                s.workload.name, s.policy
+            );
+            assert_eq!(
+                s.result.threads, p.result.threads,
+                "{}/{:?} at {workers} workers",
+                s.workload.name, s.policy
+            );
+            assert_eq!(
+                s.result.report, p.result.report,
+                "{}/{:?} at {workers} workers",
+                s.workload.name, s.policy
+            );
+        }
+    }
+}
