@@ -1,6 +1,6 @@
 //! perfbench — the performance-trajectory recorder.
 //!
-//! Measures two things and writes them to `BENCH_pipeline.json`:
+//! Measures three things and writes them to `BENCH_pipeline.json`:
 //!
 //! 1. **Steady-state `step()` throughput** — simulated cycles per wall
 //!    second of the 4-thread `4T-MIX-A` workload under ICOUNT, after a
@@ -8,6 +8,14 @@
 //! 2. **Sweep wall clock** — the quick 2-context policy sweep run at 1, 2
 //!    and 4 workers on the `sim_exec` pool, asserting the merged reports
 //!    are bit-identical to the serial reference before timing is trusted.
+//! 3. **SFI campaign wall clock** — a quick-scale fault-injection campaign
+//!    timed on the replay-from-zero oracle path and on the checkpointed
+//!    path, asserting record-for-record identical results before the
+//!    speedup is trusted.
+//!
+//! The JSON also records the machine context that makes parallel numbers
+//! interpretable: `std::thread::available_parallelism()` and the
+//! `sim_exec` job-chunk granularity.
 //!
 //! The baseline constants below were measured at the pre-optimization
 //! commit on the same machine, so the JSON records the perf trajectory
@@ -18,11 +26,16 @@
 //! * `PERFBENCH_WARMUP_CYCLES` — warm-up steps before timing (default 50000)
 //! * `PERFBENCH_CYCLES` — timed steps (default 500000)
 //! * `PERFBENCH_SWEEP` — set to `0` to skip the sweep section entirely
+//! * `PERFBENCH_SFI` — set to `0` to skip the SFI section entirely
+//! * `PERFBENCH_SFI_TRIALS` — trials per structure for the SFI timing
+//!   (default 50)
 //! * `PERFBENCH_OUT` — output path (default `BENCH_pipeline.json`)
 
+use sim_inject::run_campaign;
 use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::SmtCore;
 use sim_workload::{table2, SmtWorkload};
+use smt_avf::experiments::campaign::default_campaign;
 use smt_avf::experiments::sweep;
 use smt_avf::runner::workload_generators;
 use smt_avf::ExperimentScale;
@@ -74,12 +87,61 @@ fn step_throughput(workload: &SmtWorkload, warmup: u64, timed: u64) -> f64 {
     timed as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Time one quick-scale SFI campaign on both replay paths and prove the
+/// records identical before returning `(oracle_secs, checkpointed_secs)`.
+///
+/// Both runs use one worker so the ratio isolates the checkpointing win
+/// from thread-pool scaling (which the `sweep` section already covers).
+fn sfi_wallclock(trials: usize) -> (f64, f64, usize) {
+    let w = table2()
+        .into_iter()
+        .find(|w| w.name == "2T-MIX-A")
+        .expect("bundled workload");
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(w.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let factory = || {
+        SmtCore::new(
+            cfg.clone(),
+            workload_generators(&w).expect("bundled workload"),
+        )
+    };
+    let mut cc = default_campaign(&w, trials, 12, ExperimentScale::quick());
+    cc.workers = 1;
+
+    cc.replay_from_zero = true;
+    let t0 = Instant::now();
+    let oracle = run_campaign(factory, &cc).expect("oracle campaign");
+    let oracle_secs = t0.elapsed().as_secs_f64();
+
+    cc.replay_from_zero = false;
+    let t0 = Instant::now();
+    let checkpointed = run_campaign(factory, &cc).expect("checkpointed campaign");
+    let checkpointed_secs = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        oracle.window, checkpointed.window,
+        "checkpointed campaign measured a different golden window"
+    );
+    assert_eq!(
+        oracle.records, checkpointed.records,
+        "checkpointed campaign diverged from the replay-from-zero oracle"
+    );
+    assert_eq!(oracle.per_target, checkpointed.per_target);
+    (oracle_secs, checkpointed_secs, cc.checkpoints)
+}
+
 fn main() {
     let warmup = env_u64("PERFBENCH_WARMUP_CYCLES", 50_000);
     let timed = env_u64("PERFBENCH_CYCLES", 500_000);
     let run_sweep = env_u64("PERFBENCH_SWEEP", 1) != 0;
+    let run_sfi = env_u64("PERFBENCH_SFI", 1) != 0;
+    let sfi_trials = env_u64("PERFBENCH_SFI_TRIALS", 50) as usize;
     let out_path =
         std::env::var("PERFBENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let w = table2()
         .into_iter()
@@ -154,15 +216,40 @@ fn main() {
         );
     }
 
+    // SFI: the checkpointed campaign against the replay-from-zero oracle,
+    // proven record-identical before the speedup is recorded.
+    let mut sfi_json = String::from("null");
+    if run_sfi && sfi_trials > 0 {
+        let (oracle_secs, checkpointed_secs, k) = sfi_wallclock(sfi_trials);
+        let sfi_speedup = oracle_secs / checkpointed_secs;
+        println!(
+            "sfi: {sfi_trials} trials/structure — replay-from-zero {oracle_secs:.2}s, \
+             checkpointed {checkpointed_secs:.2}s ({sfi_speedup:.2}x, K={k})"
+        );
+        sfi_json = format!(
+            "{{\n    \"workload\": \"2T-MIX-A\",\n    \"scale\": \"quick\",\n    \
+             \"trials_per_structure\": {sfi_trials},\n    \
+             \"checkpoints\": {k},\n    \
+             \"baseline_replay_from_zero_secs\": {oracle_secs:.3},\n    \
+             \"checkpointed_secs\": {checkpointed_secs:.3},\n    \
+             \"speedup\": {sfi_speedup:.3},\n    \
+             \"bit_identical_to_oracle\": true\n  }}"
+        );
+    }
+
     let json = format!(
         "{{\n  \"schema\": \"smt-avf/perfbench/v1\",\n  \"commit\": \"{}\",\n  \
+         \"hardware\": {{\n    \"available_parallelism\": {parallelism},\n    \
+         \"job_chunk\": {}\n  }},\n  \
          \"config\": {{\n    \"workload\": \"{}\",\n    \"policy\": \"ICOUNT\",\n    \
          \"warmup_cycles\": {warmup},\n    \"timed_cycles\": {timed}\n  }},\n  \
          \"step\": {{\n    \"cycles_per_sec\": {cps:.0},\n    \
          \"baseline_cycles_per_sec\": {BASELINE_STEP_CPS},\n    \
          \"speedup_vs_baseline\": {step_speedup:.3}\n  }},\n  \
-         \"sweep\": {sweep_json}\n}}\n",
+         \"sweep\": {sweep_json},\n  \
+         \"sfi\": {sfi_json}\n}}\n",
         git_sha(),
+        sim_exec::JOB_CHUNK,
         w.name,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");

@@ -196,7 +196,7 @@ impl AvfEngine {
     ///
     /// # Panics
     /// Panics if `committed.len()` differs from the engine's context count.
-    pub fn finish(&self, cycles: u64, committed: Vec<u64>) -> AvfReport {
+    pub fn finish(&self, cycles: u64, committed: &[u64]) -> AvfReport {
         assert_eq!(
             committed.len(),
             self.contexts,
@@ -215,7 +215,7 @@ impl AvfEngine {
                 total_bits: t.total_bits(),
             })
             .collect();
-        AvfReport::new(cycles, committed, structures)
+        AvfReport::new(cycles, committed.to_vec(), structures)
     }
 }
 
@@ -276,7 +276,7 @@ mod tests {
             e.set_total_bits(s, 1000);
             e.bank(s, ThreadId(1), 10, 10);
         }
-        let r = e.finish(100, vec![1, 2]);
+        let r = e.finish(100, &[1, 2]);
         for s in StructureId::ALL {
             let sa = r.structure(s);
             assert!(sa.avf > 0.0, "{s} should have nonzero AVF");
@@ -289,7 +289,7 @@ mod tests {
     #[should_panic(expected = "committed counts")]
     fn finish_rejects_wrong_thread_count() {
         let e = AvfEngine::new(2);
-        let _ = e.finish(10, vec![1]);
+        let _ = e.finish(10, &[1]);
     }
 
     #[test]

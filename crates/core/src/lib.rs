@@ -42,7 +42,7 @@
 //! engine.set_total_bits(StructureId::Iq, 96 * 64);
 //! // Bank 64 ACE bits that sat in the issue queue for 10 cycles on T0.
 //! engine.bank(StructureId::Iq, ThreadId(0), 64, 10);
-//! let report = engine.finish(100, vec![500, 400]);
+//! let report = engine.finish(100, &[500, 400]);
 //! assert!(report.structure(StructureId::Iq).avf > 0.0);
 //! ```
 

@@ -138,7 +138,7 @@ fn engine_reset_zeroes_accumulators() {
             e.bank(s, ThreadId(th), r.range_u64(1, 100), r.range_u64(1, 50));
         }
         e.reset();
-        let report = e.finish(1_000, vec![10, 10]);
+        let report = e.finish(1_000, &[10, 10]);
         for s in StructureId::ALL {
             assert_eq!(report.structure(s).avf, 0.0);
             // Budgets survive the reset.

@@ -42,6 +42,13 @@ fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Indices are claimed from the shared counter in contiguous chunks of
+/// this many jobs. Chunking amortizes the claim CAS and the merge-lock
+/// acquisition across short jobs while staying small enough that the tail
+/// of a sweep load-balances; it cannot affect results, because the merge
+/// is by index regardless of which worker claimed what.
+pub const JOB_CHUNK: usize = 4;
+
 /// Execute `f(0..total)` on `workers` scoped threads and return the results
 /// in index order. See the module docs for the determinism contract.
 ///
@@ -70,12 +77,17 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
+                let base = next.fetch_add(JOB_CHUNK, Ordering::Relaxed);
+                if base >= total {
                     break;
                 }
-                let r = f(i);
-                results.lock().unwrap()[i] = Some(r);
+                let end = (base + JOB_CHUNK).min(total);
+                // Run the whole chunk before touching the merge lock.
+                let chunk: Vec<T> = (base..end).map(&f).collect();
+                let mut merged = results.lock().unwrap();
+                for (i, r) in chunk.into_iter().enumerate() {
+                    merged[base + i] = Some(r);
+                }
             });
         }
     });

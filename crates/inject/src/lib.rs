@@ -37,6 +37,21 @@
 //! Trial `i`'s fault is sampled from a splitmix64-derived stream seeded by
 //! `(campaign_seed, i)` only, and results are stored by trial index, so a
 //! campaign is bit-identical for any worker count.
+//!
+//! # Checkpointing
+//!
+//! Replaying every trial from cycle 0 costs `O(trials × (warmup +
+//! window/2))` simulated cycles before the first bit is even flipped. The
+//! campaign runner instead captures K snapshots of the golden machine —
+//! one at the window start (skipping warmup replay entirely) and the rest
+//! evenly spaced across the window — by deep-cloning [`SmtCore`], whose
+//! state is self-contained (see [`run_golden_checkpointed`]). A trial
+//! restores the nearest snapshot at or before its injection cycle and
+//! steps only the delta (`≤ window/K` cycles). Because a restored clone
+//! steps bit-identically to the original machine, the trial outcome is
+//! exactly what the replay-from-zero path produces; that path is kept
+//! behind [`CampaignConfig::replay_from_zero`] as the oracle the
+//! equivalence tests (and perfbench baseline timing) run against.
 
 use avf_core::{SfiPoint, StructureId};
 use sim_model::rng::splitmix64;
@@ -209,9 +224,23 @@ pub struct CampaignConfig {
     pub budget: SimBudget,
     /// Cycles without any commit before a trial is declared hung.
     pub hang_cycles: u64,
+    /// Snapshots captured across the golden window (clamped to at least
+    /// 1); a trial replays at most `window / checkpoints` cycles before
+    /// injecting. Ignored when [`replay_from_zero`] is set.
+    ///
+    /// [`replay_from_zero`]: CampaignConfig::replay_from_zero
+    pub checkpoints: usize,
+    /// Run every trial from cycle 0 (warmup + replay to the injection
+    /// cycle) instead of restoring a checkpoint. Slow; kept as the oracle
+    /// the checkpointed path is proven bit-identical against.
+    pub replay_from_zero: bool,
     /// The structures to inject into.
     pub targets: Vec<FaultTarget>,
 }
+
+/// Default snapshot count: enough that per-trial replay is a small slice
+/// of the window while golden capture stays a handful of clones.
+pub const DEFAULT_CHECKPOINTS: usize = 12;
 
 impl CampaignConfig {
     /// A campaign over the structures the cross-validation report covers.
@@ -222,6 +251,8 @@ impl CampaignConfig {
             workers: sim_exec::worker_count(),
             budget,
             hang_cycles: 20_000,
+            checkpoints: DEFAULT_CHECKPOINTS,
+            replay_from_zero: false,
             targets: vec![
                 FaultTarget::Iq,
                 FaultTarget::Rob,
@@ -274,15 +305,16 @@ impl CampaignResult {
     }
 }
 
-/// Run the uninjected reference simulation: warm up, open the measurement
-/// window, record the retired stream until the commit target.
-pub fn run_golden<S, F>(factory: &F, budget: SimBudget) -> Result<GoldenRun, InjectError>
+/// Build a fresh core and run the shared pre-measurement preamble: warm
+/// up, open the measurement window, enable the commit log. Both the
+/// golden pass and the replay-from-zero trial path start from exactly
+/// this state, which is what makes their histories comparable.
+fn warmed_core<S, F>(factory: &F, budget: SimBudget) -> SmtCore<S>
 where
     S: InstSource,
     F: Fn() -> SmtCore<S>,
 {
     let mut core = factory();
-    let contexts = core.config().contexts;
     while core.total_committed() < budget.warmup_instructions && core.cycle() < budget.max_cycles {
         core.step();
     }
@@ -290,6 +322,18 @@ where
         core.reset_measurement();
     }
     core.enable_commit_log();
+    core
+}
+
+/// Run the uninjected reference simulation: warm up, open the measurement
+/// window, record the retired stream until the commit target.
+pub fn run_golden<S, F>(factory: &F, budget: SimBudget) -> Result<GoldenRun, InjectError>
+where
+    S: InstSource,
+    F: Fn() -> SmtCore<S>,
+{
+    let mut core = warmed_core(factory, budget);
+    let contexts = core.config().contexts;
     let start = core.cycle();
     let target_committed = core.total_committed() + budget.total_instructions;
     while core.total_committed() < target_committed && core.cycle() < budget.max_cycles {
@@ -317,11 +361,87 @@ where
     })
 }
 
-/// Replay the simulation to `inject_cycle`, apply `fault`, run to the
-/// golden commit target, classify. The injection cycle must lie inside the
-/// golden window `[start, end)`; anything else — in particular a cycle at
-/// or past the simulation's end — is rejected with
+/// The golden reference plus the machine snapshots trials restore from.
+///
+/// Snapshots are deep clones of the golden [`SmtCore`]: every piece of
+/// behavior-relevant state (slab ROBs + ftags, IQ/LSQ, completion-event
+/// heap, caches and TLBs with their ACE interval timestamps, predictors,
+/// fetch-policy state, residency trackers, generator cursors, the golden
+/// commit-log prefix) is owned by the core, so a restored clone steps
+/// bit-identically to the original machine.
+#[derive(Debug, Clone)]
+pub struct CheckpointedGolden<S> {
+    /// The golden window and retired streams trials are diffed against.
+    pub golden: GoldenRun,
+    /// `(cycle, machine)` snapshots sorted ascending by cycle; the first
+    /// sits at the window start.
+    checkpoints: Vec<(u64, SmtCore<S>)>,
+}
+
+impl<S> CheckpointedGolden<S> {
+    /// Cycles at which snapshots were captured (sorted ascending; the
+    /// first is the window start).
+    pub fn checkpoint_cycles(&self) -> Vec<u64> {
+        self.checkpoints.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// The snapshot a trial injecting at `cycle` restores: the nearest
+    /// checkpoint at or before `cycle`.
+    fn nearest_at_or_before(&self, cycle: u64) -> &SmtCore<S> {
+        let i = self.checkpoints.partition_point(|(c, _)| *c <= cycle);
+        debug_assert!(i > 0, "cycle precedes the window-start checkpoint");
+        &self.checkpoints[i - 1].1
+    }
+}
+
+/// Run the golden simulation and capture `k` snapshots across its
+/// measurement window: one at the window start (so no trial ever replays
+/// warmup) and the rest evenly spaced.
+///
+/// The golden pass runs twice: pass 1 discovers the window `[start, end)`
+/// and the retired streams; pass 2 — bit-identical, because the simulator
+/// is a pure function of its construction — replays and clones the
+/// machine at the planned cycles. Two golden passes cost far less than
+/// what checkpoints save across hundreds of trials.
+pub fn run_golden_checkpointed<S, F>(
+    factory: &F,
+    budget: SimBudget,
+    k: usize,
+) -> Result<CheckpointedGolden<S>, InjectError>
+where
+    S: InstSource + Clone,
+    F: Fn() -> SmtCore<S>,
+{
+    let golden = run_golden(factory, budget)?;
+    let k = k.max(1) as u64;
+    let span = golden.end - golden.start;
+    let mut core = warmed_core(factory, budget);
+    debug_assert_eq!(core.cycle(), golden.start, "replay diverged from pass 1");
+    let mut checkpoints: Vec<(u64, SmtCore<S>)> = Vec::with_capacity(k as usize);
+    for i in 0..k {
+        let at = golden.start + span * i / k;
+        if checkpoints.last().is_some_and(|(c, _)| *c == at) {
+            continue; // window shorter than k cycles
+        }
+        while core.cycle() < at {
+            core.step();
+        }
+        checkpoints.push((core.cycle(), core.clone()));
+    }
+    Ok(CheckpointedGolden {
+        golden,
+        checkpoints,
+    })
+}
+
+/// Replay the simulation from cycle 0 to `inject_cycle`, apply `fault`,
+/// run to the golden commit target, classify. The injection cycle must lie
+/// inside the golden window `[start, end)`; anything else — in particular
+/// a cycle at or past the simulation's end — is rejected with
 /// [`InjectError::CycleOutOfRange`].
+///
+/// This is the oracle path: [`run_trial_checkpointed`] produces identical
+/// outcomes at a fraction of the replay cost.
 pub fn run_trial<S, F>(
     factory: &F,
     budget: SimBudget,
@@ -334,6 +454,37 @@ where
     S: InstSource,
     F: Fn() -> SmtCore<S>,
 {
+    check_window(golden, inject_cycle)?;
+    let core = warmed_core(factory, budget);
+    Ok(finish_trial(core, golden, fault, inject_cycle, hang_cycles))
+}
+
+/// Restore the nearest checkpoint at or before `inject_cycle`, step only
+/// the delta, apply `fault`, run to the golden commit target, classify.
+/// Outcome-identical to [`run_trial`] (the equivalence tests assert this);
+/// replay cost drops from `warmup + (inject_cycle − start)` to at most
+/// `window / K` cycles plus one machine clone.
+pub fn run_trial_checkpointed<S>(
+    checkpointed: &CheckpointedGolden<S>,
+    fault: Fault,
+    inject_cycle: u64,
+    hang_cycles: u64,
+) -> Result<(Landing, Outcome), InjectError>
+where
+    S: InstSource + Clone,
+{
+    check_window(&checkpointed.golden, inject_cycle)?;
+    let core = checkpointed.nearest_at_or_before(inject_cycle).clone();
+    Ok(finish_trial(
+        core,
+        &checkpointed.golden,
+        fault,
+        inject_cycle,
+        hang_cycles,
+    ))
+}
+
+fn check_window(golden: &GoldenRun, inject_cycle: u64) -> Result<(), InjectError> {
     if inject_cycle < golden.start || inject_cycle >= golden.end {
         return Err(InjectError::CycleOutOfRange {
             cycle: inject_cycle,
@@ -341,18 +492,22 @@ where
             end: golden.end,
         });
     }
-    let mut core = factory();
-    while core.total_committed() < budget.warmup_instructions && core.cycle() < budget.max_cycles {
-        core.step();
-    }
-    if budget.warmup_instructions > 0 {
-        core.reset_measurement();
-    }
-    core.enable_commit_log();
+    Ok(())
+}
+
+/// Shared trial tail: step `core` (already past warmup, at or before the
+/// injection cycle, commit log running) to `inject_cycle`, flip the bit,
+/// run out the trial and classify it.
+fn finish_trial<S: InstSource>(
+    mut core: SmtCore<S>,
+    golden: &GoldenRun,
+    fault: Fault,
+    inject_cycle: u64,
+    hang_cycles: u64,
+) -> (Landing, Outcome) {
     while core.cycle() < inject_cycle {
         core.step();
     }
-
     let landing = core.inject_fault(&fault);
     let outcome = match landing {
         // Masked by emptiness / architectural idleness: the trial would
@@ -362,20 +517,67 @@ where
         Landing::Injected => {
             // Corruption is in flight: run to the same commit target. An
             // injected fault may also wedge the scheduler, so bound the run
-            // with a hang watchdog and a cycle cap.
+            // with a hang watchdog and a cycle cap. Convergence checks
+            // (geometrically backed off, so their total cost is a handful
+            // of scans) cut the run short once the machine is provably
+            // masked again.
             let cycle_cap = golden.end * 2 + hang_cycles;
             let mut hung = false;
+            let mut check_step = CONVERGENCE_CHECK_START;
+            let mut next_check = core.cycle() + check_step;
             while core.total_committed() < golden.target_committed {
                 if core.cycle() >= cycle_cap || core.cycles_since_last_commit() > hang_cycles {
                     hung = true;
                     break;
+                }
+                if core.cycle() >= next_check {
+                    check_step = (check_step * 2).min(CONVERGENCE_CHECK_MAX);
+                    next_check = core.cycle() + check_step;
+                    if converged_back_to_golden(&core, golden) {
+                        return (landing, Outcome::Masked);
+                    }
                 }
                 core.step();
             }
             classify_completed_trial(&mut core, golden, hung)
         }
     };
-    Ok((landing, outcome))
+    (landing, outcome)
+}
+
+/// First convergence check after injection, in cycles; the interval
+/// doubles after every check up to [`CONVERGENCE_CHECK_MAX`].
+const CONVERGENCE_CHECK_START: u64 = 256;
+const CONVERGENCE_CHECK_MAX: u64 = 8_192;
+
+/// Is the trial machine provably back on the golden path? True when no
+/// corrupt state survives anywhere (no poisoned registers or memory words,
+/// no tainted in-flight instruction, nothing retired corrupt) and every
+/// thread's retired stream so far is a prefix of the golden stream.
+///
+/// Values in the model flow only through the explicit taint/poison state,
+/// and [`RetiredInst`] carries no timing fields, so a clean machine whose
+/// streams still match golden can never diverge later: its remaining
+/// retirement is architecturally identical to golden's and the final
+/// classification would be [`Outcome::Masked`]. Checking mid-run merely
+/// reaches that verdict early — the classification itself is unchanged,
+/// which is why both the checkpointed and the replay-from-zero oracle
+/// path share this tail.
+fn converged_back_to_golden<S: InstSource>(core: &SmtCore<S>, golden: &GoldenRun) -> bool {
+    if core.corrupt_retired() > 0 || core.residual_corruption() {
+        return false;
+    }
+    let log = core.commit_log().expect("log was enabled");
+    let mut pos = vec![0usize; golden.per_thread.len()];
+    for r in log {
+        let t = r.thread as usize;
+        let gold = &golden.per_thread[t];
+        if pos[t] >= gold.len() || gold[pos[t]] != *r {
+            return false;
+        }
+        pos[t] += 1;
+    }
+    true
 }
 
 fn classify_completed_trial<S: InstSource>(
@@ -416,11 +618,13 @@ fn trial_rng(seed: u64, index: usize) -> SimRng {
     SimRng::seed_from_u64(splitmix64(&mut s))
 }
 
-/// Run a full campaign: golden run, then `trials_per_structure` trials per
-/// target executed by `workers` scoped threads.
+/// Run a full campaign: golden run (checkpointed unless
+/// [`CampaignConfig::replay_from_zero`] asks for the oracle path), then
+/// `trials_per_structure` trials per target executed by `workers` scoped
+/// threads.
 pub fn run_campaign<S, F>(factory: F, cfg: &CampaignConfig) -> Result<CampaignResult, InjectError>
 where
-    S: InstSource,
+    S: InstSource + Clone + Sync,
     F: Fn() -> SmtCore<S> + Sync,
 {
     if cfg.targets.is_empty() {
@@ -429,7 +633,26 @@ where
     if cfg.trials_per_structure == 0 {
         return Err(InjectError::ZeroTrials);
     }
-    let golden = run_golden(&factory, cfg.budget)?;
+    // Workers share the immutable checkpoint set; each trial clones only
+    // the one snapshot it restores.
+    let checkpointed = if cfg.replay_from_zero {
+        None
+    } else {
+        Some(run_golden_checkpointed(
+            &factory,
+            cfg.budget,
+            cfg.checkpoints,
+        )?)
+    };
+    let plain_golden = match &checkpointed {
+        Some(_) => None,
+        None => Some(run_golden(&factory, cfg.budget)?),
+    };
+    let golden: &GoldenRun = checkpointed
+        .as_ref()
+        .map(|c| &c.golden)
+        .or(plain_golden.as_ref())
+        .expect("one golden path ran");
     let machine = factory().config().clone();
 
     let per = cfg.trials_per_structure;
@@ -437,7 +660,9 @@ where
 
     // Each trial is a pure function of `(campaign seed, global index)`, so
     // the sim-exec pool's index-ordered merge makes the record vector
-    // bit-identical for any worker count.
+    // bit-identical for any worker count — and, because a restored
+    // snapshot steps bit-identically to a from-zero replay, also identical
+    // between the checkpointed and oracle paths.
     let records: Vec<TrialRecord> = sim_exec::run_indexed(total, cfg.workers, |i| {
         let target = cfg.targets[i / per];
         let mut rng = trial_rng(cfg.seed, i);
@@ -445,9 +670,11 @@ where
         let bit = rng.range_u64(0, target_bits(target, &machine));
         let cycle = rng.range_u64(golden.start, golden.end);
         let fault = Fault { target, entry, bit };
-        let (landing, outcome) =
-            run_trial(&factory, cfg.budget, &golden, fault, cycle, cfg.hang_cycles)
-                .expect("sampled cycle lies inside the golden window");
+        let (landing, outcome) = match &checkpointed {
+            Some(c) => run_trial_checkpointed(c, fault, cycle, cfg.hang_cycles),
+            None => run_trial(&factory, cfg.budget, golden, fault, cycle, cfg.hang_cycles),
+        }
+        .expect("sampled cycle lies inside the golden window");
         TrialRecord {
             target,
             trial: i % per,

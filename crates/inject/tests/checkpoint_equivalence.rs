@@ -1,0 +1,133 @@
+//! The checkpointed trial path must be outcome-for-outcome identical to
+//! the replay-from-zero oracle — at every worker count, and trial by
+//! trial, not just in aggregate.
+//!
+//! `CampaignConfig::replay_from_zero` keeps the slow path alive precisely
+//! so this test can hold the fast path to it.
+
+use sim_inject::*;
+use sim_model::MachineConfig;
+use sim_pipeline::{Fault, FaultTarget, SimBudget, SmtCore};
+use sim_workload::{profile, TraceGenerator};
+
+fn factory() -> SmtCore {
+    let cfg = MachineConfig::ispass07_baseline().with_contexts(2);
+    let gens = ["bzip2", "mcf"]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TraceGenerator::new(profile(p).expect("profiled"), i as u64 + 7))
+        .collect();
+    SmtCore::new(cfg, gens)
+}
+
+fn budget() -> SimBudget {
+    SimBudget::total_instructions(2_500).with_warmup(1_000)
+}
+
+fn campaign(workers: usize, replay_from_zero: bool) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(5, 0xBADC0DE, budget());
+    cfg.workers = workers;
+    cfg.replay_from_zero = replay_from_zero;
+    cfg
+}
+
+#[test]
+fn checkpointed_campaign_matches_replay_from_zero_at_1_2_and_4_workers() {
+    let oracle = run_campaign(factory, &campaign(1, true)).expect("oracle campaign runs");
+    for workers in [1usize, 2, 4] {
+        let fast = run_campaign(factory, &campaign(workers, false)).expect("campaign runs");
+        assert_eq!(oracle.window, fast.window, "{workers} workers");
+        assert_eq!(
+            oracle.records, fast.records,
+            "checkpointed records diverged from the oracle at {workers} workers"
+        );
+        assert_eq!(oracle.per_target, fast.per_target, "{workers} workers");
+    }
+}
+
+#[test]
+fn every_checkpoint_restores_to_the_oracle_outcome() {
+    // Hold individual trials to the oracle across the whole window so each
+    // checkpoint (not just the frequently-sampled ones) is exercised: walk
+    // cycles spanning all K segments with a fixed fault.
+    let k = 6;
+    let checkpointed =
+        run_golden_checkpointed(&factory, budget(), k).expect("checkpointed golden runs");
+    let golden = run_golden(&factory, budget()).expect("golden runs");
+    assert_eq!(golden.start, checkpointed.golden.start);
+    assert_eq!(golden.end, checkpointed.golden.end);
+    assert_eq!(golden.per_thread, checkpointed.golden.per_thread);
+
+    let cycles_of = checkpointed.checkpoint_cycles();
+    assert_eq!(
+        cycles_of.len(),
+        k,
+        "window is long enough for distinct checkpoints"
+    );
+    assert_eq!(
+        cycles_of[0], golden.start,
+        "first checkpoint sits at window start"
+    );
+    assert!(
+        cycles_of.windows(2).all(|w| w[0] < w[1]),
+        "sorted ascending"
+    );
+
+    let fault = Fault {
+        target: FaultTarget::Rob,
+        entry: 3,
+        bit: 17,
+    };
+    let span = golden.end - golden.start;
+    for i in 0..(2 * k as u64) {
+        let cycle = golden.start + span * i / (2 * k as u64);
+        let slow = run_trial(&factory, budget(), &golden, fault, cycle, 20_000)
+            .expect("in-window cycle runs");
+        let fast = run_trial_checkpointed(&checkpointed, fault, cycle, 20_000)
+            .expect("in-window cycle runs");
+        assert_eq!(slow, fast, "trial at cycle {cycle} diverged");
+    }
+}
+
+#[test]
+fn checkpointed_trials_reject_out_of_window_cycles_like_the_oracle() {
+    let checkpointed =
+        run_golden_checkpointed(&factory, budget(), 4).expect("checkpointed golden runs");
+    let fault = Fault {
+        target: FaultTarget::Iq,
+        entry: 0,
+        bit: 0,
+    };
+    let end = checkpointed.golden.end;
+    let start = checkpointed.golden.start;
+    for bad in [end, end + 10_000, start.wrapping_sub(1)] {
+        let err = run_trial_checkpointed(&checkpointed, fault, bad, 20_000)
+            .expect_err("out-of-window cycle must be rejected");
+        assert!(
+            matches!(err, InjectError::CycleOutOfRange { cycle, .. } if cycle == bad),
+            "got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn a_single_checkpoint_still_covers_the_whole_window() {
+    // K = 1 degenerates to "one snapshot at window start" — strictly the
+    // old replay minus warmup. It must still be exact.
+    let checkpointed =
+        run_golden_checkpointed(&factory, budget(), 1).expect("checkpointed golden runs");
+    assert_eq!(
+        checkpointed.checkpoint_cycles(),
+        vec![checkpointed.golden.start]
+    );
+    let golden = run_golden(&factory, budget()).expect("golden runs");
+    let fault = Fault {
+        target: FaultTarget::RegFile,
+        entry: 11,
+        bit: 4,
+    };
+    let late = golden.end - 1;
+    let slow = run_trial(&factory, budget(), &golden, fault, late, 20_000).expect("runs");
+    let fast = run_trial_checkpointed(&checkpointed, fault, late, 20_000).expect("runs");
+    assert_eq!(slow, fast);
+}

@@ -45,7 +45,7 @@ struct WordState {
     poisoned: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Line {
     valid: bool,
     dirty: bool,
@@ -54,11 +54,10 @@ struct Line {
     lru: u64,
     /// Cycle of the last event relevant to tag ACE (fill or set lookup).
     tag_last: u64,
-    words: Vec<WordState>,
 }
 
 impl Line {
-    fn empty(words_per_line: usize) -> Line {
+    fn empty() -> Line {
         Line {
             valid: false,
             dirty: false,
@@ -66,13 +65,6 @@ impl Line {
             owner: ThreadId(0),
             lru: 0,
             tag_last: 0,
-            words: vec![
-                WordState {
-                    last_event: 0,
-                    poisoned: false,
-                };
-                words_per_line
-            ],
         }
     }
 }
@@ -100,7 +92,15 @@ pub enum TagInject {
 pub struct Cache {
     name: &'static str,
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All physical lines, flat: line `set * assoc + way` lives at that
+    /// index. Flat `Copy` rows (instead of `Vec<Vec<Line>>` with per-line
+    /// word `Vec`s) make cloning the cache two memcpys — the property the
+    /// checkpointed fault-injection campaigns lean on, restoring an
+    /// `SmtCore` snapshot per trial.
+    lines: Vec<Line>,
+    /// Per-word ACE state, flat: line `li`'s words occupy
+    /// `li * words_per_line ..` — same layout argument as `lines`.
+    words: Vec<WordState>,
     offset_bits: u32,
     index_mask: u64,
     words_per_line: usize,
@@ -145,16 +145,18 @@ impl Cache {
     ) -> Cache {
         let sets = cfg.num_sets();
         let words_per_line = (cfg.line_bytes / 8).max(1) as usize;
+        let num_lines = cfg.num_lines() as usize;
         Cache {
             name,
             cfg,
-            sets: (0..sets)
-                .map(|_| {
-                    (0..cfg.assoc)
-                        .map(|_| Line::empty(words_per_line))
-                        .collect()
-                })
-                .collect(),
+            lines: vec![Line::empty(); num_lines],
+            words: vec![
+                WordState {
+                    last_event: 0,
+                    poisoned: false,
+                };
+                num_lines * words_per_line
+            ],
             offset_bits: cfg.line_bytes.trailing_zeros(),
             index_mask: sets - 1,
             words_per_line,
@@ -195,6 +197,28 @@ impl Cache {
     #[inline]
     fn index_of(&self, addr: u64) -> usize {
         ((addr >> self.offset_bits) & self.index_mask) as usize
+    }
+
+    /// Flat index of `set`'s first way in `lines`.
+    #[inline]
+    fn set_base(&self, set: usize) -> usize {
+        set * self.cfg.assoc as usize
+    }
+
+    /// Flat line index of the way in `set` holding `tag`, if resident.
+    #[inline]
+    fn find_line(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = self.set_base(set);
+        self.lines[base..base + self.cfg.assoc as usize]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+            .map(|way| base + way)
+    }
+
+    /// Flat index of line `li`'s first word in `words`.
+    #[inline]
+    fn word_base(&self, li: usize) -> usize {
+        li * self.words_per_line
     }
 
     #[inline]
@@ -259,10 +283,11 @@ impl Cache {
         let tag = self.tag_of(addr);
         let (w0, w1) = self.word_range(addr, size);
 
-        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == tag) {
+        if let Some(li) = self.find_line(set, tag) {
             let data_target = self.data_target;
             let tag_target = self.tag_target;
-            let line = &mut self.sets[set][way];
+            let wbase = self.word_base(li);
+            let line = &mut self.lines[li];
             line.lru = lru_now;
             // The tag had to match correctly for this hit: it is ACE from
             // its previous exercise (fill or last hit) to now. Wrong-path
@@ -276,18 +301,19 @@ impl Cache {
                 }
                 line.tag_last = now;
             }
+            let owner = line.owner;
             let mut poisoned = false;
             match kind {
                 AccessKind::Read => {
-                    poisoned = line.words[w0..=w1].iter().any(|ws| ws.poisoned);
+                    let words = &mut self.words[wbase + w0..=wbase + w1];
+                    poisoned = words.iter().any(|ws| ws.poisoned);
                     // The interval since each word's previous event is ACE:
                     // the value had to survive to be consumed now.
                     if ace {
-                        for w in w0..=w1 {
-                            let ws = &mut line.words[w];
+                        for ws in words {
                             if now > ws.last_event {
                                 if let Some(t) = data_target {
-                                    engine.bank(t, line.owner, 64, now - ws.last_event);
+                                    engine.bank(t, owner, 64, now - ws.last_event);
                                 }
                             }
                             ws.last_event = now;
@@ -300,9 +326,9 @@ impl Cache {
                     // eventual write-back belongs to the writing thread.
                     line.dirty = true;
                     line.owner = thread;
-                    for w in w0..=w1 {
-                        line.words[w].last_event = now;
-                        line.words[w].poisoned = false;
+                    for ws in &mut self.words[wbase + w0..=wbase + w1] {
+                        ws.last_event = now;
+                        ws.poisoned = false;
                     }
                 }
             }
@@ -317,18 +343,21 @@ impl Cache {
 
         // Miss: choose LRU victim, retire its ACE state, fill.
         self.stats.misses += 1;
-        let victim = self.sets[set]
+        let base = self.set_base(set);
+        let victim = self.lines[base..base + self.cfg.assoc as usize]
             .iter()
             .enumerate()
             .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
-            .map(|(i, _)| i)
+            .map(|(i, _)| base + i)
             .expect("cache sets are never empty");
         let (writeback, writeback_addr, writeback_owner) = {
             let data_target = self.data_target;
             let tag_target = self.tag_target;
             let index_bits = self.index_mask.count_ones();
             let offset_bits = self.offset_bits;
-            let line = &mut self.sets[set][victim];
+            let wbase = self.word_base(victim);
+            let wpl = self.words_per_line;
+            let line = &mut self.lines[victim];
             let wb = line.valid && line.dirty;
             let wb_addr = if wb {
                 Some(((line.tag << index_bits) | set as u64) << offset_bits)
@@ -338,10 +367,11 @@ impl Cache {
             let wb_owner = if wb { Some(line.owner) } else { None };
             if wb {
                 self.stats.writebacks += 1;
+                let owner = line.owner;
                 // Poisoned words of a dirty victim propagate their corrupt
                 // values into the next level: record them as stale.
                 if let Some(base) = wb_addr {
-                    for (w, ws) in line.words.iter().enumerate() {
+                    for (w, ws) in self.words[wbase..wbase + wpl].iter().enumerate() {
                         if ws.poisoned {
                             self.poison_spill.push(base + 8 * w as u64);
                         }
@@ -351,10 +381,10 @@ impl Cache {
                 // survive until now — a strike on a clean word would be
                 // propagated over the good copy below. The tag too (it
                 // addresses the write-back).
-                for ws in &mut line.words {
+                for ws in &mut self.words[wbase..wbase + wpl] {
                     if now > ws.last_event {
                         if let Some(t) = data_target {
-                            engine.bank(t, line.owner, 64, now - ws.last_event);
+                            engine.bank(t, owner, 64, now - ws.last_event);
                         }
                         ws.last_event = now;
                     }
@@ -372,7 +402,7 @@ impl Cache {
             line.owner = thread;
             line.lru = lru_now;
             line.tag_last = now;
-            for ws in &mut line.words {
+            for ws in &mut self.words[wbase..wbase + wpl] {
                 ws.last_event = now;
                 // A clean victim's poison is healed by the fill; whether the
                 // *new* line's words are stale is decided by the hierarchy
@@ -406,20 +436,15 @@ impl Cache {
     }
 
     fn line_at(&mut self, line_idx: u64) -> &mut Line {
-        let assoc = self.cfg.assoc as u64;
-        let set = (line_idx / assoc) as usize;
-        let way = (line_idx % assoc) as usize;
-        &mut self.sets[set][way]
+        // The campaign samples the flat physical line index directly.
+        &mut self.lines[line_idx as usize]
     }
 
     fn line_base(&self, line_idx: u64) -> u64 {
         let assoc = self.cfg.assoc as u64;
         let set = line_idx / assoc;
         let index_bits = self.index_mask.count_ones();
-        let tag = {
-            let way = (line_idx % assoc) as usize;
-            self.sets[set as usize][way].tag
-        };
+        let tag = self.lines[line_idx as usize].tag;
         ((tag << index_bits) | set) << self.offset_bits
     }
 
@@ -427,12 +452,12 @@ impl Cache {
     /// now holds a corrupt value. Returns `false` (nothing to corrupt) if
     /// the line is invalid.
     pub fn inject_data_word(&mut self, line_idx: u64, word: usize) -> bool {
-        let line = self.line_at(line_idx);
-        if !line.valid {
+        if !self.lines[line_idx as usize].valid {
             return false;
         }
-        let w = word.min(line.words.len() - 1);
-        line.words[w].poisoned = true;
+        let wbase = self.word_base(line_idx as usize);
+        let w = word.min(self.words_per_line - 1);
+        self.words[wbase + w].poisoned = true;
         true
     }
 
@@ -459,11 +484,12 @@ impl Cache {
         // longer be found (or its write-back is lost / misdirected). Model as
         // an invalidation; a dirty victim's words lose their only good copy.
         let words_per_line = self.words_per_line;
+        let wbase = self.word_base(line_idx as usize);
         let line = self.line_at(line_idx);
         let was_dirty = line.dirty;
         line.valid = false;
         line.dirty = false;
-        for ws in &mut line.words {
+        for ws in &mut self.words[wbase..wbase + words_per_line] {
             ws.poisoned = false;
         }
         if was_dirty {
@@ -492,9 +518,13 @@ impl Cache {
         let tag = self.tag_of(addr);
         let index_bits = self.index_mask.count_ones();
         let offset_bits = self.offset_bits;
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
-            let base = ((line.tag << index_bits) | set as u64) << offset_bits;
-            for (w, ws) in line.words.iter_mut().enumerate() {
+        if let Some(li) = self.find_line(set, tag) {
+            let base = ((self.lines[li].tag << index_bits) | set as u64) << offset_bits;
+            let wbase = self.word_base(li);
+            for (w, ws) in self.words[wbase..wbase + self.words_per_line]
+                .iter_mut()
+                .enumerate()
+            {
                 if stale.contains(&(base + 8 * w as u64)) {
                     ws.poisoned = true;
                 }
@@ -504,31 +534,31 @@ impl Cache {
 
     /// Whether any resident word is poisoned (residual-corruption check).
     pub fn has_poison(&self) -> bool {
-        self.sets
-            .iter()
-            .flatten()
-            .any(|l| l.valid && l.words.iter().any(|w| w.poisoned))
+        self.lines.iter().enumerate().any(|(li, l)| {
+            l.valid
+                && self.words[li * self.words_per_line..(li + 1) * self.words_per_line]
+                    .iter()
+                    .any(|w| w.poisoned)
+        })
     }
 
     /// Probe without updating state or accounting (used by PDG's miss
     /// predictor training and by tests).
     pub fn would_hit(&self, addr: u64) -> bool {
-        let set = self.index_of(addr);
-        let tag = self.tag_of(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.find_line(self.index_of(addr), self.tag_of(addr))
+            .is_some()
     }
 
     /// Start a measurement window at `now`: clamp every resident line's
     /// interval timestamps so residency accrued during warm-up is not
     /// banked into the measurement.
     pub fn reset_epoch(&mut self, now: u64) {
-        for set in &mut self.sets {
-            for line in set {
-                if line.valid {
-                    line.tag_last = line.tag_last.max(now);
-                    for ws in &mut line.words {
-                        ws.last_event = ws.last_event.max(now);
-                    }
+        for (li, line) in self.lines.iter_mut().enumerate() {
+            if line.valid {
+                line.tag_last = line.tag_last.max(now);
+                let wbase = li * self.words_per_line;
+                for ws in &mut self.words[wbase..wbase + self.words_per_line] {
+                    ws.last_event = ws.last_event.max(now);
                 }
             }
         }
@@ -538,24 +568,23 @@ impl Cache {
     /// of simulation (`now`), as if everything dirty were written back.
     pub fn finalize(&mut self, now: u64, engine: &mut AvfEngine) {
         let (data_target, tag_target) = (self.data_target, self.tag_target);
-        for set in &mut self.sets {
-            for line in set {
-                if !line.valid || !line.dirty {
-                    continue;
-                }
-                for ws in &mut line.words {
-                    if now > ws.last_event {
-                        if let Some(t) = data_target {
-                            engine.bank(t, line.owner, 64, now - ws.last_event);
-                        }
-                        ws.last_event = now;
+        for (li, line) in self.lines.iter_mut().enumerate() {
+            if !line.valid || !line.dirty {
+                continue;
+            }
+            let wbase = li * self.words_per_line;
+            for ws in &mut self.words[wbase..wbase + self.words_per_line] {
+                if now > ws.last_event {
+                    if let Some(t) = data_target {
+                        engine.bank(t, line.owner, 64, now - ws.last_event);
                     }
+                    ws.last_event = now;
                 }
-                if let Some(t) = tag_target {
-                    if now > line.tag_last {
-                        engine.bank(t, line.owner, budgets::dl1::TAG_ENTRY, now - line.tag_last);
-                        line.tag_last = now;
-                    }
+            }
+            if let Some(t) = tag_target {
+                if now > line.tag_last {
+                    engine.bank(t, line.owner, budgets::dl1::TAG_ENTRY, now - line.tag_last);
+                    line.tag_last = now;
                 }
             }
         }

@@ -56,6 +56,14 @@ impl SimBudget {
 /// The simulated SMT processor, generic over the per-thread instruction
 /// source (the synthetic [`TraceGenerator`] by default; any
 /// [`InstSource`], e.g. a replayed trace file, works).
+///
+/// When `S: Clone` the whole core is a deep snapshot: every piece of
+/// behavior-relevant state (slab ROBs, IQ, caches with ACE intervals,
+/// predictors, residency trackers, generator cursors) lives in these
+/// fields, so `core.clone()` then stepping both copies produces
+/// bit-identical histories. `sim-inject` builds its checkpointed
+/// fault-injection campaigns on this property.
+#[derive(Clone)]
 pub struct SmtCore<S = TraceGenerator> {
     cfg: MachineConfig,
     cycle: u64,
@@ -103,8 +111,10 @@ pub struct SmtCore<S = TraceGenerator> {
 /// no heap allocation. The take/restore dance is what lets a stage iterate
 /// a buffer while mutating the rest of the core; a stage must put the
 /// buffer back before returning. Buffers carry no state across cycles —
-/// only capacity.
-#[derive(Debug, Default)]
+/// only capacity. Cloning a core clones whatever is in the buffers, but
+/// since every buffer is cleared before use the contents never influence
+/// behavior — a restored snapshot only inherits capacity.
+#[derive(Debug, Default, Clone)]
 struct Scratch {
     /// FLUSH triggers `(thread, ftag)` collected while issuing.
     flushes: Vec<(usize, u64)>,
@@ -390,7 +400,7 @@ impl<S: InstSource> SmtCore<S> {
             .map(|(t, base)| t.committed - base)
             .collect();
         let cycles = now - self.measure_cycle0;
-        let report = self.avf.finish(cycles, committed);
+        let report = self.avf.finish(cycles, &committed);
         let rate = |acc: u64, acc0: u64, miss: u64, miss0: u64| {
             let a = acc - acc0;
             if a == 0 {
@@ -1235,6 +1245,13 @@ impl<S: InstSource> SmtCore<S> {
     /// Take the recorded commit log, if recording was enabled.
     pub fn take_commit_log(&mut self) -> Option<Vec<RetiredInst>> {
         self.faults.commit_log.take()
+    }
+
+    /// Borrow the commit log recorded so far without consuming it (the
+    /// fault-injection runner polls this mid-trial to detect convergence
+    /// back onto the golden stream).
+    pub fn commit_log(&self) -> Option<&[RetiredInst]> {
+        self.faults.commit_log.as_deref()
     }
 
     /// A strike landed on control state classified as hardware-detectable.

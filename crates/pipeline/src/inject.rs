@@ -115,7 +115,7 @@ pub struct RetiredInst {
 
 /// Per-core fault bookkeeping: which physical registers hold corrupt
 /// values, whether a detectable fault fired, and the optional commit log.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct FaultState {
     /// Integer physical registers holding corrupt values.
     pub(crate) int_poison: Vec<bool>,

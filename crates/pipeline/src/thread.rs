@@ -12,7 +12,12 @@ pub const FETCH_QUEUE_CAP: usize = 16;
 
 /// All per-thread state of the SMT core, generic over the instruction
 /// source feeding it (the synthetic [`TraceGenerator`] by default).
-#[derive(Debug)]
+///
+/// Cloning deep-copies the slab, free list and queues verbatim, so ROB
+/// references held elsewhere as `(slab index, ftag)` pairs stay valid
+/// across a snapshot/restore: indices point at the same slots and ftags
+/// are monotonic per thread, never reused.
+#[derive(Debug, Clone)]
 pub struct ThreadCtx<S = TraceGenerator> {
     /// This context's identifier.
     pub id: ThreadId,

@@ -2,10 +2,14 @@
 # Run the perfbench harness and leave BENCH_pipeline.json in the repo root.
 #
 # Usage: scripts/bench.sh [smoke]
-#   (no arg)  full measurement: 50k warm-up + 500k timed cycles + the
-#             quick policy sweep at 1/2/4 workers
+#   (no arg)  full measurement: 50k warm-up + 500k timed cycles, the
+#             quick policy sweep at 1/2/4 workers, and the quick-scale
+#             SFI campaign timed on both replay paths (the checkpointed
+#             run is proven record-identical to the replay-from-zero
+#             oracle before the speedup lands in the JSON)
 #   smoke     tiny CI budget: enough to exercise the harness end-to-end
-#             (including the JSON write) in seconds, not minutes
+#             (including the SFI timing and the JSON write) in seconds,
+#             not minutes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +17,7 @@ if [[ "${1:-}" == "smoke" ]]; then
   export PERFBENCH_WARMUP_CYCLES=5000
   export PERFBENCH_CYCLES=20000
   export PERFBENCH_SWEEP=0
+  export PERFBENCH_SFI_TRIALS=4
 fi
 
 cargo run --release -p smt-avf-bench --bin perfbench

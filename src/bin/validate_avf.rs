@@ -7,7 +7,12 @@
 //! ```text
 //! cargo run --release --bin validate_avf -- [--workload 2T-MIX-A]
 //!     [--trials 200] [--seed 12] [--workers N] [--scale quick|default]
+//!     [--checkpoints K] [--replay-from-zero]
 //! ```
+//!
+//! Trials restore from K golden-run checkpoints by default;
+//! `--replay-from-zero` forces the slow oracle path (identical results,
+//! useful for timing comparisons and distrust).
 
 use smt_avf::experiments::campaign::{default_campaign, validate_workload};
 use smt_avf::ExperimentScale;
@@ -19,6 +24,8 @@ struct Options {
     seed: u64,
     workers: usize,
     scale: ExperimentScale,
+    checkpoints: usize,
+    replay_from_zero: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -28,6 +35,8 @@ fn parse_args() -> Result<Options, String> {
         seed: 12,
         workers: 0, // 0 = auto
         scale: ExperimentScale::quick(),
+        checkpoints: sim_inject::DEFAULT_CHECKPOINTS,
+        replay_from_zero: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -59,9 +68,16 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("--scale: unknown scale '{other}'")),
                 }
             }
+            "--checkpoints" => {
+                opts.checkpoints = value("--checkpoints")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoints: {e}"))?
+            }
+            "--replay-from-zero" => opts.replay_from_zero = true,
             "--help" | "-h" => {
                 return Err("usage: validate_avf [--workload NAME] [--trials N] \
-                     [--seed S] [--workers W] [--scale quick|default]"
+                     [--seed S] [--workers W] [--scale quick|default] \
+                     [--checkpoints K] [--replay-from-zero]"
                     .to_string())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -104,13 +120,20 @@ fn main() -> ExitCode {
     if opts.workers > 0 {
         campaign.workers = opts.workers;
     }
+    campaign.checkpoints = opts.checkpoints.max(1);
+    campaign.replay_from_zero = opts.replay_from_zero;
     println!(
-        "SFI campaign: workload {}, {} trials/structure over {} structures, seed {}, {} workers",
+        "SFI campaign: workload {}, {} trials/structure over {} structures, seed {}, {} workers, {}",
         workload.name,
         campaign.trials_per_structure,
         campaign.targets.len(),
         campaign.seed,
         campaign.workers,
+        if campaign.replay_from_zero {
+            "replay-from-zero (oracle)".to_string()
+        } else {
+            format!("{} checkpoints", campaign.checkpoints)
+        },
     );
 
     let v = match validate_workload(&workload, &campaign) {
