@@ -26,5 +26,6 @@ fn main() {
     let (a, b) = ex::fig8::figure8_from(&sweep, scale).expect("experiment failed");
     println!("{a}\n{b}");
     println!("{}", ex::extensions(scale).expect("experiment failed"));
+    smt_avf_bench::maybe_trace(scale);
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -12,6 +12,9 @@
 //!    timed on the replay-from-zero oracle path and on the checkpointed
 //!    path, asserting record-for-record identical results before the
 //!    speedup is trusted.
+//! 4. **Tracing overhead** — the step() loop re-timed with a live ring
+//!    sink; full runs assert the overhead stays under 5% (the compiled-out
+//!    path has no hooks at all, so 0% by construction).
 //!
 //! The JSON also records the machine context that makes parallel numbers
 //! interpretable: `std::thread::available_parallelism()` and the
@@ -26,6 +29,7 @@
 //! * `PERFBENCH_WARMUP_CYCLES` — warm-up steps before timing (default 50000)
 //! * `PERFBENCH_CYCLES` — timed steps (default 500000)
 //! * `PERFBENCH_SWEEP` — set to `0` to skip the sweep section entirely
+//! * `PERFBENCH_TRACE` — set to `0` to skip the tracing-overhead section
 //! * `PERFBENCH_SFI` — set to `0` to skip the SFI section entirely
 //! * `PERFBENCH_SFI_TRIALS` — trials per structure for the SFI timing
 //!   (default 50)
@@ -69,7 +73,10 @@ fn git_sha() -> String {
 }
 
 /// Simulated cycles/sec of `step()` on `workload`, after `warmup` steps.
-fn step_throughput(workload: &SmtWorkload, warmup: u64, timed: u64) -> f64 {
+/// With `traced`, a live ring sink captures pipeline events throughout —
+/// the tracing-on overhead measurement (this build has the `trace` feature
+/// on; the compiled-out NullSink path has no hooks at all to measure).
+fn step_throughput(workload: &SmtWorkload, warmup: u64, timed: u64, traced: bool) -> f64 {
     let cfg = MachineConfig::ispass07_baseline()
         .with_contexts(workload.contexts)
         .with_fetch_policy(FetchPolicyKind::Icount);
@@ -77,6 +84,9 @@ fn step_throughput(workload: &SmtWorkload, warmup: u64, timed: u64) -> f64 {
         cfg,
         workload_generators(workload).expect("bundled workload"),
     );
+    if traced {
+        core.enable_tracing(sim_pipeline::TraceConfig::default());
+    }
     for _ in 0..warmup {
         core.step();
     }
@@ -147,13 +157,42 @@ fn main() {
         .into_iter()
         .find(|w| w.name == "4T-MIX-A")
         .expect("bundled workload");
-    let cps = step_throughput(&w, warmup, timed);
+    let cps = step_throughput(&w, warmup, timed, false);
     let step_speedup = cps / BASELINE_STEP_CPS;
     println!(
         "step: {cps:.0} simulated cycles/sec on {} ({timed} timed cycles) — \
          {step_speedup:.2}x the {BASELINE_STEP_CPS:.0} baseline",
         w.name
     );
+
+    // Tracing overhead: the same timed loop with a live ring sink. Short
+    // smoke runs (CI) are too noisy to assert on; full runs must stay
+    // under 5% overhead or the "cheap enough to leave on" claim is dead.
+    let mut trace_json = String::from("null");
+    if env_u64("PERFBENCH_TRACE", 1) != 0 {
+        let on_cps = step_throughput(&w, warmup, timed, true);
+        let overhead_pct = (cps - on_cps) / cps * 100.0;
+        let tc = sim_pipeline::TraceConfig::default();
+        println!(
+            "trace: {on_cps:.0} cycles/sec with ring sink on ({overhead_pct:+.2}% overhead, \
+             sample interval {}, ring capacity {})",
+            tc.sample_interval, tc.capacity
+        );
+        if timed >= 500_000 {
+            assert!(
+                overhead_pct < 5.0,
+                "tracing-on overhead {overhead_pct:.2}% breaches the 5% budget"
+            );
+        }
+        trace_json = format!(
+            "{{\n    \"off_cycles_per_sec\": {cps:.0},\n    \
+             \"on_cycles_per_sec\": {on_cps:.0},\n    \
+             \"overhead_pct\": {overhead_pct:.3},\n    \
+             \"sample_interval\": {},\n    \
+             \"ring_capacity\": {}\n  }}",
+            tc.sample_interval, tc.capacity
+        );
+    }
 
     // Sweep at 1/2/4 workers. The serial run is the reference; the parallel
     // runs must merge bit-identical before their timings mean anything.
@@ -246,6 +285,7 @@ fn main() {
          \"step\": {{\n    \"cycles_per_sec\": {cps:.0},\n    \
          \"baseline_cycles_per_sec\": {BASELINE_STEP_CPS},\n    \
          \"speedup_vs_baseline\": {step_speedup:.3}\n  }},\n  \
+         \"trace\": {trace_json},\n  \
          \"sweep\": {sweep_json},\n  \
          \"sfi\": {sfi_json}\n}}\n",
         git_sha(),

@@ -151,6 +151,17 @@ pub fn experiment(name: &str) -> Option<&'static Experiment> {
 /// The whole body of a `fig*`/table binary: resolve the scale from the
 /// environment, run the named experiment, print each rendered block.
 ///
+/// Every registry binary additionally honors the observability knobs:
+///
+/// * `SMT_AVF_TRACE_OUT=trace.json` — after the experiment, run the trace
+///   workload once with pipeline tracing and write Chrome Trace Event JSON
+///   there (open in Perfetto or `chrome://tracing`).
+/// * `SMT_AVF_TELEMETRY_WINDOW=N` — record windowed AVF every N cycles on
+///   that observed run (default 4096) and fold the AVF series into the
+///   trace as counter tracks.
+/// * `SMT_AVF_TRACE_WORKLOAD=NAME` — which Table 2 workload to observe
+///   (default `4T-MIX-A`).
+///
 /// # Panics
 /// Panics on an unknown name or a failed experiment, which is exactly the
 /// `.expect("experiment failed")` the binaries used to hand-roll.
@@ -158,6 +169,53 @@ pub fn run_experiment(name: &str) {
     let e = experiment(name).unwrap_or_else(|| panic!("unknown experiment: {name}"));
     for block in (e.run)(scale_from_env()).expect("experiment failed") {
         println!("{block}");
+    }
+    maybe_trace(scale_from_env());
+}
+
+/// Honor `SMT_AVF_TRACE_OUT` (see [`run_experiment`]): run the observed
+/// workload and write the Chrome trace. A no-op when the variable is unset.
+pub fn maybe_trace(scale: ExperimentScale) {
+    let Ok(path) = std::env::var("SMT_AVF_TRACE_OUT") else {
+        return;
+    };
+    let wanted = std::env::var("SMT_AVF_TRACE_WORKLOAD").unwrap_or_else(|_| "4T-MIX-A".to_string());
+    let window = std::env::var("SMT_AVF_TELEMETRY_WINDOW")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4096);
+    let workload = sim_workload::table2()
+        .into_iter()
+        .find(|w| w.name == wanted)
+        .unwrap_or_else(|| panic!("SMT_AVF_TRACE_WORKLOAD: unknown workload {wanted}"));
+    let cfg = sim_model::MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(sim_model::FetchPolicyKind::Icount);
+    let observers = smt_avf::Observers {
+        telemetry_window: Some(window),
+        trace: Some(smt_avf::TraceSettings::default()),
+    };
+    let observed = smt_avf::run_workload_observed(
+        &cfg,
+        &workload,
+        scale.budget(workload.contexts),
+        &observers,
+    )
+    .expect("observed trace run failed");
+    match observed.chrome_trace {
+        Some(json) => {
+            std::fs::write(&path, &json).expect("write SMT_AVF_TRACE_OUT");
+            eprintln!(
+                "[trace] wrote {path} ({} bytes): {} over {} cycles, AVF window {window}",
+                json.len(),
+                workload.name,
+                observed.result.cycles
+            );
+        }
+        None => {
+            eprintln!("[trace] SMT_AVF_TRACE_OUT set but tracing is compiled out; no trace written")
+        }
     }
 }
 

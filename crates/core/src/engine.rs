@@ -88,6 +88,13 @@ impl ResidencyTracker {
         self.ace_bit_cycles[thread.index()]
     }
 
+    /// Total banked occupied-bit-cycles across threads (the utilization
+    /// numerator, exposed raw for exact windowed accounting).
+    #[inline]
+    pub fn total_occupied_bit_cycles(&self) -> u128 {
+        self.occupied_bit_cycles.iter().sum()
+    }
+
     /// Aggregate AVF over `total_cycles` cycles.
     ///
     /// Returns 0 for an unconfigured or never-used structure rather than

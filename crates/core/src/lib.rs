@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod phase;
 pub mod report;
 pub mod structure;
+pub mod telemetry;
 
 pub use classify::{lifecycle_ace_bits, DeallocKind};
 pub use compare::{compare, render, wilson_interval, ComparisonRow, SfiPoint};
@@ -63,3 +64,4 @@ pub use fit::{fit_estimate, overall_avf, FitEstimate};
 pub use phase::{PhasePoint, PhaseRecorder};
 pub use report::{AvfReport, StructureAvf};
 pub use structure::StructureId;
+pub use telemetry::{window_ace_sum, AvfWindow, TelemetryRecorder};

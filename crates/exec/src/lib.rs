@@ -49,6 +49,24 @@ fn default_parallelism() -> usize {
 /// is by index regardless of which worker claimed what.
 pub const JOB_CHUNK: usize = 4;
 
+/// Scheduling observability for one [`run_indexed_stats`] call. The stats
+/// describe *how* the pool executed (load balance), never *what* it
+/// computed — results are index-merged and identical for any worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed by each worker, in worker-spawn order. The serial
+    /// path reports a single entry holding every job. Entries sum to the
+    /// job total; their spread is the pool's load-balance diagnostic.
+    pub per_worker_jobs: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total jobs executed across workers.
+    pub fn total_jobs(&self) -> u64 {
+        self.per_worker_jobs.iter().sum()
+    }
+}
+
 /// Execute `f(0..total)` on `workers` scoped threads and return the results
 /// in index order. See the module docs for the determinism contract.
 ///
@@ -64,26 +82,51 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_stats(total, workers, f).0
+}
+
+/// [`run_indexed`] plus per-worker scheduling stats. Results carry the
+/// same determinism contract; only the stats depend on scheduling.
+pub fn run_indexed_stats<T, F>(total: usize, workers: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if total == 0 {
-        return Vec::new();
+        return (
+            Vec::new(),
+            PoolStats {
+                per_worker_jobs: Vec::new(),
+            },
+        );
     }
     let workers = workers.clamp(1, total);
     if workers == 1 {
-        return (0..total).map(f).collect();
+        return (
+            (0..total).map(f).collect(),
+            PoolStats {
+                per_worker_jobs: vec![total as u64],
+            },
+        );
     }
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..total).map(|_| None).collect());
+    let mut per_worker_jobs = vec![0u64; workers];
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        let (next, results, f) = (&next, &results, &f);
+        for jobs in per_worker_jobs.iter_mut() {
+            // `move` takes this worker's `&mut` tally slot; the shared
+            // state is captured as the references rebound above.
+            scope.spawn(move || loop {
                 let base = next.fetch_add(JOB_CHUNK, Ordering::Relaxed);
                 if base >= total {
                     break;
                 }
                 let end = (base + JOB_CHUNK).min(total);
+                *jobs += (end - base) as u64;
                 // Run the whole chunk before touching the merge lock.
-                let chunk: Vec<T> = (base..end).map(&f).collect();
+                let chunk: Vec<T> = (base..end).map(f).collect();
                 let mut merged = results.lock().unwrap();
                 for (i, r) in chunk.into_iter().enumerate() {
                     merged[base + i] = Some(r);
@@ -91,12 +134,13 @@ where
             });
         }
     });
-    results
+    let results = results
         .into_inner()
         .unwrap()
         .into_iter()
         .map(|r| r.expect("every index in 0..total was claimed exactly once"))
-        .collect()
+        .collect();
+    (results, PoolStats { per_worker_jobs })
 }
 
 /// Map `f` over a slice on `workers` threads, preserving input order.
@@ -172,5 +216,23 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn pool_stats_account_for_every_job() {
+        for (total, workers) in [(0usize, 4usize), (1, 4), (37, 1), (37, 3), (100, 8)] {
+            let (results, stats) = run_indexed_stats(total, workers, |i| i);
+            assert_eq!(results, (0..total).collect::<Vec<_>>());
+            assert_eq!(stats.total_jobs(), total as u64, "{total}/{workers}");
+            if total > 0 {
+                assert_eq!(stats.per_worker_jobs.len(), workers.clamp(1, total));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_path_reports_one_worker() {
+        let (_, stats) = run_indexed_stats(10, 1, |i| i);
+        assert_eq!(stats.per_worker_jobs, vec![10]);
     }
 }

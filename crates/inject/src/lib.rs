@@ -234,6 +234,10 @@ pub struct CampaignConfig {
     /// cycle) instead of restoring a checkpoint. Slow; kept as the oracle
     /// the checkpointed path is proven bit-identical against.
     pub replay_from_zero: bool,
+    /// Print a heartbeat progress line to stderr as trials complete
+    /// (completed count + trials/s). Off by default; purely cosmetic —
+    /// results are unaffected.
+    pub progress: bool,
     /// The structures to inject into.
     pub targets: Vec<FaultTarget>,
 }
@@ -253,6 +257,7 @@ impl CampaignConfig {
             hang_cycles: 20_000,
             checkpoints: DEFAULT_CHECKPOINTS,
             replay_from_zero: false,
+            progress: false,
             targets: vec![
                 FaultTarget::Iq,
                 FaultTarget::Rob,
@@ -286,6 +291,67 @@ pub struct TargetSummary {
     pub sfi: SfiPoint,
 }
 
+/// Checkpoint-restore statistics for the checkpointed trial path: how far
+/// each trial had to step from its restored snapshot to the injection
+/// cycle. Deterministic (a pure function of the sampled cycles and the
+/// snapshot schedule); the distribution shows how well the K snapshots
+/// cover the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestoreStats {
+    /// Trials that restored a snapshot.
+    pub restores: u64,
+    /// Shortest restore-to-injection distance, in cycles.
+    pub min_cycles: u64,
+    /// Longest restore-to-injection distance, in cycles.
+    pub max_cycles: u64,
+    /// Mean restore-to-injection distance, in cycles.
+    pub mean_cycles: f64,
+}
+
+impl RestoreStats {
+    fn from_distances(distances: &[u64]) -> Option<RestoreStats> {
+        if distances.is_empty() {
+            return None;
+        }
+        Some(RestoreStats {
+            restores: distances.len() as u64,
+            min_cycles: *distances.iter().min().expect("nonempty"),
+            max_cycles: *distances.iter().max().expect("nonempty"),
+            mean_cycles: distances.iter().sum::<u64>() as f64 / distances.len() as f64,
+        })
+    }
+}
+
+/// Execution metrics for one campaign run. Wall-clock fields vary run to
+/// run; the counters (early exits, injected trials, restore distances) are
+/// deterministic. Metrics are diagnostics only — they are deliberately
+/// *not* part of the result-equality contract the oracle/checkpointed
+/// equivalence tests assert over [`CampaignResult::records`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignMetrics {
+    /// Total trials executed.
+    pub trials: u64,
+    /// Wall-clock seconds for the golden pass(es) + snapshot capture.
+    pub golden_secs: f64,
+    /// Wall-clock seconds for the trial phase.
+    pub trial_secs: f64,
+    /// Trial throughput (`trials / trial_secs`).
+    pub trials_per_sec: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs executed by each pool worker (load-balance diagnostic; a
+    /// single entry on the serial path).
+    pub per_worker_jobs: Vec<u64>,
+    /// Trials whose fault actually perturbed state
+    /// ([`Landing::Injected`]).
+    pub injected_trials: u64,
+    /// Injected trials cut short by the convergence early-exit (provably
+    /// masked before reaching the commit target).
+    pub early_exits: u64,
+    /// Restore-distance stats; `None` on the replay-from-zero oracle path.
+    pub restore: Option<RestoreStats>,
+}
+
 /// A completed campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -296,6 +362,8 @@ pub struct CampaignResult {
     pub window: (u64, u64),
     /// Per-structure tallies.
     pub per_target: Vec<TargetSummary>,
+    /// Runner execution metrics (throughput, early exits, restores).
+    pub metrics: CampaignMetrics,
 }
 
 impl CampaignResult {
@@ -456,7 +524,8 @@ where
 {
     check_window(golden, inject_cycle)?;
     let core = warmed_core(factory, budget);
-    Ok(finish_trial(core, golden, fault, inject_cycle, hang_cycles))
+    let t = finish_trial(core, golden, fault, inject_cycle, hang_cycles);
+    Ok((t.landing, t.outcome))
 }
 
 /// Restore the nearest checkpoint at or before `inject_cycle`, step only
@@ -475,13 +544,8 @@ where
 {
     check_window(&checkpointed.golden, inject_cycle)?;
     let core = checkpointed.nearest_at_or_before(inject_cycle).clone();
-    Ok(finish_trial(
-        core,
-        &checkpointed.golden,
-        fault,
-        inject_cycle,
-        hang_cycles,
-    ))
+    let t = finish_trial(core, &checkpointed.golden, fault, inject_cycle, hang_cycles);
+    Ok((t.landing, t.outcome))
 }
 
 fn check_window(golden: &GoldenRun, inject_cycle: u64) -> Result<(), InjectError> {
@@ -495,6 +559,21 @@ fn check_window(golden: &GoldenRun, inject_cycle: u64) -> Result<(), InjectError
     Ok(())
 }
 
+/// The full account of one trial. The public trial functions expose only
+/// `(landing, outcome)` — the equivalence contract between the
+/// checkpointed and oracle paths is over those — while the campaign runner
+/// also consumes the metrics flags. `early_exit` *is* path-identical (the
+/// convergence check schedule starts at the injection cycle in both
+/// paths); it lives here rather than in `Outcome` because it describes how
+/// the verdict was reached, not what it is.
+struct TrialRun {
+    landing: Landing,
+    outcome: Outcome,
+    /// The convergence check proved the machine masked before the commit
+    /// target was reached.
+    early_exit: bool,
+}
+
 /// Shared trial tail: step `core` (already past warmup, at or before the
 /// injection cycle, commit log running) to `inject_cycle`, flip the bit,
 /// run out the trial and classify it.
@@ -504,7 +583,7 @@ fn finish_trial<S: InstSource>(
     fault: Fault,
     inject_cycle: u64,
     hang_cycles: u64,
-) -> (Landing, Outcome) {
+) -> TrialRun {
     while core.cycle() < inject_cycle {
         core.step();
     }
@@ -534,7 +613,11 @@ fn finish_trial<S: InstSource>(
                     check_step = (check_step * 2).min(CONVERGENCE_CHECK_MAX);
                     next_check = core.cycle() + check_step;
                     if converged_back_to_golden(&core, golden) {
-                        return (landing, Outcome::Masked);
+                        return TrialRun {
+                            landing,
+                            outcome: Outcome::Masked,
+                            early_exit: true,
+                        };
                     }
                 }
                 core.step();
@@ -542,7 +625,11 @@ fn finish_trial<S: InstSource>(
             classify_completed_trial(&mut core, golden, hung)
         }
     };
-    (landing, outcome)
+    TrialRun {
+        landing,
+        outcome,
+        early_exit: false,
+    }
 }
 
 /// First convergence check after injection, in cycles; the interval
@@ -635,6 +722,7 @@ where
     }
     // Workers share the immutable checkpoint set; each trial clones only
     // the one snapshot it restores.
+    let golden_t0 = std::time::Instant::now();
     let checkpointed = if cfg.replay_from_zero {
         None
     } else {
@@ -648,43 +736,107 @@ where
         Some(_) => None,
         None => Some(run_golden(&factory, cfg.budget)?),
     };
+    let golden_secs = golden_t0.elapsed().as_secs_f64();
     let golden: &GoldenRun = checkpointed
         .as_ref()
         .map(|c| &c.golden)
         .or(plain_golden.as_ref())
         .expect("one golden path ran");
     let machine = factory().config().clone();
+    let ckpt_cycles = checkpointed
+        .as_ref()
+        .map(CheckpointedGolden::checkpoint_cycles);
 
     let per = cfg.trials_per_structure;
     let total = cfg.targets.len() * per;
+
+    // Heartbeat bookkeeping (stderr only; results are unaffected).
+    let trials_t0 = std::time::Instant::now();
+    let completed = std::sync::atomic::AtomicU64::new(0);
+    let heartbeat_stride = (total as u64 / 20).max(1);
 
     // Each trial is a pure function of `(campaign seed, global index)`, so
     // the sim-exec pool's index-ordered merge makes the record vector
     // bit-identical for any worker count — and, because a restored
     // snapshot steps bit-identically to a from-zero replay, also identical
-    // between the checkpointed and oracle paths.
-    let records: Vec<TrialRecord> = sim_exec::run_indexed(total, cfg.workers, |i| {
+    // between the checkpointed and oracle paths. The per-trial metrics
+    // (early exit, restore distance) ride alongside each record.
+    let (trials, pool_stats) = sim_exec::run_indexed_stats(total, cfg.workers, |i| {
         let target = cfg.targets[i / per];
         let mut rng = trial_rng(cfg.seed, i);
         let entry = rng.range_u64(0, target_entries(target, &machine));
         let bit = rng.range_u64(0, target_bits(target, &machine));
         let cycle = rng.range_u64(golden.start, golden.end);
         let fault = Fault { target, entry, bit };
-        let (landing, outcome) = match &checkpointed {
-            Some(c) => run_trial_checkpointed(c, fault, cycle, cfg.hang_cycles),
-            None => run_trial(&factory, cfg.budget, golden, fault, cycle, cfg.hang_cycles),
+        let run = match &checkpointed {
+            Some(c) => {
+                let core = c.nearest_at_or_before(cycle).clone();
+                finish_trial(core, &c.golden, fault, cycle, cfg.hang_cycles)
+            }
+            None => {
+                let core = warmed_core(&factory, cfg.budget);
+                finish_trial(core, golden, fault, cycle, cfg.hang_cycles)
+            }
+        };
+        // Distance from the restored snapshot to the injection point (the
+        // cycles this trial had to re-step before flipping its bit).
+        let restore_distance = ckpt_cycles.as_ref().map(|cycles| {
+            let at = cycles.partition_point(|&c| c <= cycle);
+            debug_assert!(at > 0, "sampled cycle precedes the first snapshot");
+            cycle - cycles[at - 1]
+        });
+        if cfg.progress {
+            let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if done.is_multiple_of(heartbeat_stride) || done == total as u64 {
+                let secs = trials_t0.elapsed().as_secs_f64();
+                let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+                eprintln!("[sfi] {done}/{total} trials ({rate:.1}/s)");
+            }
         }
-        .expect("sampled cycle lies inside the golden window");
-        TrialRecord {
+        let record = TrialRecord {
             target,
             trial: i % per,
             entry,
             bit,
             cycle,
-            landing,
-            outcome,
-        }
+            landing: run.landing,
+            outcome: run.outcome,
+        };
+        (record, run.early_exit, restore_distance)
     });
+    let trial_secs = trials_t0.elapsed().as_secs_f64();
+
+    let mut records = Vec::with_capacity(trials.len());
+    let mut distances = Vec::new();
+    let mut early_exits = 0u64;
+    for (record, early_exit, restore_distance) in trials {
+        if early_exit {
+            early_exits += 1;
+        }
+        if let Some(d) = restore_distance {
+            distances.push(d);
+        }
+        records.push(record);
+    }
+    let injected_trials = records
+        .iter()
+        .filter(|r| r.landing == Landing::Injected)
+        .count() as u64;
+    let metrics = CampaignMetrics {
+        trials: total as u64,
+        golden_secs,
+        trial_secs,
+        trials_per_sec: if trial_secs > 0.0 {
+            total as f64 / trial_secs
+        } else {
+            0.0
+        },
+        workers: pool_stats.per_worker_jobs.len(),
+        per_worker_jobs: pool_stats.per_worker_jobs,
+        injected_trials,
+        early_exits,
+        restore: RestoreStats::from_distances(&distances),
+    };
 
     let per_target = cfg
         .targets
@@ -711,6 +863,7 @@ where
         records,
         window: (golden.start, golden.end),
         per_target,
+        metrics,
     })
 }
 

@@ -6,10 +6,14 @@ use crate::resources::{FreeList, FuPool, IqEntry, IssueQueue, RegTracker};
 use crate::result::{SimResult, ThreadStats};
 use crate::slot::{FrontEndInst, Slot, SlotState};
 use crate::thread::{MemDep, ThreadCtx, FETCH_QUEUE_CAP};
+#[cfg(feature = "trace")]
+use crate::tracer::{TraceConfig, Tracer};
 use avf_core::{budgets, classify, AvfEngine, DeallocKind, StructureId};
 use sim_frontend::{FetchPolicyEngine, PredictorConfigExt, ThreadTelemetry};
 use sim_mem::MemoryHierarchy;
 use sim_model::{ArchReg, FetchPolicyKind, MachineConfig, OpClass, PhysReg, ThreadId};
+#[cfg(feature = "trace")]
+use sim_trace::TraceSink as _;
 use sim_workload::{InstSource, TraceGenerator};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -97,6 +101,13 @@ pub struct SmtCore<S = TraceGenerator> {
     measure_mem0: MemSnapshot,
     /// Optional AVF phase-behavior recorder.
     phases: Option<avf_core::PhaseRecorder>,
+    /// Optional time-resolved AVF telemetry (exact windowed accounting).
+    telemetry: Option<avf_core::TelemetryRecorder>,
+    /// Optional pipeline event tracer. `None` is the runtime-off path (one
+    /// branch per hook); disabling the `trace` feature removes the hooks
+    /// and this field entirely.
+    #[cfg(feature = "trace")]
+    tracer: Option<Tracer>,
     /// Fault-injection bookkeeping (poisoned registers, commit log).
     faults: FaultState,
     /// Reusable per-cycle buffers (see [`Scratch`]).
@@ -255,6 +266,9 @@ impl<S: InstSource> SmtCore<S> {
             measure_thread0: vec![(0, 0, 0, 0); n],
             measure_mem0: MemSnapshot::default(),
             phases: None,
+            telemetry: None,
+            #[cfg(feature = "trace")]
+            tracer: None,
             faults: FaultState::new(cfg2.0, cfg2.1),
             scratch: Scratch::default(),
         }
@@ -269,6 +283,50 @@ impl<S: InstSource> SmtCore<S> {
     /// Take the recorded AVF phase time series, if recording was enabled.
     pub fn take_phases(&mut self) -> Option<Vec<avf_core::PhasePoint>> {
         self.phases.take().map(avf_core::PhaseRecorder::into_points)
+    }
+
+    /// Record exact windowed AVF telemetry every `window_cycles` cycles
+    /// (see [`avf_core::TelemetryRecorder`]). Call before `run`; the final
+    /// partial window is closed after end-of-run finalization banking, so
+    /// the per-window ACE sums equal the report's aggregate totals exactly.
+    pub fn enable_telemetry(&mut self, window_cycles: u64) {
+        let mut rec = avf_core::TelemetryRecorder::new(window_cycles);
+        rec.resync(&self.avf, self.cycle);
+        self.telemetry = Some(rec);
+    }
+
+    /// Take the recorded AVF telemetry windows, if telemetry was enabled.
+    ///
+    /// Only meaningful after `run` (the tail window is closed by the
+    /// end-of-run finalization); taking mid-run yields the closed windows
+    /// recorded so far.
+    pub fn take_telemetry(&mut self) -> Option<Vec<avf_core::AvfWindow>> {
+        self.telemetry
+            .take()
+            .map(avf_core::TelemetryRecorder::into_windows)
+    }
+
+    /// Start tracing pipeline events into a preallocated ring (see
+    /// [`crate::tracer`]). Call before `run`.
+    #[cfg(feature = "trace")]
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.tracer = Some(Tracer::new(cfg, self.threads.len(), self.cycle));
+    }
+
+    /// Take the recorded trace: events oldest-first plus the ring's
+    /// dropped-event count. `None` if tracing was never enabled.
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&mut self) -> Option<(Vec<sim_trace::TraceEvent>, u64)> {
+        self.tracer.take().map(Tracer::into_events)
+    }
+
+    /// The per-thread workload names, in thread-id order (labels trace
+    /// exports and reports).
+    pub fn thread_names(&self) -> Vec<String> {
+        self.threads
+            .iter()
+            .map(|t| t.gen.name().to_string())
+            .collect()
     }
 
     /// The machine configuration in effect.
@@ -347,6 +405,11 @@ impl<S: InstSource> SmtCore<S> {
         if let Some(rec) = &mut self.phases {
             rec.resync(&self.avf, now);
         }
+        if let Some(rec) = &mut self.telemetry {
+            // Discards warm-up windows: post-reset windows must sum to the
+            // post-reset engine totals exactly.
+            rec.resync(&self.avf, now);
+        }
         self.measure_committed0 = self.threads.iter().map(|t| t.committed).collect();
         self.measure_thread0 = self
             .threads
@@ -382,6 +445,10 @@ impl<S: InstSource> SmtCore<S> {
         if let Some(rec) = &mut self.phases {
             rec.tick(&self.avf, self.cycle);
         }
+        if let Some(rec) = &mut self.telemetry {
+            rec.tick(&self.avf, self.cycle);
+        }
+        self.trace_sample();
     }
 
     /// Close out interval accounting and build the result (measurement
@@ -393,6 +460,12 @@ impl<S: InstSource> SmtCore<S> {
         // never freed; without this, long-lived globals would be invisible.
         self.int_regs.finalize(&mut self.avf);
         self.fp_regs.finalize(&mut self.avf);
+        // Close the telemetry tail *after* finalization banking so the late
+        // banks (register last-reads, cache evictions) land in the final
+        // window instead of escaping the series.
+        if let Some(rec) = &mut self.telemetry {
+            rec.flush(&self.avf, now);
+        }
         let committed: Vec<u64> = self
             .threads
             .iter()
@@ -575,6 +648,7 @@ impl<S: InstSource> SmtCore<S> {
         }
         self.threads[t].committed += 1;
         self.total_committed += 1;
+        self.trace_committed(t);
     }
 
     // -----------------------------------------------------------------
@@ -721,6 +795,7 @@ impl<S: InstSource> SmtCore<S> {
             // Commit to issuing this op.
             assert!(self.iq.remove(e.thread, e.ftag));
             issued += 1;
+            self.trace_issued(t);
             let slot = &mut self.threads[t].slab[e.slot as usize];
             slot.state = SlotState::Issued;
             slot.issued_at = now;
@@ -845,6 +920,7 @@ impl<S: InstSource> SmtCore<S> {
     /// recovery, where everything younger is wrong-path).
     fn squash_after(&mut self, t: usize, boundary: u64, now: u64, replay: bool) {
         let id = ThreadId(t as u8);
+        let squashed_before = self.threads[t].squashed;
         let mut replay_rev = std::mem::take(&mut self.scratch.replay_rev);
         replay_rev.clear();
         while let Some(back) = self.threads[t].back_slot() {
@@ -984,6 +1060,8 @@ impl<S: InstSource> SmtCore<S> {
         };
         self.scratch.replay_rev = replay_rev;
         self.scratch.frontend = frontend;
+        let squashed = self.threads[t].squashed - squashed_before;
+        self.trace_squash(t, squashed, replay, now);
     }
 
     // -----------------------------------------------------------------
@@ -1215,6 +1293,7 @@ impl<S: InstSource> SmtCore<S> {
                 } else {
                     next_pc
                 };
+                self.trace_fetched(t);
                 if is_branch {
                     break;
                 }
@@ -1223,6 +1302,101 @@ impl<S: InstSource> SmtCore<S> {
         self.scratch.telemetry = telemetry;
         self.scratch.priority = priority;
     }
+}
+
+// ---------------------------------------------------------------------
+// Trace hooks
+//
+// With the `trace` feature these accumulate stage activity and emit ring
+// events; without it they are empty `#[inline(always)]` functions, so the
+// call sites compile to nothing and the cycle loop is bit-for-bit the
+// uninstrumented one (the steady-state overhead benchmark pins this).
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "trace")]
+impl<S> SmtCore<S> {
+    #[inline]
+    fn trace_fetched(&mut self, t: usize) {
+        if let Some(tr) = &mut self.tracer {
+            tr.counts[t].fetched += 1;
+        }
+    }
+
+    #[inline]
+    fn trace_issued(&mut self, t: usize) {
+        if let Some(tr) = &mut self.tracer {
+            tr.counts[t].issued += 1;
+        }
+    }
+
+    #[inline]
+    fn trace_committed(&mut self, t: usize) {
+        if let Some(tr) = &mut self.tracer {
+            tr.counts[t].committed += 1;
+        }
+    }
+
+    #[inline]
+    fn trace_squash(&mut self, t: usize, squashed: u64, replay: bool, now: u64) {
+        if let Some(tr) = &mut self.tracer {
+            if squashed == 0 {
+                return;
+            }
+            let kind = if replay {
+                sim_trace::SquashKind::Flush
+            } else {
+                sim_trace::SquashKind::Mispredict
+            };
+            tr.squash(now, t, squashed.min(u32::MAX as u64) as u32, kind);
+        }
+    }
+
+    /// Emit one sample per thread plus a shared-structure snapshot when a
+    /// sample boundary is reached. Called once per cycle from `step`.
+    #[inline]
+    fn trace_sample(&mut self) {
+        let Some(tr) = &mut self.tracer else {
+            return;
+        };
+        if self.cycle < tr.next_sample {
+            return;
+        }
+        let cycle = self.cycle;
+        for (t, th) in self.threads.iter().enumerate() {
+            let c = std::mem::take(&mut tr.counts[t]);
+            tr.sink.emit(sim_trace::TraceEvent::Stage {
+                cycle,
+                thread: t as u8,
+                fetched: c.fetched,
+                issued: c.issued,
+                committed: c.committed,
+                squashed: c.squashed,
+                rob: th.rob.len() as u32,
+                iq: th.iq_used,
+            });
+        }
+        tr.sink.emit(sim_trace::TraceEvent::Shared {
+            cycle,
+            iq: self.iq.len() as u32,
+            int_free: self.int_free.available() as u32,
+            fp_free: self.fp_free.available() as u32,
+        });
+        tr.next_sample = cycle + tr.sample_interval;
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+impl<S> SmtCore<S> {
+    #[inline(always)]
+    fn trace_fetched(&mut self, _t: usize) {}
+    #[inline(always)]
+    fn trace_issued(&mut self, _t: usize) {}
+    #[inline(always)]
+    fn trace_committed(&mut self, _t: usize) {}
+    #[inline(always)]
+    fn trace_squash(&mut self, _t: usize, _squashed: u64, _replay: bool, _now: u64) {}
+    #[inline(always)]
+    fn trace_sample(&mut self) {}
 }
 
 // ---------------------------------------------------------------------

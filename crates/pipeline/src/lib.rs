@@ -41,7 +41,11 @@ pub mod resources;
 pub mod result;
 pub mod slot;
 pub mod thread;
+#[cfg(feature = "trace")]
+pub mod tracer;
 
 pub use crate::core::{SimBudget, SmtCore};
 pub use inject::{Fault, FaultTarget, Landing, RetiredInst};
 pub use result::SimResult;
+#[cfg(feature = "trace")]
+pub use tracer::{TraceConfig, Tracer};

@@ -1,0 +1,132 @@
+//! Pipeline event tracing (compiled only with the `trace` cargo feature).
+//!
+//! The [`Tracer`] sits between [`SmtCore`](crate::SmtCore) and a
+//! [`sim_trace::RingSink`]: per-cycle stage activity (fetch, issue,
+//! commit, squash) is accumulated in plain counters, and every
+//! `sample_interval` cycles one [`Stage`](sim_trace::TraceEvent::Stage)
+//! event per thread plus one [`Shared`](sim_trace::TraceEvent::Shared)
+//! snapshot are emitted. Squashes are emitted immediately (they are rare
+//! and their timing is the interesting part).
+//!
+//! Costs: runtime-off (no tracer installed) is one branch per hook;
+//! compile-time-off (`trace` feature disabled) is nothing — the hooks in
+//! `SmtCore` become empty `#[inline(always)]` functions. Runtime-on stays
+//! allocation-free after construction: the ring is preallocated and the
+//! counters live in a fixed `Vec` (the pipeline's counting-allocator test
+//! pins this).
+
+use sim_trace::{RingSink, SquashKind, TraceEvent, TraceSink};
+
+/// Tracer configuration: how much history to keep and how often to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity in events; when full, oldest events are dropped (and
+    /// counted). At the default sample interval one thread produces one
+    /// event per interval, so capacity bounds the retained cycle window.
+    pub capacity: usize,
+    /// Emit a sample every this many cycles (clamped to at least 1).
+    pub sample_interval: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            capacity: 1 << 16,
+            sample_interval: 64,
+        }
+    }
+}
+
+/// Stage activity accumulated since the last sample boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StageCounts {
+    pub(crate) fetched: u32,
+    pub(crate) issued: u32,
+    pub(crate) committed: u32,
+    pub(crate) squashed: u32,
+}
+
+/// Per-core tracing state. Cloning it clones the recorded history, so a
+/// checkpointed core snapshot replays with its trace intact.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    pub(crate) sink: RingSink,
+    pub(crate) sample_interval: u64,
+    /// Next cycle at which a sample is due.
+    pub(crate) next_sample: u64,
+    /// One accumulator per hardware thread.
+    pub(crate) counts: Vec<StageCounts>,
+}
+
+impl Tracer {
+    /// A tracer for `contexts` threads starting at cycle `now`.
+    pub fn new(cfg: TraceConfig, contexts: usize, now: u64) -> Tracer {
+        let sample_interval = cfg.sample_interval.max(1);
+        Tracer {
+            sink: RingSink::new(cfg.capacity),
+            sample_interval,
+            next_sample: now + sample_interval,
+            counts: vec![StageCounts::default(); contexts],
+        }
+    }
+
+    /// Record an immediate squash event (also feeds the sampled counter).
+    #[inline]
+    pub(crate) fn squash(&mut self, cycle: u64, thread: usize, squashed: u32, kind: SquashKind) {
+        self.counts[thread].squashed += squashed;
+        self.sink.emit(TraceEvent::Squash {
+            cycle,
+            thread: thread as u8,
+            squashed,
+            kind,
+        });
+    }
+
+    /// The recorded events (oldest first) and the dropped-event count.
+    pub fn into_events(self) -> (Vec<TraceEvent>, u64) {
+        self.sink.into_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = TraceConfig::default();
+        assert!(c.capacity > 0 && c.sample_interval > 0);
+    }
+
+    #[test]
+    fn squash_feeds_both_paths() {
+        let mut tr = Tracer::new(TraceConfig::default(), 2, 100);
+        tr.squash(120, 1, 7, SquashKind::Flush);
+        assert_eq!(tr.counts[1].squashed, 7);
+        let (events, dropped) = tr.into_events();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events,
+            vec![TraceEvent::Squash {
+                cycle: 120,
+                thread: 1,
+                squashed: 7,
+                kind: SquashKind::Flush,
+            }]
+        );
+    }
+
+    #[test]
+    fn zero_interval_clamped() {
+        let tr = Tracer::new(
+            TraceConfig {
+                capacity: 4,
+                sample_interval: 0,
+            },
+            1,
+            0,
+        );
+        assert_eq!(tr.sample_interval, 1);
+        assert_eq!(tr.next_sample, 1);
+    }
+}

@@ -66,6 +66,7 @@ fn steady_state_allocs(
     programs: &[&str],
     warmup: u64,
     window: u64,
+    traced: bool,
 ) -> u64 {
     let cfg = MachineConfig::ispass07_baseline()
         .with_contexts(programs.len())
@@ -76,6 +77,17 @@ fn steady_state_allocs(
         .map(|(i, p)| TraceGenerator::new(profile(p).expect("known benchmark"), i as u64 + 1))
         .collect();
     let mut core = SmtCore::new(cfg, gens);
+    #[cfg(feature = "trace")]
+    if traced {
+        // A small ring that wraps inside the window: both the fill and the
+        // overwrite paths of the sink must be allocation-free.
+        core.enable_tracing(sim_pipeline::TraceConfig {
+            capacity: 1024,
+            sample_interval: 64,
+        });
+    }
+    #[cfg(not(feature = "trace"))]
+    let _ = traced;
     for _ in 0..warmup {
         core.step();
     }
@@ -98,6 +110,7 @@ fn steady_state_step_is_allocation_free() {
         &["bzip2", "mcf", "eon", "gcc"],
         50_000,
         20_000,
+        false,
     );
     assert_eq!(
         icount, 0,
@@ -105,9 +118,29 @@ fn steady_state_step_is_allocation_free() {
     );
 
     // FLUSH exercises the squash/replay scratch buffers every L2 miss.
-    let flush = steady_state_allocs(FetchPolicyKind::Flush, &["mcf", "twolf"], 80_000, 20_000);
+    let flush = steady_state_allocs(
+        FetchPolicyKind::Flush,
+        &["mcf", "twolf"],
+        80_000,
+        20_000,
+        false,
+    );
     assert_eq!(
         flush, 0,
         "FLUSH step() allocated {flush} times in steady state"
+    );
+
+    // With a live ring sink the hot loop must still not allocate: the ring
+    // and its counters are fully preallocated (events land by value).
+    let traced = steady_state_allocs(
+        FetchPolicyKind::Icount,
+        &["bzip2", "mcf", "eon", "gcc"],
+        50_000,
+        20_000,
+        true,
+    );
+    assert_eq!(
+        traced, 0,
+        "traced step() allocated {traced} times in steady state"
     );
 }

@@ -1,0 +1,296 @@
+#![warn(missing_docs)]
+//! # sim-trace — zero-cost-when-off simulator tracing
+//!
+//! Structured runtime instrumentation for the simulator: a compact
+//! [`TraceEvent`] vocabulary for pipeline activity, a [`TraceSink`] trait
+//! with two implementations at the extremes of the cost spectrum, and a
+//! Chrome Trace Event JSON exporter so a recorded run opens directly in
+//! Perfetto or `chrome://tracing`.
+//!
+//! * [`RingSink`] — a fixed-capacity single-producer ring buffer. No
+//!   locks, no allocation after construction; when full it overwrites the
+//!   oldest event and counts the drop, so a long run keeps the most recent
+//!   window of activity and reports exactly how much history it shed.
+//! * [`NullSink`] — discards everything, with every method `#[inline]`
+//!   empty. Instrumentation behind a `NullSink` (or behind the pipeline's
+//!   disabled `trace` cargo feature) compiles to nothing.
+//!
+//! The event vocabulary is deliberately small and `Copy`: emitting an
+//! event is a couple of word writes, cheap enough for the simulator's hot
+//! cycle loop to stay allocation-free (the pipeline's counting-allocator
+//! test covers the instrumented path).
+//!
+//! Determinism: events carry only simulated state (cycles, thread ids,
+//! counts) — never wall-clock time — so two identically-seeded runs
+//! produce byte-identical trace files. The exporter preserves that by
+//! formatting every number deterministically.
+
+pub mod chrome;
+
+/// Why a thread's speculative state was squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashKind {
+    /// Branch misprediction recovery: the wrong path is discarded.
+    Mispredict,
+    /// FLUSH fetch policy: an L2-missing load's younger work is squashed
+    /// and queued for replay.
+    Flush,
+}
+
+impl SquashKind {
+    /// Short display label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SquashKind::Mispredict => "mispredict",
+            SquashKind::Flush => "flush",
+        }
+    }
+}
+
+/// One traced simulator event. Compact and `Copy`: the hot path stores
+/// these by value into a preallocated ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Per-thread pipeline activity accumulated over the sample window
+    /// that ends at `cycle`, plus an occupancy snapshot at that boundary.
+    Stage {
+        /// Sample-window end cycle.
+        cycle: u64,
+        /// Hardware thread.
+        thread: u8,
+        /// Instructions fetched in the window (wrong-path included).
+        fetched: u32,
+        /// Instructions issued to functional units in the window.
+        issued: u32,
+        /// Instructions committed in the window.
+        committed: u32,
+        /// Instructions squashed in the window.
+        squashed: u32,
+        /// ROB occupancy of this thread at the boundary.
+        rob: u32,
+        /// This thread's share of the issue-queue occupancy at the
+        /// boundary.
+        iq: u32,
+    },
+    /// Shared-structure occupancy snapshot at a sample boundary.
+    Shared {
+        /// Sample-window end cycle.
+        cycle: u64,
+        /// Shared issue-queue occupancy (all threads).
+        iq: u32,
+        /// Free integer physical registers.
+        int_free: u32,
+        /// Free floating-point physical registers.
+        fp_free: u32,
+    },
+    /// A squash happened (emitted immediately; squashes are rare).
+    Squash {
+        /// Cycle of the squash.
+        cycle: u64,
+        /// The squashed thread.
+        thread: u8,
+        /// Instructions discarded or queued for replay.
+        squashed: u32,
+        /// What triggered the squash.
+        kind: SquashKind,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Stage { cycle, .. }
+            | TraceEvent::Shared { cycle, .. }
+            | TraceEvent::Squash { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// Where instrumentation sends its events.
+///
+/// Implementations must be cheap: the pipeline calls [`emit`] from its
+/// cycle loop. They must not allocate in `emit` (the pipeline's
+/// steady-state allocation test runs with a live sink).
+///
+/// [`emit`]: TraceSink::emit
+pub trait TraceSink {
+    /// Record one event.
+    fn emit(&mut self, event: TraceEvent);
+
+    /// Events discarded so far (e.g. by a full ring). Default: none.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
+}
+
+/// The zero-cost sink: discards every event. With the pipeline's `trace`
+/// feature disabled this is what the instrumentation degenerates to; with
+/// it enabled, a `NullSink` still costs only an inlined empty call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+/// A fixed-capacity single-producer ring buffer of trace events.
+///
+/// The buffer is fully allocated up front; `emit` never allocates and
+/// never blocks. When the ring is full the oldest event is overwritten
+/// and [`dropped_events`](TraceSink::dropped_events) counts it, so the
+/// sink retains the most recent `capacity` events of the run.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    /// Storage; grows by pushes until `capacity`, then wraps.
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (clamped to at least 1).
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained events, oldest first, plus the dropped-event count.
+    /// Consumes the sink (tracing is over when the trace is exported).
+    pub fn into_events(self) -> (Vec<TraceEvent>, u64) {
+        let RingSink {
+            mut buf,
+            head,
+            dropped,
+            ..
+        } = self;
+        buf.rotate_left(head);
+        (buf, dropped)
+    }
+
+    /// The retained events, oldest first, without consuming the sink.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = self.buf.clone();
+        out.rotate_left(self.head);
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            // Full: overwrite the oldest slot and advance the head.
+            self.buf[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::Shared {
+            cycle,
+            iq: cycle as u32,
+            int_free: 0,
+            fp_free: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_under_capacity() {
+        let mut s = RingSink::new(8);
+        for c in 0..5 {
+            s.emit(ev(c));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.dropped_events(), 0);
+        let (events, dropped) = s.into_events();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events.iter().map(TraceEvent::cycle).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_first() {
+        let mut s = RingSink::new(4);
+        for c in 0..10 {
+            s.emit(ev(c));
+        }
+        assert_eq!(s.dropped_events(), 6);
+        let (events, dropped) = s.into_events();
+        assert_eq!(dropped, 6);
+        assert_eq!(
+            events.iter().map(TraceEvent::cycle).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "the most recent capacity-many events survive, oldest first"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut s = RingSink::new(0);
+        s.emit(ev(1));
+        s.emit(ev(2));
+        assert_eq!(s.capacity(), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dropped_events(), 1);
+        assert_eq!(s.events()[0].cycle(), 2);
+    }
+
+    #[test]
+    fn null_sink_reports_nothing() {
+        let mut s = NullSink;
+        s.emit(ev(1));
+        assert_eq!(s.dropped_events(), 0);
+    }
+
+    #[test]
+    fn events_view_matches_into_events() {
+        let mut s = RingSink::new(3);
+        for c in 0..7 {
+            s.emit(ev(c));
+        }
+        let view = s.events();
+        let (owned, _) = s.into_events();
+        assert_eq!(view, owned);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property test: for any capacity and any push sequence, a full
+//! [`RingSink`] drops oldest-first, retains exactly the most recent
+//! `capacity` events in emission order, and its `dropped_events` counter
+//! equals `pushes − retained`.
+//!
+//! Hand-rolled randomized cases (the workspace builds offline, so no
+//! proptest): a seeded [`SimRng`] drives capacities and push counts; every
+//! case is checked against the obvious reference model (a plain `Vec` that
+//! keeps everything).
+
+use sim_model::SimRng;
+use sim_trace::{RingSink, SquashKind, TraceEvent, TraceSink};
+
+/// A distinguishable event: the payload encodes the emission index so
+/// order and identity are both checkable.
+fn ev(i: u64) -> TraceEvent {
+    match i % 3 {
+        0 => TraceEvent::Shared {
+            cycle: i,
+            iq: i as u32,
+            int_free: (i * 7) as u32,
+            fp_free: (i * 11) as u32,
+        },
+        1 => TraceEvent::Stage {
+            cycle: i,
+            thread: (i % 8) as u8,
+            fetched: i as u32,
+            issued: 0,
+            committed: 0,
+            squashed: 0,
+            rob: 0,
+            iq: 0,
+        },
+        _ => TraceEvent::Squash {
+            cycle: i,
+            thread: (i % 8) as u8,
+            squashed: i as u32,
+            kind: if i.is_multiple_of(2) {
+                SquashKind::Flush
+            } else {
+                SquashKind::Mispredict
+            },
+        },
+    }
+}
+
+#[test]
+fn ring_drops_oldest_first_with_accurate_counter() {
+    let mut rng = SimRng::seed_from_u64(0x0514_B1FF);
+    for case in 0..200 {
+        let capacity = rng.range_u64(1, 65) as usize;
+        let pushes = rng.range_u64(0, 4 * capacity as u64 + 3);
+
+        let mut sink = RingSink::new(capacity);
+        let mut reference: Vec<TraceEvent> = Vec::new();
+        for i in 0..pushes {
+            sink.emit(ev(i));
+            reference.push(ev(i));
+        }
+
+        let expected_kept = reference.len().min(capacity);
+        let expected_dropped = (reference.len() - expected_kept) as u64;
+        assert_eq!(
+            sink.dropped_events(),
+            expected_dropped,
+            "case {case}: cap={capacity} pushes={pushes}"
+        );
+        assert_eq!(sink.len(), expected_kept, "case {case}");
+
+        let (events, dropped) = sink.into_events();
+        assert_eq!(dropped, expected_dropped, "case {case}");
+        assert_eq!(
+            events,
+            reference[reference.len() - expected_kept..],
+            "case {case}: survivors must be the newest events, oldest first"
+        );
+    }
+}
+
+#[test]
+fn interleaved_reads_do_not_disturb_the_ring() {
+    // Reading `events()` mid-stream must not change what later arrives.
+    let mut sink = RingSink::new(5);
+    let mut reference = Vec::new();
+    for i in 0..23 {
+        sink.emit(ev(i));
+        reference.push(ev(i));
+        let snapshot = sink.events();
+        let kept = reference.len().min(5);
+        assert_eq!(snapshot, reference[reference.len() - kept..]);
+    }
+    assert_eq!(sink.dropped_events(), 18);
+}

@@ -1,0 +1,64 @@
+//! Observability: trace a run and watch AVF evolve over time.
+//!
+//! Runs one workload with the pipeline tracer and windowed-AVF telemetry
+//! attached, prints the time-resolved AVF of the IQ and ROB, and writes a
+//! Chrome Trace Event file to open in Perfetto (https://ui.perfetto.dev)
+//! or `chrome://tracing`.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+
+use smt_avf::prelude::*;
+
+fn main() {
+    let workload = table2()
+        .into_iter()
+        .find(|w| w.name == "2T-MIX-A")
+        .expect("Table 2 contains 2T-MIX-A");
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let budget = SimBudget::total_instructions(40_000 * workload.contexts as u64)
+        .with_warmup(20_000 * workload.contexts as u64);
+
+    let observed = run_workload_observed(
+        &cfg,
+        &workload,
+        budget,
+        &Observers {
+            telemetry_window: Some(4_000),
+            trace: Some(TraceSettings::default()),
+        },
+    )
+    .expect("table2 programs are profiled");
+
+    println!(
+        "{} over {} cycles, IPC {:.3}\n",
+        workload.name,
+        observed.result.cycles,
+        observed.result.ipc()
+    );
+
+    // The AVF time series: phase behavior the aggregate report averages away.
+    let windows = observed.windows.as_deref().unwrap_or(&[]);
+    println!("{:>12} {:>12} {:>8} {:>8}", "start", "end", "IQ", "ROB");
+    for w in windows {
+        println!(
+            "{:>12} {:>12} {:>8.4} {:>8.4}",
+            w.start_cycle,
+            w.end_cycle,
+            w.structure_avf(StructureId::Iq),
+            w.structure_avf(StructureId::Rob),
+        );
+    }
+    let agg = observed.result.report.structure(StructureId::Iq).avf;
+    println!("\naggregate IQ AVF: {agg:.4} (the time-average of the series)");
+
+    // The pipeline trace (None if the `trace` feature is compiled out).
+    if let Some(json) = &observed.chrome_trace {
+        let path = "observability_trace.json";
+        std::fs::write(path, json).expect("write trace");
+        println!("wrote {path} ({} bytes) — open in Perfetto", json.len());
+    }
+}

@@ -8,14 +8,21 @@
 //! cargo run --release --bin validate_avf -- [--workload 2T-MIX-A]
 //!     [--trials 200] [--seed 12] [--workers N] [--scale quick|default]
 //!     [--checkpoints K] [--replay-from-zero]
+//!     [--trace-out trace.json] [--telemetry-window N]
 //! ```
 //!
 //! Trials restore from K golden-run checkpoints by default;
 //! `--replay-from-zero` forces the slow oracle path (identical results,
 //! useful for timing comparisons and distrust).
+//!
+//! `--trace-out PATH` re-runs the ACE reference with pipeline tracing and
+//! writes Chrome Trace Event JSON (open in Perfetto or `chrome://tracing`).
+//! `--telemetry-window N` records windowed AVF every N cycles and prints
+//! the time series; combined with `--trace-out`, the AVF windows become
+//! counter tracks on the same timeline.
 
 use smt_avf::experiments::campaign::{default_campaign, validate_workload};
-use smt_avf::ExperimentScale;
+use smt_avf::{ExperimentScale, TraceSettings};
 use std::process::ExitCode;
 
 struct Options {
@@ -26,6 +33,8 @@ struct Options {
     scale: ExperimentScale,
     checkpoints: usize,
     replay_from_zero: bool,
+    trace_out: Option<String>,
+    telemetry_window: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -37,6 +46,8 @@ fn parse_args() -> Result<Options, String> {
         scale: ExperimentScale::quick(),
         checkpoints: sim_inject::DEFAULT_CHECKPOINTS,
         replay_from_zero: false,
+        trace_out: None,
+        telemetry_window: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -74,10 +85,21 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--checkpoints: {e}"))?
             }
             "--replay-from-zero" => opts.replay_from_zero = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--telemetry-window" => {
+                let n: u64 = value("--telemetry-window")?
+                    .parse()
+                    .map_err(|e| format!("--telemetry-window: {e}"))?;
+                if n == 0 {
+                    return Err("--telemetry-window must be positive".to_string());
+                }
+                opts.telemetry_window = Some(n);
+            }
             "--help" | "-h" => {
                 return Err("usage: validate_avf [--workload NAME] [--trials N] \
                      [--seed S] [--workers W] [--scale quick|default] \
-                     [--checkpoints K] [--replay-from-zero]"
+                     [--checkpoints K] [--replay-from-zero] \
+                     [--trace-out PATH] [--telemetry-window N]"
                     .to_string())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -87,6 +109,69 @@ fn parse_args() -> Result<Options, String> {
         return Err("--trials must be positive".to_string());
     }
     Ok(opts)
+}
+
+/// Run the observed ACE reference if `--trace-out`/`--telemetry-window`
+/// asked for it: write the Chrome trace and print the windowed-AVF series.
+fn observe(
+    opts: &Options,
+    workload: &sim_workload::SmtWorkload,
+    campaign: &sim_inject::CampaignConfig,
+) -> Result<(), String> {
+    let observers = smt_avf::Observers {
+        telemetry_window: opts.telemetry_window,
+        trace: opts.trace_out.as_ref().map(|_| TraceSettings::default()),
+    };
+    if observers == smt_avf::Observers::default() {
+        return Ok(());
+    }
+    let cfg = sim_model::MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(sim_model::FetchPolicyKind::Icount);
+    let observed = smt_avf::run_workload_observed(&cfg, workload, campaign.budget, &observers)
+        .map_err(|e| format!("observed run failed: {e}"))?;
+
+    if let Some(windows) = &observed.windows {
+        use avf_core::StructureId;
+        println!(
+            "\ntime-resolved AVF (window {} cycles):",
+            opts.telemetry_window.unwrap_or(0)
+        );
+        println!(
+            "{:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            "start", "end", "IQ", "ROB", "RegFile", "FU"
+        );
+        for w in windows {
+            println!(
+                "{:>12} {:>12} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+                w.start_cycle,
+                w.end_cycle,
+                w.structure_avf(StructureId::Iq),
+                w.structure_avf(StructureId::Rob),
+                w.structure_avf(StructureId::RegFile),
+                w.structure_avf(StructureId::Fu),
+            );
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        match &observed.chrome_trace {
+            Some(json) => {
+                std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!(
+                    "\nwrote Chrome trace to {path} ({} bytes) — open in Perfetto \
+                     (https://ui.perfetto.dev) or chrome://tracing",
+                    json.len()
+                );
+            }
+            None => {
+                return Err(
+                    "--trace-out given but no trace captured (trace feature compiled out?)"
+                        .to_string(),
+                )
+            }
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -122,6 +207,7 @@ fn main() -> ExitCode {
     }
     campaign.checkpoints = opts.checkpoints.max(1);
     campaign.replay_from_zero = opts.replay_from_zero;
+    campaign.progress = true;
     println!(
         "SFI campaign: workload {}, {} trials/structure over {} structures, seed {}, {} workers, {}",
         workload.name,
@@ -155,6 +241,25 @@ fn main() -> ExitCode {
     let sdc: u64 = v.campaign.per_target.iter().map(|t| t.sdc).sum();
     let detected: u64 = v.campaign.per_target.iter().map(|t| t.detected).sum();
     println!("\noutcomes: {masked} masked, {latent} latent, {sdc} SDC, {detected} detected");
+
+    let m = &v.campaign.metrics;
+    println!(
+        "campaign: {} trials in {:.2}s ({:.1} trials/s) on {} workers; \
+         {} injected, {} early exits",
+        m.trials, m.trial_secs, m.trials_per_sec, m.workers, m.injected_trials, m.early_exits
+    );
+    if let Some(r) = &m.restore {
+        println!(
+            "restores: {} from checkpoints, replay distance {}..{} cycles (mean {:.0})",
+            r.restores, r.min_cycles, r.max_cycles, r.mean_cycles
+        );
+    }
+
+    if let Err(msg) = observe(&opts, &workload, &campaign) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+
     if v.bound_holds() {
         println!("ACE AVF upper-bounds the SFI estimate for every structure.");
         ExitCode::SUCCESS

@@ -38,7 +38,10 @@ pub mod runner;
 pub mod scale;
 pub mod table;
 
-pub use runner::{run_single_thread, run_workload, workload_seed, RunError};
+pub use runner::{
+    run_single_thread, run_workload, run_workload_observed, workload_seed, ObservedRun, Observers,
+    RunError, TraceSettings,
+};
 pub use scale::ExperimentScale;
 pub use table::Table;
 
@@ -48,7 +51,10 @@ pub mod prelude {
     pub use crate::experiments::campaign::{
         default_campaign, validate_workload, SfiValidation, ValidationError,
     };
-    pub use crate::runner::{run_single_thread, run_workload, RunError};
+    pub use crate::runner::{
+        run_single_thread, run_workload, run_workload_observed, ObservedRun, Observers, RunError,
+        TraceSettings,
+    };
     pub use crate::scale::ExperimentScale;
     pub use crate::table::Table;
     pub use avf_core::{metrics, AvfReport, StructureId};

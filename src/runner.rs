@@ -1,8 +1,12 @@
 //! Simulation runners: one multithreaded run, one single-thread run, and
-//! the deterministic seeding scheme tying them together.
+//! the deterministic seeding scheme tying them together — plus the
+//! *observed* variant that layers tracing and windowed-AVF telemetry onto
+//! a run.
 
+use avf_core::{AvfWindow, StructureId};
 use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::{SimBudget, SimResult, SmtCore};
+use sim_trace::chrome::CounterSample;
 use sim_workload::{profile, SmtWorkload, TraceGenerator};
 
 /// An error raised while preparing or executing a simulation run.
@@ -82,6 +86,111 @@ pub fn workload_generators(workload: &SmtWorkload) -> Result<Vec<TraceGenerator>
             Ok(TraceGenerator::new(p, workload_seed(workload, i)))
         })
         .collect()
+}
+
+/// Ring-buffer trace capture settings for an observed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSettings {
+    /// Trace ring capacity in events (oldest dropped beyond this).
+    pub capacity: usize,
+    /// Emit one sample per thread every this many cycles.
+    pub sample_interval: u64,
+}
+
+impl Default for TraceSettings {
+    fn default() -> TraceSettings {
+        TraceSettings {
+            capacity: 1 << 16,
+            sample_interval: 64,
+        }
+    }
+}
+
+/// What to observe during a run. The default observes nothing and is
+/// exactly [`run_workload_on`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Observers {
+    /// Record windowed AVF telemetry every N cycles.
+    pub telemetry_window: Option<u64>,
+    /// Capture pipeline events into a ring and export Chrome Trace JSON.
+    /// Requires the `trace` cargo feature; when compiled out, a warning is
+    /// printed and no trace is produced (the run itself is unaffected).
+    pub trace: Option<TraceSettings>,
+}
+
+/// A simulation result plus whatever the observers captured.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The ordinary simulation result.
+    pub result: SimResult,
+    /// Windowed AVF telemetry, if requested. Summing a structure's raw
+    /// per-window ACE deltas reproduces the aggregate report numerator
+    /// exactly (see [`avf_core::telemetry`]).
+    pub windows: Option<Vec<AvfWindow>>,
+    /// Complete Chrome Trace Event JSON (openable in Perfetto /
+    /// `chrome://tracing`), if tracing was requested *and* compiled in.
+    /// Windowed-AVF counter tracks are merged into the same timeline.
+    pub chrome_trace: Option<String>,
+}
+
+/// Convert telemetry windows into per-structure counter tracks for the
+/// Chrome trace timeline (one sample per window, stamped at the window
+/// end).
+pub fn windows_to_counters(windows: &[AvfWindow]) -> Vec<CounterSample> {
+    let mut out = Vec::with_capacity(windows.len() * StructureId::ALL.len());
+    for w in windows {
+        for &s in &StructureId::ALL {
+            out.push(CounterSample {
+                name: format!("AVF {s}"),
+                cycle: w.end_cycle,
+                value: w.structure_avf(s),
+            });
+        }
+    }
+    out
+}
+
+/// Run one workload on an explicit machine configuration with observers
+/// attached. Observation never perturbs simulated behavior: the cycle-level
+/// history (and thus `result`) is bit-identical to [`run_workload_on`].
+pub fn run_workload_observed(
+    cfg: &MachineConfig,
+    workload: &SmtWorkload,
+    budget: SimBudget,
+    obs: &Observers,
+) -> Result<ObservedRun, RunError> {
+    let mut core = SmtCore::new(cfg.clone(), workload_generators(workload)?);
+    if let Some(window) = obs.telemetry_window {
+        core.enable_telemetry(window);
+    }
+    #[cfg(feature = "trace")]
+    if let Some(ts) = obs.trace {
+        core.enable_tracing(sim_pipeline::TraceConfig {
+            capacity: ts.capacity,
+            sample_interval: ts.sample_interval,
+        });
+    }
+    #[cfg(not(feature = "trace"))]
+    if obs.trace.is_some() {
+        eprintln!(
+            "warning: trace capture requested but the `trace` feature is compiled out; \
+             rebuild with default features to produce a trace"
+        );
+    }
+    let result = core.run(budget);
+    let windows = core.take_telemetry();
+    #[cfg(feature = "trace")]
+    let chrome_trace = core.take_trace().map(|(events, dropped)| {
+        let counters = windows_to_counters(windows.as_deref().unwrap_or(&[]));
+        sim_trace::chrome::render(&events, dropped, &core.thread_names(), &counters)
+    });
+    #[cfg(not(feature = "trace"))]
+    let chrome_trace = None;
+    Ok(ObservedRun {
+        result,
+        windows,
+        chrome_trace,
+    })
 }
 
 /// Run `program` alone on the superscalar (1-context) configuration of the

@@ -1,0 +1,110 @@
+//! Integration tests for windowed-AVF telemetry on real simulations: the
+//! per-window ACE deltas must tile the measurement window exactly — no
+//! double-count, no gap — so their sums reproduce the aggregate report.
+//! These run in every feature configuration (telemetry is not gated).
+
+use avf_core::{window_ace_sum, StructureId};
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::SimBudget;
+use sim_workload::{table2, SmtWorkload};
+use smt_avf::runner::run_workload_on;
+use smt_avf::{run_workload_observed, ObservedRun, Observers};
+
+fn workload(name: &str) -> SmtWorkload {
+    table2().into_iter().find(|w| w.name == name).unwrap()
+}
+
+fn observe(w: &SmtWorkload, window: u64) -> ObservedRun {
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(w.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let budget = SimBudget::total_instructions(16_000).with_warmup(6_000);
+    let obs = Observers {
+        telemetry_window: Some(window),
+        trace: None,
+    };
+    run_workload_observed(&cfg, w, budget, &obs).unwrap()
+}
+
+#[test]
+fn window_sums_reproduce_the_aggregate_report_exactly() {
+    let w = workload("2T-MIX-A");
+    let run = observe(&w, 500);
+    let windows = run.windows.as_deref().unwrap();
+    assert!(
+        windows.len() > 2,
+        "want several windows, got {}",
+        windows.len()
+    );
+
+    // One huge window = the whole measurement in a single delta: its raw
+    // totals ARE the engine's aggregate numerators.
+    let whole = observe(&w, 1 << 40);
+    let whole_windows = whole.windows.as_deref().unwrap();
+    assert_eq!(whole_windows.len(), 1, "one window should cover the run");
+    assert_eq!(run.result.cycles, whole.result.cycles);
+
+    let report = &run.result.report;
+    for &s in &StructureId::ALL {
+        let fine = window_ace_sum(windows, s);
+        let coarse = window_ace_sum(whole_windows, s);
+        // Integer-exact: same total ACE-bit-cycles however it is windowed.
+        assert_eq!(fine, coarse, "{s}: window sums disagree across sizes");
+
+        // And the sum reconstructs the reported AVF bit-for-bit, the same
+        // float op AvfEngine::finish applies to the same integers.
+        let st = report.structure(s);
+        let denom = st.total_bits as u128 * report.cycles() as u128;
+        let expected = if denom == 0 {
+            0.0
+        } else {
+            fine as f64 / denom as f64
+        };
+        assert_eq!(expected, st.avf, "{s}: window sum != aggregate AVF");
+    }
+}
+
+#[test]
+fn windows_tile_the_measurement_contiguously() {
+    let run = observe(&workload("2T-CPU-A"), 750);
+    let windows = run.windows.as_deref().unwrap();
+    assert!(!windows.is_empty());
+    for pair in windows.windows(2) {
+        assert_eq!(
+            pair[0].end_cycle, pair[1].start_cycle,
+            "gap or overlap between telemetry windows"
+        );
+    }
+    for w in windows {
+        assert!(w.start_cycle < w.end_cycle, "empty or inverted window");
+    }
+    // Window cycles are absolute (warm-up included) while `cycles` counts
+    // only the measurement: the tiled span must equal the measurement.
+    let span = windows.last().unwrap().end_cycle - windows[0].start_cycle;
+    assert_eq!(span, run.result.cycles);
+}
+
+#[test]
+fn observation_does_not_perturb_the_simulation() {
+    let w = workload("2T-MEM-A");
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(w.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let budget = SimBudget::total_instructions(12_000).with_warmup(4_000);
+    let plain = run_workload_on(&cfg, &w, budget).unwrap();
+    let observed = run_workload_observed(
+        &cfg,
+        &w,
+        budget,
+        &Observers {
+            telemetry_window: Some(333),
+            trace: Some(smt_avf::TraceSettings {
+                capacity: 4096,
+                sample_interval: 32,
+            }),
+        },
+    )
+    .unwrap();
+    assert_eq!(plain.cycles, observed.result.cycles);
+    assert_eq!(plain.report, observed.result.report);
+}

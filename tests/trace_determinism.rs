@@ -1,0 +1,75 @@
+//! Chrome-trace determinism and validity on real simulations: two
+//! identically-seeded observed runs must serialize byte-identical trace
+//! files, and the JSON must be structurally sound. Compiled only with the
+//! `trace` feature (without it there is no trace to test).
+#![cfg(feature = "trace")]
+
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::SimBudget;
+use sim_workload::table2;
+use smt_avf::{run_workload_observed, Observers, TraceSettings};
+
+fn traced_run() -> String {
+    let w = table2().into_iter().find(|w| w.name == "2T-MIX-A").unwrap();
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(w.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let budget = SimBudget::total_instructions(12_000).with_warmup(4_000);
+    let obs = Observers {
+        telemetry_window: Some(1_000),
+        trace: Some(TraceSettings {
+            capacity: 1 << 14,
+            sample_interval: 64,
+        }),
+    };
+    run_workload_observed(&cfg, &w, budget, &obs)
+        .unwrap()
+        .chrome_trace
+        .expect("trace feature is on")
+}
+
+/// Minimal structural validation without a JSON dependency: every brace,
+/// bracket and quote outside strings must balance.
+fn assert_balanced_json(s: &str) {
+    let (mut depth, mut in_str, mut esc) = (Vec::new(), false, false);
+    for c in s.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth.push(c),
+            '}' => assert_eq!(depth.pop(), Some('{'), "unbalanced brace"),
+            ']' => assert_eq!(depth.pop(), Some('['), "unbalanced bracket"),
+            _ => {}
+        }
+    }
+    assert!(!in_str, "unterminated string");
+    assert!(depth.is_empty(), "unclosed {depth:?}");
+}
+
+#[test]
+fn identically_seeded_runs_serialize_byte_identical_traces() {
+    let a = traced_run();
+    let b = traced_run();
+    assert_eq!(a.as_bytes(), b.as_bytes(), "trace bytes diverged");
+}
+
+#[test]
+fn trace_json_is_structurally_valid() {
+    let json = traced_run();
+    assert_balanced_json(&json);
+    assert!(json.starts_with("{"), "must be a JSON object");
+    assert!(json.contains("\"traceEvents\""), "Chrome trace envelope");
+    assert!(json.contains("\"trace_end\""), "completeness sentinel");
+    // The windowed-AVF series rides along as counter tracks.
+    assert!(json.contains("\"AVF IQ\""), "AVF counter track missing");
+    // Per-thread pipeline activity is present.
+    assert!(json.contains("activity"), "stage counter track missing");
+}
