@@ -1,0 +1,64 @@
+//! bench_guard — CI regression gate over `BENCH_pipeline.json`.
+//!
+//! Usage: `bench_guard <baseline.json> <candidate.json>`
+//!
+//! Compares the candidate's `step.cycles_per_sec` against the committed
+//! baseline and exits nonzero when it drops below `BENCH_GUARD_MIN_RATIO`
+//! (default 0.8, i.e. a >20% regression) of the baseline. CI runs the
+//! perfbench smoke against the repo's committed JSON; wall-clock numbers
+//! on shared runners are noisy, which is exactly why the gate only fires
+//! on a drop far outside that noise.
+//!
+//! The parser is deliberately naive — it scans for the first
+//! `"cycles_per_sec":` value, which the perfbench schema places in the
+//! `step` section before any other `*cycles_per_sec` key — so the guard
+//! stays dependency-free like the rest of the workspace.
+
+use std::process::ExitCode;
+
+/// First `"cycles_per_sec"` value in the JSON text (the `step` section's,
+/// by schema order — `trace` uses the distinct keys `off_/on_cycles_per_sec`).
+fn step_cycles_per_sec(json: &str, path: &str) -> f64 {
+    let key = "\"cycles_per_sec\":";
+    let at = json
+        .find(key)
+        .unwrap_or_else(|| panic!("{path}: no \"cycles_per_sec\" key (not a perfbench JSON?)"));
+    let rest = &json[at + key.len()..];
+    let num: String = rest
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e')
+        .collect();
+    num.parse()
+        .unwrap_or_else(|e| panic!("{path}: unparsable cycles_per_sec {num:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, candidate_path] = args.as_slice() else {
+        eprintln!("usage: bench_guard <baseline.json> <candidate.json>");
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+    let baseline = step_cycles_per_sec(&read(baseline_path), baseline_path);
+    let candidate = step_cycles_per_sec(&read(candidate_path), candidate_path);
+    let min_ratio: f64 = std::env::var("BENCH_GUARD_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.8);
+    let ratio = candidate / baseline;
+    println!(
+        "bench_guard: step.cycles_per_sec {candidate:.0} vs baseline {baseline:.0} \
+         (ratio {ratio:.3}, floor {min_ratio})"
+    );
+    if ratio < min_ratio {
+        eprintln!(
+            "bench_guard: FAIL — step throughput dropped more than \
+             {:.0}% below the committed baseline",
+            (1.0 - min_ratio) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_guard: OK");
+    ExitCode::SUCCESS
+}

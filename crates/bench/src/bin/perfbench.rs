@@ -13,8 +13,17 @@
 //!    path, asserting record-for-record identical results before the
 //!    speedup is trusted.
 //! 4. **Tracing overhead** — the step() loop re-timed with a live ring
-//!    sink; full runs assert the overhead stays under 5% (the compiled-out
-//!    path has no hooks at all, so 0% by construction).
+//!    sink, ≥3 repetitions per configuration with the median reported
+//!    (single-shot deltas at this scale sit inside scheduler noise and
+//!    once produced a nonsense negative overhead); deltas under the noise
+//!    floor are clamped to zero and flagged. Full runs assert the
+//!    overhead stays under 5% (the compiled-out path has no hooks at all,
+//!    so 0% by construction).
+//! 5. **Idle-cycle fast-forward** — end-to-end `run()` wall clock per
+//!    workload mix with the fast-forward clock off (cycle-by-cycle
+//!    oracle) and on, asserting the two `SimResult`s bit-identical before
+//!    the speedup is trusted. Memory-bound mixes show the largest
+//!    multiple; full runs assert ≥1.5x on `4T-MEM-A`.
 //!
 //! The JSON also records the machine context that makes parallel numbers
 //! interpretable: `std::thread::available_parallelism()` and the
@@ -33,6 +42,12 @@
 //! * `PERFBENCH_SFI` — set to `0` to skip the SFI section entirely
 //! * `PERFBENCH_SFI_TRIALS` — trials per structure for the SFI timing
 //!   (default 50)
+//! * `PERFBENCH_TRACE_REPS` — repetitions per tracing configuration
+//!   (default 3, clamped to at least 3)
+//! * `PERFBENCH_FF` — set to `0` to skip the fast-forward section
+//! * `PERFBENCH_FF_SCALE` — `quick` for the CI smoke budget (default is
+//!   the full experiment scale; the ≥1.5x assertion only arms at full
+//!   scale, where timing noise cannot fake a regression)
 //! * `PERFBENCH_OUT` — output path (default `BENCH_pipeline.json`)
 
 use sim_inject::run_campaign;
@@ -97,6 +112,56 @@ fn step_throughput(workload: &SmtWorkload, warmup: u64, timed: u64, traced: bool
     timed as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Median of `reps` independent [`step_throughput`] measurements. One-shot
+/// wall-clock deltas at this scale sit inside scheduler noise; the median
+/// is robust to a single descheduled rep in either direction.
+fn median_step_throughput(
+    workload: &SmtWorkload,
+    warmup: u64,
+    timed: u64,
+    traced: bool,
+    reps: usize,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| step_throughput(workload, warmup, timed, traced))
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Deltas smaller than this are indistinguishable from run-to-run noise on
+/// the reference machine; the trace section clamps them to zero instead of
+/// reporting a meaningless (possibly negative) overhead.
+const TRACE_NOISE_FLOOR_PCT: f64 = 1.5;
+
+/// Time `run()` end-to-end on `workload` under ICOUNT with the
+/// fast-forward clock off (the cycle-by-cycle oracle) and on, proving the
+/// two results bit-identical before returning `(off_secs, on_secs)`.
+fn fastforward_wallclock(w: &SmtWorkload, scale: ExperimentScale) -> (f64, f64) {
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(w.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let budget = scale.budget(w.contexts);
+    let run = |fast: bool| {
+        let mut core = SmtCore::new(
+            cfg.clone(),
+            workload_generators(w).expect("bundled workload"),
+        );
+        core.set_fast_forward(fast);
+        let t0 = Instant::now();
+        let result = core.run(budget);
+        (t0.elapsed().as_secs_f64(), result)
+    };
+    let (off_secs, off_result) = run(false);
+    let (on_secs, on_result) = run(true);
+    assert_eq!(
+        off_result, on_result,
+        "{}: fast-forward run diverged from the cycle-by-cycle oracle",
+        w.name
+    );
+    (off_secs, on_secs)
+}
+
 /// Time one quick-scale SFI campaign on both replay paths and prove the
 /// records identical before returning `(oracle_secs, checkpointed_secs)`.
 ///
@@ -152,6 +217,14 @@ fn main() {
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    if parallelism == 1 {
+        eprintln!(
+            "WARNING: available_parallelism == 1 — the sweep/SFI sections will time \
+             multi-worker runs on a single core. Per-worker \"speedups\" below 1.0 in \
+             the JSON measure scheduling overhead on this machine, NOT a parallelism \
+             regression; read them alongside the recorded available_parallelism."
+        );
+    }
 
     let w = table2()
         .into_iter()
@@ -165,18 +238,33 @@ fn main() {
         w.name
     );
 
-    // Tracing overhead: the same timed loop with a live ring sink. Short
-    // smoke runs (CI) are too noisy to assert on; full runs must stay
-    // under 5% overhead or the "cheap enough to leave on" claim is dead.
+    // Tracing overhead: the same timed loop with a live ring sink, ≥3 reps
+    // per configuration with the median reported (a single rep once landed
+    // at −2.5% "overhead" — pure scheduler noise). Deltas inside the noise
+    // floor are clamped to zero and flagged rather than reported as a
+    // nonsense negative. Full runs must stay under 5% overhead or the
+    // "cheap enough to leave on" claim is dead.
     let mut trace_json = String::from("null");
     if env_u64("PERFBENCH_TRACE", 1) != 0 {
-        let on_cps = step_throughput(&w, warmup, timed, true);
-        let overhead_pct = (cps - on_cps) / cps * 100.0;
+        let reps = env_u64("PERFBENCH_TRACE_REPS", 3).max(3) as usize;
+        let off_cps = median_step_throughput(&w, warmup, timed, false, reps);
+        let on_cps = median_step_throughput(&w, warmup, timed, true, reps);
+        let raw_overhead_pct = (off_cps - on_cps) / off_cps * 100.0;
+        let within_noise = raw_overhead_pct.abs() < TRACE_NOISE_FLOOR_PCT;
+        let overhead_pct = if within_noise { 0.0 } else { raw_overhead_pct };
         let tc = sim_pipeline::TraceConfig::default();
         println!(
-            "trace: {on_cps:.0} cycles/sec with ring sink on ({overhead_pct:+.2}% overhead, \
-             sample interval {}, ring capacity {})",
-            tc.sample_interval, tc.capacity
+            "trace: {on_cps:.0} cycles/sec with ring sink on, median of {reps} reps \
+             ({overhead_pct:+.2}% overhead{}, sample interval {}, ring capacity {})",
+            if within_noise {
+                format!(
+                    ", raw {raw_overhead_pct:+.2}% within the {TRACE_NOISE_FLOOR_PCT}% noise floor"
+                )
+            } else {
+                String::new()
+            },
+            tc.sample_interval,
+            tc.capacity
         );
         if timed >= 500_000 {
             assert!(
@@ -185,12 +273,60 @@ fn main() {
             );
         }
         trace_json = format!(
-            "{{\n    \"off_cycles_per_sec\": {cps:.0},\n    \
+            "{{\n    \"off_cycles_per_sec\": {off_cps:.0},\n    \
              \"on_cycles_per_sec\": {on_cps:.0},\n    \
+             \"reps\": {reps},\n    \
              \"overhead_pct\": {overhead_pct:.3},\n    \
+             \"raw_overhead_pct\": {raw_overhead_pct:.3},\n    \
+             \"within_noise_floor\": {within_noise},\n    \
+             \"noise_floor_pct\": {TRACE_NOISE_FLOOR_PCT},\n    \
              \"sample_interval\": {},\n    \
              \"ring_capacity\": {}\n  }}",
             tc.sample_interval, tc.capacity
+        );
+    }
+
+    // Idle-cycle fast-forward: end-to-end run() wall clock per workload
+    // mix, oracle vs fast path, proven bit-identical before timing is
+    // trusted. Memory-bound mixes spend most cycles fully stalled on
+    // L2/memory, so they show the largest multiple.
+    let mut fastforward_json = String::from("null");
+    if env_u64("PERFBENCH_FF", 1) != 0 {
+        let ff_quick = std::env::var("PERFBENCH_FF_SCALE").is_ok_and(|v| v.trim() == "quick");
+        let ff_scale = if ff_quick {
+            ExperimentScale::quick()
+        } else {
+            ExperimentScale::default_scale()
+        };
+        let mut mixes = Vec::new();
+        for name in ["4T-MEM-A", "4T-MIX-A", "4T-CPU-A"] {
+            let wl = table2()
+                .into_iter()
+                .find(|w| w.name == name)
+                .expect("bundled workload");
+            let (off_secs, on_secs) = fastforward_wallclock(&wl, ff_scale);
+            let speedup = off_secs / on_secs;
+            println!(
+                "fastforward: {name} — oracle {off_secs:.2}s, fast-forward {on_secs:.2}s \
+                 ({speedup:.2}x, bit-identical)"
+            );
+            if name == "4T-MEM-A" && !ff_quick {
+                assert!(
+                    speedup >= 1.5,
+                    "fast-forward speedup {speedup:.2}x on {name} fell below the 1.5x floor"
+                );
+            }
+            mixes.push(format!(
+                "{{\"workload\": \"{name}\", \"oracle_secs\": {off_secs:.3}, \
+                 \"fastforward_secs\": {on_secs:.3}, \"speedup\": {speedup:.3}, \
+                 \"bit_identical_to_oracle\": true}}"
+            ));
+        }
+        fastforward_json = format!(
+            "{{\n    \"scale\": \"{}\",\n    \"policy\": \"ICOUNT\",\n    \
+             \"per_workload\": [{}]\n  }}",
+            if ff_quick { "quick" } else { "default" },
+            mixes.join(", ")
         );
     }
 
@@ -286,6 +422,7 @@ fn main() {
          \"baseline_cycles_per_sec\": {BASELINE_STEP_CPS},\n    \
          \"speedup_vs_baseline\": {step_speedup:.3}\n  }},\n  \
          \"trace\": {trace_json},\n  \
+         \"fastforward\": {fastforward_json},\n  \
          \"sweep\": {sweep_json},\n  \
          \"sfi\": {sfi_json}\n}}\n",
         git_sha(),

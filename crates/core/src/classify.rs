@@ -17,9 +17,89 @@
 //! * **Committed live** instructions are ACE in every field they actually
 //!   use; unused fields (a missing second source, the immediate of a
 //!   register-register op) are un-ACE.
+//!
+//! # Memoized classification
+//!
+//! The live-field sums depend only on an instruction's *shape* — its
+//! [`OpClass`], source count and destination presence (the LSQ data bits
+//! additionally scale with the access size, a one-multiply derivation).
+//! Classification runs on every deallocation of every dynamic instruction,
+//! so the per-shape sums are precomputed once into compile-time tables
+//! ([`memo`]) and the hot functions reduce to a class check plus a table
+//! read. A property test locks the tables to the direct field-sum
+//! derivation over every `OpClass` × source-count × destination
+//! combination.
 
 use crate::budgets;
 use sim_model::{Inst, OpClass};
+
+/// Compile-time tables of per-shape live-field ACE sums. Indexed by
+/// `op as usize` (declaration order, matching [`OpClass::ALL`]), source
+/// count, and destination presence.
+mod memo {
+    use super::budgets;
+    use sim_model::OpClass;
+
+    const OPS: usize = OpClass::ALL.len();
+
+    /// Live IQ-entry sum for one shape: opcode + used source tags + dest
+    /// tag + immediate (memory/branch ops only) + scheduling status.
+    const fn iq_live(op: OpClass, srcs: u64, has_dest: bool) -> u64 {
+        let dest = if has_dest { budgets::iq::DEST_TAG } else { 0 };
+        let imm = if matches!(op, OpClass::Load | OpClass::Store | OpClass::Branch) {
+            budgets::iq::IMMEDIATE
+        } else {
+            0
+        };
+        budgets::iq::OPCODE + srcs * budgets::iq::SRC_TAG + dest + imm + budgets::iq::STATUS
+    }
+
+    /// Live ROB-entry sum for one shape: PC + opcode + status + the
+    /// register-mapping triple (dest ops only) + branch state.
+    const fn rob_live(op: OpClass, has_dest: bool) -> u64 {
+        let dest = if has_dest {
+            budgets::rob::DEST_ARCH + budgets::rob::DEST_PHYS + budgets::rob::OLD_PHYS
+        } else {
+            0
+        };
+        let branch = if matches!(op, OpClass::Branch) {
+            budgets::rob::BRANCH
+        } else {
+            0
+        };
+        budgets::rob::PC + budgets::rob::OPCODE + budgets::rob::STATUS + dest + branch
+    }
+
+    /// `IQ_LIVE[op][src_count][has_dest]`.
+    pub(super) static IQ_LIVE: [[[u64; 2]; 3]; OPS] = {
+        let mut t = [[[0; 2]; 3]; OPS];
+        let mut o = 0;
+        while o < OPS {
+            let op = OpClass::ALL[o];
+            let mut s = 0;
+            while s < 3 {
+                t[o][s][0] = iq_live(op, s as u64, false);
+                t[o][s][1] = iq_live(op, s as u64, true);
+                s += 1;
+            }
+            o += 1;
+        }
+        t
+    };
+
+    /// `ROB_LIVE[op][has_dest]`.
+    pub(super) static ROB_LIVE: [[u64; 2]; OPS] = {
+        let mut t = [[0; 2]; OPS];
+        let mut o = 0;
+        while o < OPS {
+            let op = OpClass::ALL[o];
+            t[o][0] = rob_live(op, false);
+            t[o][1] = rob_live(op, true);
+            o += 1;
+        }
+        t
+    };
+}
 
 /// Why an entry is leaving a structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,28 +130,19 @@ fn ace_class(inst: &Inst, kind: DeallocKind) -> AceClass {
 }
 
 /// ACE bits an instruction contributes to an **issue queue** entry.
+#[inline]
 pub fn iq_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
     match ace_class(inst, kind) {
         AceClass::UnAce => 0,
         AceClass::OpcodeOnly => budgets::iq::OPCODE,
         AceClass::Live => {
-            let srcs = inst.src_count() as u64 * budgets::iq::SRC_TAG;
-            let dest = if inst.dest.is_some() {
-                budgets::iq::DEST_TAG
-            } else {
-                0
-            };
-            let imm = if inst.op.is_mem() || inst.op.is_branch() {
-                budgets::iq::IMMEDIATE
-            } else {
-                0
-            };
-            budgets::iq::OPCODE + srcs + dest + imm + budgets::iq::STATUS
+            memo::IQ_LIVE[inst.op as usize][inst.src_count()][inst.dest.is_some() as usize]
         }
     }
 }
 
 /// ACE bits an instruction contributes to a **reorder buffer** entry.
+#[inline]
 pub fn rob_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
     match ace_class(inst, kind) {
         AceClass::UnAce => 0,
@@ -79,19 +150,7 @@ pub fn rob_ace_bits(inst: &Inst, kind: DeallocKind) -> u64 {
         // slot: its opcode and sequencing status must survive, but the PC
         // and register-mapping fields carry no architecturally live value.
         AceClass::OpcodeOnly => budgets::rob::OPCODE + budgets::rob::STATUS,
-        AceClass::Live => {
-            let dest = if inst.dest.is_some() {
-                budgets::rob::DEST_ARCH + budgets::rob::DEST_PHYS + budgets::rob::OLD_PHYS
-            } else {
-                0
-            };
-            let branch = if inst.op.is_branch() {
-                budgets::rob::BRANCH
-            } else {
-                0
-            };
-            budgets::rob::PC + budgets::rob::OPCODE + budgets::rob::STATUS + dest + branch
-        }
+        AceClass::Live => memo::ROB_LIVE[inst.op as usize][inst.dest.is_some() as usize],
     }
 }
 
@@ -256,6 +315,162 @@ mod tests {
         );
         assert_eq!(fu_ace_bits(&alu(true), DeallocKind::Committed), 0);
         assert_eq!(fu_ace_bits(&alu(false), DeallocKind::Squashed), 0);
+    }
+
+    /// The direct field-sum derivation the memo tables must reproduce,
+    /// kept in test code only (the shipped path is the table read).
+    fn direct_iq_live(inst: &Inst) -> u64 {
+        let srcs = inst.src_count() as u64 * budgets::iq::SRC_TAG;
+        let dest = if inst.dest.is_some() {
+            budgets::iq::DEST_TAG
+        } else {
+            0
+        };
+        let imm = if inst.op.is_mem() || inst.op.is_branch() {
+            budgets::iq::IMMEDIATE
+        } else {
+            0
+        };
+        budgets::iq::OPCODE + srcs + dest + imm + budgets::iq::STATUS
+    }
+
+    fn direct_rob_live(inst: &Inst) -> u64 {
+        let dest = if inst.dest.is_some() {
+            budgets::rob::DEST_ARCH + budgets::rob::DEST_PHYS + budgets::rob::OLD_PHYS
+        } else {
+            0
+        };
+        let branch = if inst.op.is_branch() {
+            budgets::rob::BRANCH
+        } else {
+            0
+        };
+        budgets::rob::PC + budgets::rob::OPCODE + budgets::rob::STATUS + dest + branch
+    }
+
+    /// Every (op, src_count, dest, size, liveness) shape an instruction
+    /// can take, for exhaustive table-vs-direct comparison.
+    fn all_shapes() -> Vec<Inst> {
+        let mut shapes = Vec::new();
+        for &op in &OpClass::ALL {
+            for src_count in 0..=2usize {
+                for has_dest in [false, true] {
+                    for size in [1u8, 2, 4, 8] {
+                        for dyn_dead in [false, true] {
+                            for wrong_path in [false, true] {
+                                let mut i = Inst::nop(0x1000, SeqNum(1));
+                                i.op = op;
+                                i.srcs = [
+                                    (src_count >= 1).then(|| ArchReg::int(1)),
+                                    (src_count >= 2).then(|| ArchReg::int(2)),
+                                ];
+                                i.dest = has_dest.then(|| ArchReg::int(3));
+                                i.mem = op.is_mem().then(|| MemRef::new(0x2000, size));
+                                i.dyn_dead = dyn_dead;
+                                i.wrong_path = wrong_path;
+                                shapes.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        shapes
+    }
+
+    #[test]
+    fn op_index_matches_declaration_order() {
+        // The memo tables index by `op as usize`; pin the ALL ordering
+        // that construction relies on.
+        for (i, &op) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(op as usize, i, "{op:?} discriminant moved");
+        }
+    }
+
+    #[test]
+    fn memo_tables_match_direct_derivation_for_every_shape() {
+        for inst in all_shapes() {
+            for kind in [DeallocKind::Committed, DeallocKind::Squashed] {
+                let (iq, rob) = (iq_ace_bits(&inst, kind), rob_ace_bits(&inst, kind));
+                let live = kind == DeallocKind::Committed
+                    && !inst.wrong_path
+                    && !inst.dyn_dead
+                    && inst.op != OpClass::Nop;
+                if live {
+                    assert_eq!(iq, direct_iq_live(&inst), "iq {inst:?}");
+                    assert_eq!(rob, direct_rob_live(&inst), "rob {inst:?}");
+                } else {
+                    // Non-live classes bypass the tables; re-assert the
+                    // documented constants so the class check itself is
+                    // covered by the sweep too.
+                    let unace = kind == DeallocKind::Squashed || inst.wrong_path;
+                    assert_eq!(iq, if unace { 0 } else { budgets::iq::OPCODE });
+                    assert_eq!(
+                        rob,
+                        if unace {
+                            0
+                        } else {
+                            budgets::rob::OPCODE + budgets::rob::STATUS
+                        }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_dead_nop_keeps_opcode_class_budgets() {
+        // A NOP flagged dynamically dead hits the NOP arm first; both
+        // routes land in the opcode-only class and must agree.
+        let mut n = Inst::nop(0, SeqNum(0));
+        n.dyn_dead = true;
+        assert_eq!(iq_ace_bits(&n, DeallocKind::Committed), budgets::iq::OPCODE);
+        assert_eq!(
+            rob_ace_bits(&n, DeallocKind::Committed),
+            budgets::rob::OPCODE + budgets::rob::STATUS
+        );
+        assert_eq!(fu_ace_bits(&n, DeallocKind::Committed), 0);
+        assert_eq!(lsq_tag_ace_bits(&n, DeallocKind::Committed), 0);
+    }
+
+    #[test]
+    fn dyn_dead_store_counts_lsq_control_but_no_data() {
+        let mut s = load();
+        s.op = OpClass::Store;
+        s.dest = None;
+        s.dyn_dead = true;
+        // The address still drives a real access (control bits stay ACE)
+        // but the written value is never read.
+        assert_eq!(
+            lsq_tag_ace_bits(&s, DeallocKind::Committed),
+            budgets::lsq::CTRL
+        );
+        assert_eq!(lsq_data_ace_bits(&s, DeallocKind::Committed), 0);
+        assert_eq!(iq_ace_bits(&s, DeallocKind::Committed), budgets::iq::OPCODE);
+    }
+
+    #[test]
+    fn branch_with_dest_counts_mapping_and_branch_rob_fields() {
+        // A linking branch (call-style: writes a destination) carries both
+        // the register-mapping triple and the branch-state bits.
+        let mut b = Inst::nop(0x40, SeqNum(3));
+        b.op = OpClass::Branch;
+        b.srcs = [Some(ArchReg::int(1)), None];
+        b.dest = Some(ArchReg::int(31));
+        let expect = budgets::rob::PC
+            + budgets::rob::OPCODE
+            + budgets::rob::STATUS
+            + budgets::rob::DEST_ARCH
+            + budgets::rob::DEST_PHYS
+            + budgets::rob::OLD_PHYS
+            + budgets::rob::BRANCH;
+        assert_eq!(rob_ace_bits(&b, DeallocKind::Committed), expect);
+        // Dropping the destination removes exactly the mapping triple.
+        b.dest = None;
+        assert_eq!(
+            rob_ace_bits(&b, DeallocKind::Committed),
+            expect - budgets::rob::DEST_ARCH - budgets::rob::DEST_PHYS - budgets::rob::OLD_PHYS
+        );
     }
 
     #[test]

@@ -97,6 +97,21 @@ impl PhaseRecorder {
         self.last_cycle = cycle;
     }
 
+    /// Catch up across a jump of the clock to `to`: record a point at
+    /// every interval boundary in `(last boundary, to]`, exactly as
+    /// per-cycle [`tick`]s would have. See
+    /// [`crate::TelemetryRecorder::tick_span`] for the fast-forward
+    /// contract; nothing may have been banked since the last offered
+    /// cycle.
+    ///
+    /// [`tick`]: PhaseRecorder::tick
+    pub fn tick_span(&mut self, engine: &AvfEngine, to: u64) {
+        while self.last_cycle + self.interval <= to {
+            let boundary = self.last_cycle + self.interval;
+            self.tick(engine, boundary);
+        }
+    }
+
     /// Re-baseline on the engine's current accumulators and cycle without
     /// emitting a point. Call after [`AvfEngine::reset`] (e.g. when a
     /// measurement window opens) so the next interval starts clean.
@@ -170,6 +185,29 @@ mod tests {
             / cycle as f64;
         let cumulative = e.tracker(StructureId::Rob).avf(cycle);
         assert!((from_phases - cumulative).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_span_matches_per_cycle_ticks() {
+        let mut e = AvfEngine::new(1);
+        e.set_total_bits(StructureId::Rob, 4_096);
+        let mut per_cycle = PhaseRecorder::new(30);
+        let mut spanned = PhaseRecorder::new(30);
+        e.bank(StructureId::Rob, ThreadId(0), 100, 12);
+        for c in 1..=35u64 {
+            per_cycle.tick(&e, c);
+            spanned.tick(&e, c);
+        }
+        // Quiescent span 35 → 200: no banking, three boundaries crossed.
+        for c in 36..=200u64 {
+            per_cycle.tick(&e, c);
+        }
+        spanned.tick_span(&e, 200);
+        assert_eq!(per_cycle.points(), spanned.points());
+        e.bank(StructureId::Rob, ThreadId(0), 9, 4);
+        per_cycle.tick(&e, 210);
+        spanned.tick(&e, 210);
+        assert_eq!(per_cycle.points(), spanned.points());
     }
 
     #[test]

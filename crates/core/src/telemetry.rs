@@ -147,6 +147,24 @@ impl TelemetryRecorder {
         self.close_window(engine, cycle);
     }
 
+    /// Catch up across a jump of the clock to `to`: close every window
+    /// boundary in `(last boundary, to]`, exactly as per-cycle [`tick`]s
+    /// would have.
+    ///
+    /// Intended for event-driven callers that skip quiescent spans (see
+    /// `SmtCore::step_fast_bounded`): nothing is banked while the clock is
+    /// skipping, so each intermediate window closes over the engine state
+    /// the slow path would have seen at that same boundary — the recorded
+    /// series is bit-identical to the per-cycle one.
+    ///
+    /// [`tick`]: TelemetryRecorder::tick
+    pub fn tick_span(&mut self, engine: &AvfEngine, to: u64) {
+        while self.last_cycle + self.window <= to {
+            let boundary = self.last_cycle + self.window;
+            self.close_window(engine, boundary);
+        }
+    }
+
     /// Re-baseline on the engine's current accumulators and cycle,
     /// **discarding** windows recorded so far. Call after
     /// [`AvfEngine::reset`] (when a measurement window opens): the engine's
@@ -250,6 +268,44 @@ mod tests {
             window_ace_sum(rec.windows(), StructureId::Iq),
             e.tracker(StructureId::Iq).total_ace_bit_cycles()
         );
+    }
+
+    #[test]
+    fn tick_span_matches_per_cycle_ticks() {
+        let mut e = AvfEngine::new(1);
+        e.set_total_bits(StructureId::Iq, 512);
+        // Bank some history, then advance both recorders identically to
+        // cycle 40 before the quiescent span begins.
+        let mut per_cycle = TelemetryRecorder::new(25);
+        let mut spanned = TelemetryRecorder::new(25);
+        e.bank(StructureId::Iq, ThreadId(0), 31, 9);
+        for c in 1..=40u64 {
+            per_cycle.tick(&e, c);
+            spanned.tick(&e, c);
+        }
+        // Quiescent span: nothing banked while the clock jumps 40 → 173.
+        for c in 41..=173u64 {
+            per_cycle.tick(&e, c);
+        }
+        spanned.tick_span(&e, 173);
+        assert_eq!(per_cycle.windows(), spanned.windows());
+        // Both resume identically after the span.
+        e.bank(StructureId::Iq, ThreadId(0), 7, 3);
+        per_cycle.tick(&e, 175);
+        spanned.tick(&e, 175);
+        per_cycle.flush(&e, 180);
+        spanned.flush(&e, 180);
+        assert_eq!(per_cycle.windows(), spanned.windows());
+    }
+
+    #[test]
+    fn tick_span_short_of_a_boundary_is_a_noop() {
+        let e = AvfEngine::new(1);
+        let mut rec = TelemetryRecorder::new(100);
+        rec.tick_span(&e, 99);
+        assert!(rec.windows().is_empty());
+        rec.tick_span(&e, 100);
+        assert_eq!(rec.windows().len(), 1);
     }
 
     #[test]

@@ -90,6 +90,25 @@ impl FetchPolicyEngine {
             self.rr_next = (self.rr_next + 1) % telemetry.len();
         }
     }
+
+    /// Advance the engine's per-cycle state as if `cycles` priority
+    /// computations had run with `contexts` active threads, without
+    /// computing any order.
+    ///
+    /// The round-robin rotation pointer is the only per-cycle state the
+    /// engine holds — every other policy is a pure function of the
+    /// telemetry — so this is exactly what the fast-forward clock
+    /// (`SmtCore::step_fast_bounded`) needs to make skipped quiescent
+    /// cycles invisible: after `skip_cycles(n, k)` the engine is
+    /// bit-identical to one that ran `n` [`priority_into`] calls over
+    /// `k`-thread telemetry.
+    ///
+    /// [`priority_into`]: FetchPolicyEngine::priority_into
+    pub fn skip_cycles(&mut self, cycles: u64, contexts: usize) {
+        if self.policy == FetchPolicyKind::RoundRobin && contexts > 0 {
+            self.rr_next = (self.rr_next + (cycles % contexts as u64) as usize) % contexts;
+        }
+    }
 }
 
 /// Pure function computing the fetch priority order for one cycle.
@@ -349,6 +368,36 @@ mod tests {
         assert_eq!(e.priority(&t)[0], ThreadId(1));
         assert_eq!(e.priority(&t)[0], ThreadId(2));
         assert_eq!(e.priority(&t)[0], ThreadId(0));
+    }
+
+    #[test]
+    fn skip_cycles_matches_repeated_priority_calls() {
+        let t = tele(3);
+        for policy in FetchPolicyKind::STUDIED {
+            for n in [0u64, 1, 2, 3, 7, 1_000_003] {
+                let mut stepped = FetchPolicyEngine::new(policy, 2, 24);
+                let mut skipped = stepped.clone();
+                for _ in 0..n.min(10_000) {
+                    let _ = stepped.priority(&t);
+                }
+                skipped.skip_cycles(n.min(10_000), t.len());
+                // Identical next order ⇒ identical internal state (rr_next
+                // is the only state, observable through the order).
+                assert_eq!(
+                    stepped.priority(&t),
+                    skipped.priority(&t),
+                    "{policy:?} diverged after {n} cycles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_cycles_reduces_modulo_contexts() {
+        let t = tele(3);
+        let mut e = FetchPolicyEngine::new(FetchPolicyKind::RoundRobin, 2, 24);
+        e.skip_cycles(3 * 1_000_000_000 + 2, 3);
+        assert_eq!(e.priority(&t)[0], ThreadId(2));
     }
 
     #[test]

@@ -238,6 +238,12 @@ pub struct CampaignConfig {
     /// (completed count + trials/s). Off by default; purely cosmetic —
     /// results are unaffected.
     pub progress: bool,
+    /// Idle-cycle fast-forwarding on the campaign's cores (on by
+    /// default). Records are bit-identical either way — every externally
+    /// scheduled cycle (injection, hang verdict, convergence check,
+    /// snapshot capture) bounds the clock jumps — so turning it off only
+    /// buys the cycle-by-cycle oracle the equivalence tests diff against.
+    pub fast_forward: bool,
     /// The structures to inject into.
     pub targets: Vec<FaultTarget>,
 }
@@ -258,6 +264,7 @@ impl CampaignConfig {
             checkpoints: DEFAULT_CHECKPOINTS,
             replay_from_zero: false,
             progress: false,
+            fast_forward: true,
             targets: vec![
                 FaultTarget::Iq,
                 FaultTarget::Rob,
@@ -384,7 +391,7 @@ where
 {
     let mut core = factory();
     while core.total_committed() < budget.warmup_instructions && core.cycle() < budget.max_cycles {
-        core.step();
+        core.step_fast_bounded(budget.max_cycles);
     }
     if budget.warmup_instructions > 0 {
         core.reset_measurement();
@@ -405,7 +412,7 @@ where
     let start = core.cycle();
     let target_committed = core.total_committed() + budget.total_instructions;
     while core.total_committed() < target_committed && core.cycle() < budget.max_cycles {
-        core.step();
+        core.step_fast_bounded(budget.max_cycles);
     }
     if core.total_committed() < target_committed {
         return Err(InjectError::GoldenIncomplete {
@@ -491,8 +498,9 @@ where
         if checkpoints.last().is_some_and(|(c, _)| *c == at) {
             continue; // window shorter than k cycles
         }
+        // The clamp makes a clock jump land on the snapshot cycle exactly.
         while core.cycle() < at {
-            core.step();
+            core.step_fast_bounded(at);
         }
         checkpoints.push((core.cycle(), core.clone()));
     }
@@ -584,8 +592,10 @@ fn finish_trial<S: InstSource>(
     inject_cycle: u64,
     hang_cycles: u64,
 ) -> TrialRun {
+    // Bounding every fast step by the injection cycle makes the strike
+    // land on exactly the cycle a cycle-by-cycle run would have injected.
     while core.cycle() < inject_cycle {
-        core.step();
+        core.step_fast_bounded(inject_cycle);
     }
     let landing = core.inject_fault(&fault);
     let outcome = match landing {
@@ -620,7 +630,14 @@ fn finish_trial<S: InstSource>(
                         };
                     }
                 }
-                core.step();
+                // A clock jump must not overshoot any externally scheduled
+                // cycle: the hang verdict fires at last_commit +
+                // hang_cycles + 1, the cycle cap at cycle_cap, and the
+                // next convergence check at next_check — clamping to the
+                // earliest keeps all three on their exact oracle cycles.
+                let last_commit = core.cycle() - core.cycles_since_last_commit();
+                let bound = cycle_cap.min(last_commit + hang_cycles + 1).min(next_check);
+                core.step_fast_bounded(bound);
             }
             classify_completed_trial(&mut core, golden, hung)
         }
@@ -720,6 +737,14 @@ where
     if cfg.trials_per_structure == 0 {
         return Err(InjectError::ZeroTrials);
     }
+    // Every core in this campaign — golden passes, snapshots, trials —
+    // inherits the campaign's fast-forward setting from its factory.
+    let ff = cfg.fast_forward;
+    let factory = move || {
+        let mut core = factory();
+        core.set_fast_forward(ff);
+        core
+    };
     // Workers share the immutable checkpoint set; each trial clones only
     // the one snapshot it restores.
     let golden_t0 = std::time::Instant::now();

@@ -1,5 +1,18 @@
 //! The three-level memory hierarchy of Table 1: split L1s, unified L2,
 //! main memory, and I/D TLBs.
+//!
+//! # Fast-forward compatibility
+//!
+//! The hierarchy is *time-stateless*: every access takes `now` as an
+//! argument and returns its full latency immediately; there are no
+//! background fills, port schedules, or per-cycle tick methods. All
+//! latency state lives in the core (completion events, fetch stalls), so
+//! when `SmtCore` fast-forwards its clock over a quiescent span there is
+//! nothing here to catch up — the next access at the jumped-to cycle sees
+//! exactly the state a cycle-by-cycle run would have produced. Residency
+//! intervals (cache-line ACE lifetimes, TLB entries) are banked with
+//! absolute cycle stamps at eviction/finalize time, which makes them
+//! skip-invariant by construction.
 
 use crate::cache::{AccessKind, Cache, CacheStats, TagInject};
 use crate::tlb::{Tlb, TlbStats};

@@ -112,6 +112,11 @@ pub struct SmtCore<S = TraceGenerator> {
     faults: FaultState,
     /// Reusable per-cycle buffers (see [`Scratch`]).
     scratch: Scratch,
+    /// Idle-cycle fast-forwarding: when the core is provably quiescent,
+    /// [`SmtCore::step_fast_bounded`] jumps the clock to the next activity
+    /// cycle instead of stepping through stall cycles one at a time.
+    /// Disabled, it degenerates to the cycle-by-cycle oracle.
+    fast_forward: bool,
 }
 
 /// Per-cycle scratch buffers, owned by the core and reused every cycle.
@@ -271,6 +276,7 @@ impl<S: InstSource> SmtCore<S> {
             tracer: None,
             faults: FaultState::new(cfg2.0, cfg2.1),
             scratch: Scratch::default(),
+            fast_forward: true,
         }
     }
 
@@ -344,6 +350,19 @@ impl<S: InstSource> SmtCore<S> {
         self.total_committed
     }
 
+    /// Enable or disable idle-cycle fast-forwarding (on by default).
+    /// Disabled, [`SmtCore::run`] and [`SmtCore::step_fast_bounded`]
+    /// advance strictly one cycle at a time — the cycle-by-cycle oracle
+    /// `tests/fastforward_equivalence.rs` compares against.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Whether idle-cycle fast-forwarding is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
     /// Run until the budget is reached and produce the report.
     ///
     /// # Panics
@@ -360,8 +379,15 @@ impl<S: InstSource> SmtCore<S> {
                 core.total_committed
             );
         };
+        // Clamping each fast step to the watchdog horizon makes a wedged
+        // core panic at exactly the cycle the cycle-by-cycle run would.
+        let limit = |core: &SmtCore<S>| {
+            budget
+                .max_cycles
+                .min(core.last_commit_cycle + WATCHDOG_CYCLES)
+        };
         while self.total_committed < budget.warmup_instructions && self.cycle < budget.max_cycles {
-            self.step();
+            self.step_fast_bounded(limit(self));
             watchdog(self);
         }
         if budget.warmup_instructions > 0 {
@@ -369,7 +395,7 @@ impl<S: InstSource> SmtCore<S> {
         }
         let target = self.measured_base_total() + budget.total_instructions;
         while self.total_committed < target && self.cycle < budget.max_cycles {
-            self.step();
+            self.step_fast_bounded(limit(self));
             watchdog(self);
         }
         self.finish()
@@ -449,6 +475,129 @@ impl<S: InstSource> SmtCore<S> {
             rec.tick(&self.avf, self.cycle);
         }
         self.trace_sample();
+    }
+
+    /// Advance one cycle, or — when the core is provably quiescent and
+    /// fast-forwarding is enabled — jump the clock straight to the next
+    /// cycle where any stage can make progress, clamped to `limit`.
+    ///
+    /// The observable history is bit-identical to repeated [`SmtCore::step`]
+    /// calls: residency intervals are closed at dealloc time with absolute
+    /// cycles, so skipped stall cycles bank nothing differently, and the
+    /// per-cycle bookkeeping a quiescent step *does* perform (round-robin
+    /// rotors, recorder window boundaries, trace samples) is replayed in
+    /// bulk by [`SmtCore::skip_to`]. `tests/fastforward_equivalence.rs`
+    /// pins this.
+    ///
+    /// `limit` must be greater than the current cycle; the clock never
+    /// moves past it, so callers can make externally scheduled events
+    /// (fault injections, hang checks, watchdog horizons) land on exactly
+    /// the cycle they would in a cycle-by-cycle run.
+    pub fn step_fast_bounded(&mut self, limit: u64) {
+        debug_assert!(self.cycle < limit, "fast-forward bound must be ahead");
+        // The quiescence scan costs O(threads + IQ) — worth paying only
+        // when a stall looks plausible. A cycle that just committed is in
+        // a busy phase; gating on a one-cycle commit gap skips the scan
+        // for the vast majority of active cycles at the price of one
+        // plain step when entering each stall span.
+        if self.fast_forward && self.cycle > self.last_commit_cycle + 1 {
+            if let Some(next) = self.next_activity_cycle() {
+                let target = next.min(limit);
+                if target > self.cycle {
+                    self.skip_to(target);
+                    return;
+                }
+            }
+        }
+        self.step();
+    }
+
+    /// [`SmtCore::step_fast_bounded`] with no external bound.
+    pub fn step_fast(&mut self) {
+        self.step_fast_bounded(u64::MAX);
+    }
+
+    /// The earliest future cycle at which any pipeline stage could make
+    /// progress, or `None` when progress is (or may be) possible right now
+    /// and the caller must take a normal [`SmtCore::step`].
+    ///
+    /// The predicate errs in exactly one direction: it may claim activity
+    /// where a real step would find none (forcing a plain step, which is
+    /// always correct, merely slower), but it never claims quiescence when
+    /// a step could change state. See DESIGN §5g for the full soundness
+    /// argument; the cases where it stays conservative on purpose are
+    /// FU-port conflicts and memory-dependence stalls, which the real
+    /// issue stage resolves.
+    fn next_activity_cycle(&self) -> Option<u64> {
+        let now = self.cycle;
+        let mut next = u64::MAX;
+        // (a) In-flight completions: writeback, wakeup and mispredict
+        // recovery all happen when the event at the heap head fires.
+        if let Some(&Reverse((c, ..))) = self.events.peek() {
+            if c <= now {
+                return None;
+            }
+            next = c;
+        }
+        for (t, th) in self.threads.iter().enumerate() {
+            // Commit: a Done ROB head retires this cycle.
+            if th.front_slot().is_some_and(|s| s.state == SlotState::Done) {
+                return None;
+            }
+            // (b) Fetch: an unstalled thread with queue space fetches now;
+            // a stalled one wakes when its I-side fill arrives.
+            if th.fetch_queue.len() < FETCH_QUEUE_CAP {
+                if th.fetch_stall_until <= now {
+                    return None;
+                }
+                next = next.min(th.fetch_stall_until);
+            }
+            // Dispatch: the fetch-queue head clears the front-end pipe at
+            // `ready_at`; structural hazards (ROB/IQ/LSQ/free-list) only
+            // clear through commits or completions, which cases (a) and
+            // the commit check above already cover.
+            if let Some(fe) = th.fetch_queue.front() {
+                if self.can_dispatch_front(t, now) {
+                    return None;
+                }
+                if fe.ready_at > now {
+                    next = next.min(fe.ready_at);
+                }
+            }
+        }
+        // (c) Issue: an IQ entry with ready sources might issue this cycle.
+        // Sources only become ready through completion events, so during a
+        // skipped span no new entry can wake.
+        for e in self.iq.entries() {
+            let slot = &self.threads[e.thread.index()].slab[e.slot as usize];
+            if self.srcs_ready(slot) {
+                return None;
+            }
+        }
+        (next > now && next < u64::MAX).then_some(next)
+    }
+
+    /// Jump the clock to `target` across a provably quiescent span,
+    /// performing exactly the per-cycle bookkeeping the skipped no-op
+    /// `step()`s would have: the commit round-robin rotor and the fetch
+    /// policy's rotor advance once per skipped cycle, and recorder window
+    /// boundaries / trace samples land on their exact slow-path cycles.
+    /// Nothing else in a quiescent step mutates state, so nothing else
+    /// needs replaying.
+    fn skip_to(&mut self, target: u64) {
+        debug_assert!(target > self.cycle);
+        let skipped = target - self.cycle;
+        let n = self.threads.len().max(1);
+        self.commit_rr = (self.commit_rr + (skipped % n as u64) as usize) % n;
+        self.policy.skip_cycles(skipped, self.threads.len());
+        self.cycle = target;
+        if let Some(rec) = &mut self.phases {
+            rec.tick_span(&self.avf, target);
+        }
+        if let Some(rec) = &mut self.telemetry {
+            rec.tick_span(&self.avf, target);
+        }
+        self.trace_sample_span();
     }
 
     /// Close out interval accounting and build the result (measurement
@@ -1068,6 +1217,49 @@ impl<S: InstSource> SmtCore<S> {
     // Dispatch (rename + allocate)
     // -----------------------------------------------------------------
 
+    /// Whether thread `t`'s fetch-queue head could dispatch this cycle:
+    /// it has cleared the front-end pipe and no structural hazard (ROB,
+    /// LSQ, IQ, free list) blocks it. Shared between the dispatch stage
+    /// and the fast-forward quiescence predicate so the two can never
+    /// disagree.
+    fn can_dispatch_front(&self, t: usize, now: u64) -> bool {
+        let th = &self.threads[t];
+        let Some(fe) = th.fetch_queue.front() else {
+            return false;
+        };
+        if fe.ready_at > now {
+            return false;
+        }
+        let inst = &fe.inst;
+        // Structural hazards.
+        if th.rob.len() >= self.cfg.rob_entries_per_thread as usize {
+            return false;
+        }
+        if inst.op.is_mem() && th.lsq_used >= self.cfg.lsq_entries_per_thread {
+            return false;
+        }
+        if inst.op != OpClass::Nop && !self.iq.has_space() {
+            return false;
+        }
+        if inst.op != OpClass::Nop
+            && self.cfg.iq_partitioned
+            && th.iq_used >= self.cfg.iq_entries / self.cfg.contexts as u32
+        {
+            return false;
+        }
+        if let Some(dest) = inst.dest {
+            let free = if dest.is_fp() {
+                self.fp_free.available()
+            } else {
+                self.int_free.available()
+            };
+            if free == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
     fn dispatch(&mut self, now: u64) {
         let width = self.cfg.issue_width;
         let mut order = std::mem::take(&mut self.scratch.dispatch_order);
@@ -1077,39 +1269,8 @@ impl<S: InstSource> SmtCore<S> {
         let mut dispatched = 0u32;
         for &t in &order {
             while dispatched < width {
-                let th = &self.threads[t];
-                let Some(fe) = th.fetch_queue.front() else {
+                if !self.can_dispatch_front(t, now) {
                     break;
-                };
-                if fe.ready_at > now {
-                    break;
-                }
-                let inst = &fe.inst;
-                // Structural hazards.
-                if th.rob.len() >= self.cfg.rob_entries_per_thread as usize {
-                    break;
-                }
-                if inst.op.is_mem() && th.lsq_used >= self.cfg.lsq_entries_per_thread {
-                    break;
-                }
-                if inst.op != OpClass::Nop && !self.iq.has_space() {
-                    break;
-                }
-                if inst.op != OpClass::Nop
-                    && self.cfg.iq_partitioned
-                    && th.iq_used >= self.cfg.iq_entries / self.cfg.contexts as u32
-                {
-                    break;
-                }
-                if let Some(dest) = inst.dest {
-                    let free = if dest.is_fp() {
-                        self.fp_free.available()
-                    } else {
-                        self.int_free.available()
-                    };
-                    if free == 0 {
-                        break;
-                    }
                 }
                 // All clear: dispatch.
                 let fe = self.threads[t]
@@ -1355,17 +1516,42 @@ impl<S> SmtCore<S> {
     /// sample boundary is reached. Called once per cycle from `step`.
     #[inline]
     fn trace_sample(&mut self) {
-        let Some(tr) = &mut self.tracer else {
+        let Some(tr) = &self.tracer else {
             return;
         };
         if self.cycle < tr.next_sample {
             return;
         }
-        let cycle = self.cycle;
+        self.trace_emit_sample(self.cycle);
+    }
+
+    /// Emit every sample boundary a clock jump skipped over, at exactly
+    /// the cycles the per-cycle path would have sampled. Stage counts
+    /// accumulated before the jump land in the first boundary's sample
+    /// (`mem::take` zeroes them for the rest), and occupancies are
+    /// constant across a quiescent span — so the event stream is
+    /// bit-identical to the slow path's.
+    fn trace_sample_span(&mut self) {
+        loop {
+            let Some(tr) = &self.tracer else {
+                return;
+            };
+            let at = tr.next_sample;
+            if at > self.cycle {
+                return;
+            }
+            self.trace_emit_sample(at);
+        }
+    }
+
+    fn trace_emit_sample(&mut self, at: u64) {
+        let Some(tr) = &mut self.tracer else {
+            return;
+        };
         for (t, th) in self.threads.iter().enumerate() {
             let c = std::mem::take(&mut tr.counts[t]);
             tr.sink.emit(sim_trace::TraceEvent::Stage {
-                cycle,
+                cycle: at,
                 thread: t as u8,
                 fetched: c.fetched,
                 issued: c.issued,
@@ -1376,12 +1562,12 @@ impl<S> SmtCore<S> {
             });
         }
         tr.sink.emit(sim_trace::TraceEvent::Shared {
-            cycle,
+            cycle: at,
             iq: self.iq.len() as u32,
             int_free: self.int_free.available() as u32,
             fp_free: self.fp_free.available() as u32,
         });
-        tr.next_sample = cycle + tr.sample_interval;
+        tr.next_sample = at + tr.sample_interval;
     }
 }
 
@@ -1397,6 +1583,8 @@ impl<S> SmtCore<S> {
     fn trace_squash(&mut self, _t: usize, _squashed: u64, _replay: bool, _now: u64) {}
     #[inline(always)]
     fn trace_sample(&mut self) {}
+    #[inline(always)]
+    fn trace_sample_span(&mut self) {}
 }
 
 // ---------------------------------------------------------------------
@@ -1815,6 +2003,25 @@ mod tests {
         let b = b.with_warmup(500);
         assert_eq!(b.warmup_instructions, 500);
         assert!(b.max_cycles >= (1_500) * 80);
+    }
+
+    #[test]
+    fn fast_forward_matches_cycle_by_cycle_oracle() {
+        // Memory-bound threads stall for long L2 spans — the richest
+        // skipping opportunity. The root-crate equivalence suite covers
+        // every mix/policy; this pins the core invariant in-crate.
+        let mut fast = core_for(&["mcf", "swim"]);
+        let mut slow = core_for(&["mcf", "swim"]);
+        slow.set_fast_forward(false);
+        fast.enable_telemetry(256);
+        slow.enable_telemetry(256);
+        let budget = SimBudget::total_instructions(8_000).with_warmup(2_000);
+        let rf = fast.run(budget);
+        let rs = slow.run(budget);
+        assert_eq!(rf, rs);
+        assert_eq!(fast.cycle(), slow.cycle());
+        assert_eq!(fast.total_committed(), slow.total_committed());
+        assert_eq!(fast.take_telemetry(), slow.take_telemetry());
     }
 
     #[test]

@@ -16,4 +16,25 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+# The committed experiments_output.txt must match what the binaries
+# actually print — it silently rotted once before PR 4. Regenerating is
+# the expensive step (a full default-scale experiment pass), so it can be
+# skipped explicitly; CI-equivalence means NOT skipping it before a push
+# that touches simulation behavior. The diff is also an end-to-end
+# bit-identical check: every number in the file must survive whatever
+# optimization landed.
+if [[ "${SMT_AVF_SKIP_DRIFT:-0}" == "1" ]]; then
+  echo "==> experiments_output.txt drift check SKIPPED (SMT_AVF_SKIP_DRIFT=1)"
+else
+  echo "==> experiments_output.txt drift check (regenerating, takes a few minutes)"
+  regen="$(mktemp)"
+  trap 'rm -f "$regen"' EXIT
+  cargo run --release -p smt-avf-bench --bin all > "$regen"
+  if ! diff -u experiments_output.txt "$regen"; then
+    echo "experiments_output.txt is stale: regenerate it with" >&2
+    echo "  cargo run --release -p smt-avf-bench --bin all > experiments_output.txt" >&2
+    exit 1
+  fi
+fi
+
 echo "All checks passed."
