@@ -383,8 +383,10 @@ impl CampaignResult {
 /// Build a fresh core and run the shared pre-measurement preamble: warm
 /// up, open the measurement window, enable the commit log. Both the
 /// golden pass and the replay-from-zero trial path start from exactly
-/// this state, which is what makes their histories comparable.
-fn warmed_core<S, F>(factory: &F, budget: SimBudget) -> SmtCore<S>
+/// this state, which is what makes their histories comparable. Public so
+/// the campaign store can rebuild snapshot machines by deterministic
+/// replay (`sim-store`'s snapshot restore path).
+pub fn warmed_core<S, F>(factory: &F, budget: SimBudget) -> SmtCore<S>
 where
     S: InstSource,
     F: Fn() -> SmtCore<S>,
@@ -458,6 +460,13 @@ impl<S> CheckpointedGolden<S> {
     /// first is the window start).
     pub fn checkpoint_cycles(&self) -> Vec<u64> {
         self.checkpoints.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// The captured `(cycle, machine)` snapshots, ascending by cycle —
+    /// read-only access for fingerprinting (the campaign store digests
+    /// each snapshot to fail closed on resume divergence).
+    pub fn snapshots(&self) -> impl Iterator<Item = (u64, &SmtCore<S>)> {
+        self.checkpoints.iter().map(|(c, m)| (*c, m))
     }
 
     /// The snapshot a trial injecting at `cycle` restores: the nearest
@@ -722,6 +731,244 @@ fn trial_rng(seed: u64, index: usize) -> SimRng {
     SimRng::seed_from_u64(splitmix64(&mut s))
 }
 
+/// The fault one trial injects and when: a pure function of the campaign
+/// seed, the global trial index and the golden window — never of
+/// scheduling, sharding, or which process samples it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledTrial {
+    /// The struck structure.
+    pub target: FaultTarget,
+    /// The sampled strike.
+    pub fault: Fault,
+    /// The sampled injection cycle.
+    pub cycle: u64,
+}
+
+/// One executed trial: the record that enters the result-equality
+/// contract, plus the runner diagnostics that ride alongside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialExec {
+    /// The completed trial.
+    pub record: TrialRecord,
+    /// The convergence check cut the run short (provably masked).
+    pub early_exit: bool,
+    /// Cycles stepped from the restored snapshot to the injection point;
+    /// `None` on the replay-from-zero oracle path.
+    pub restore_distance: Option<u64>,
+}
+
+/// Wrap `factory` so every core it builds inherits the campaign's
+/// fast-forward setting.
+fn configured_factory<S, F>(factory: &F, fast_forward: bool) -> impl Fn() -> SmtCore<S> + '_
+where
+    S: InstSource,
+    F: Fn() -> SmtCore<S>,
+{
+    move || {
+        let mut core = factory();
+        core.set_fast_forward(fast_forward);
+        core
+    }
+}
+
+/// A campaign whose golden state has been externalized: the golden
+/// reference (checkpointed unless the oracle path was requested), the
+/// machine configuration, and the sampling spaces. Every trial is a pure
+/// function of this prepared state and its global index, so any subset —
+/// a chunk, a worker process's shard, the unfinished remainder of a
+/// crashed run — can execute anywhere, in any order, and merge by index
+/// into the same bytes. The campaign store and the `sim-serve` job server
+/// are built on exactly this property.
+#[derive(Debug, Clone)]
+pub struct PreparedCampaign<S> {
+    cfg: CampaignConfig,
+    machine: MachineConfig,
+    checkpointed: Option<CheckpointedGolden<S>>,
+    plain_golden: Option<GoldenRun>,
+}
+
+impl<S: InstSource + Clone> PreparedCampaign<S> {
+    /// Validate `cfg` and run the golden pass(es): checkpointed by
+    /// default, plain when [`CampaignConfig::replay_from_zero`] asks for
+    /// the oracle path.
+    pub fn prepare<F>(factory: &F, cfg: &CampaignConfig) -> Result<PreparedCampaign<S>, InjectError>
+    where
+        F: Fn() -> SmtCore<S>,
+    {
+        if cfg.targets.is_empty() {
+            return Err(InjectError::NoTargets);
+        }
+        if cfg.trials_per_structure == 0 {
+            return Err(InjectError::ZeroTrials);
+        }
+        let factory = configured_factory(factory, cfg.fast_forward);
+        let (checkpointed, plain_golden) = if cfg.replay_from_zero {
+            (None, Some(run_golden(&factory, cfg.budget)?))
+        } else {
+            let c = run_golden_checkpointed(&factory, cfg.budget, cfg.checkpoints)?;
+            (Some(c), None)
+        };
+        let machine = factory().config().clone();
+        Ok(PreparedCampaign {
+            cfg: cfg.clone(),
+            machine,
+            checkpointed,
+            plain_golden,
+        })
+    }
+
+    /// The campaign configuration this state was prepared for.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// The machine configuration the cores were built with.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The golden reference run.
+    pub fn golden(&self) -> &GoldenRun {
+        self.checkpointed
+            .as_ref()
+            .map(|c| &c.golden)
+            .or(self.plain_golden.as_ref())
+            .expect("one golden path ran")
+    }
+
+    /// Total trials across all targets (`targets × trials_per_structure`).
+    pub fn total_trials(&self) -> usize {
+        self.cfg.targets.len() * self.cfg.trials_per_structure
+    }
+
+    /// The checkpointed golden state; `None` on the oracle path.
+    pub fn checkpointed_golden(&self) -> Option<&CheckpointedGolden<S>> {
+        self.checkpointed.as_ref()
+    }
+
+    /// Cycles at which golden snapshots were captured; `None` on the
+    /// oracle path.
+    pub fn checkpoint_cycles(&self) -> Option<Vec<u64>> {
+        self.checkpointed
+            .as_ref()
+            .map(CheckpointedGolden::checkpoint_cycles)
+    }
+
+    /// [`SmtCore::state_digest`] of each golden snapshot, in cycle order;
+    /// `None` on the oracle path. Persisted campaign stores compare these
+    /// on resume and fail closed if a rebuilt golden diverges from the one
+    /// the stored chunks were produced from.
+    pub fn checkpoint_digests(&self) -> Option<Vec<u64>> {
+        self.checkpointed.as_ref().map(|c| {
+            c.checkpoints
+                .iter()
+                .map(|(_, m)| m.state_digest())
+                .collect()
+        })
+    }
+
+    /// Sample trial `index`'s fault and injection cycle.
+    ///
+    /// # Panics
+    /// Panics if `index >= total_trials()`.
+    pub fn sample(&self, index: usize) -> SampledTrial {
+        let golden = self.golden();
+        let target = self.cfg.targets[index / self.cfg.trials_per_structure];
+        let mut rng = trial_rng(self.cfg.seed, index);
+        let entry = rng.range_u64(0, target_entries(target, &self.machine));
+        let bit = rng.range_u64(0, target_bits(target, &self.machine));
+        let cycle = rng.range_u64(golden.start, golden.end);
+        SampledTrial {
+            target,
+            fault: Fault { target, entry, bit },
+            cycle,
+        }
+    }
+
+    /// Cycles a trial injecting at `cycle` re-steps from its restored
+    /// snapshot — a pure function of the checkpoint schedule, so it can be
+    /// recomputed without re-running the trial. `None` on the oracle path.
+    pub fn restore_distance(&self, cycle: u64) -> Option<u64> {
+        self.checkpointed.as_ref().map(|c| {
+            let i = c.checkpoints.partition_point(|(at, _)| *at <= cycle);
+            debug_assert!(i > 0, "sampled cycle precedes the first snapshot");
+            cycle - c.checkpoints[i - 1].0
+        })
+    }
+
+    /// Execute trial `index`: restore/replay, inject, run out, classify.
+    /// `factory` is only consulted on the replay-from-zero oracle path
+    /// (checkpointed trials clone a snapshot instead).
+    pub fn run_index<F>(&self, factory: &F, index: usize) -> TrialExec
+    where
+        F: Fn() -> SmtCore<S>,
+    {
+        let s = self.sample(index);
+        let run = match &self.checkpointed {
+            Some(c) => {
+                let core = c.nearest_at_or_before(s.cycle).clone();
+                finish_trial(core, &c.golden, s.fault, s.cycle, self.cfg.hang_cycles)
+            }
+            None => {
+                let factory = configured_factory(factory, self.cfg.fast_forward);
+                let core = warmed_core(&factory, self.cfg.budget);
+                finish_trial(core, self.golden(), s.fault, s.cycle, self.cfg.hang_cycles)
+            }
+        };
+        TrialExec {
+            record: TrialRecord {
+                target: s.target,
+                trial: index % self.cfg.trials_per_structure,
+                entry: s.fault.entry,
+                bit: s.fault.bit,
+                cycle: s.cycle,
+                landing: run.landing,
+                outcome: run.outcome,
+            },
+            early_exit: run.early_exit,
+            restore_distance: self.restore_distance(s.cycle),
+        }
+    }
+}
+
+/// Per-structure tallies over `records`, which must hold
+/// `trials_per_structure` consecutive records per target in campaign
+/// order (the order [`run_campaign`] and the chunked store path produce).
+///
+/// # Panics
+/// Panics if `records.len() != targets.len() * trials_per_structure`.
+pub fn summarize(
+    targets: &[FaultTarget],
+    trials_per_structure: usize,
+    records: &[TrialRecord],
+) -> Vec<TargetSummary> {
+    let per = trials_per_structure;
+    assert_eq!(
+        records.len(),
+        targets.len() * per,
+        "records do not tile the campaign's (target, trial) grid"
+    );
+    targets
+        .iter()
+        .enumerate()
+        .map(|(ti, &target)| {
+            let slice = &records[ti * per..(ti + 1) * per];
+            let count = |o: Outcome| slice.iter().filter(|r| r.outcome == o).count() as u64;
+            let (masked, latent) = (count(Outcome::Masked), count(Outcome::Latent));
+            let (sdc, detected) = (count(Outcome::Sdc), count(Outcome::Detected));
+            TargetSummary {
+                target,
+                trials: per as u64,
+                masked,
+                latent,
+                sdc,
+                detected,
+                sfi: SfiPoint::from_counts(target_structure(target), sdc + detected, per as u64),
+            }
+        })
+        .collect()
+}
+
 /// Run a full campaign: golden run (checkpointed unless
 /// [`CampaignConfig::replay_from_zero`] asks for the oracle path), then
 /// `trials_per_structure` trials per target executed by `workers` scoped
@@ -731,85 +978,26 @@ where
     S: InstSource + Clone + Sync,
     F: Fn() -> SmtCore<S> + Sync,
 {
-    if cfg.targets.is_empty() {
-        return Err(InjectError::NoTargets);
-    }
-    if cfg.trials_per_structure == 0 {
-        return Err(InjectError::ZeroTrials);
-    }
-    // Every core in this campaign — golden passes, snapshots, trials —
-    // inherits the campaign's fast-forward setting from its factory.
-    let ff = cfg.fast_forward;
-    let factory = move || {
-        let mut core = factory();
-        core.set_fast_forward(ff);
-        core
-    };
-    // Workers share the immutable checkpoint set; each trial clones only
-    // the one snapshot it restores.
+    // Workers share the immutable prepared state (golden + checkpoint
+    // set); each trial clones only the one snapshot it restores.
     let golden_t0 = std::time::Instant::now();
-    let checkpointed = if cfg.replay_from_zero {
-        None
-    } else {
-        Some(run_golden_checkpointed(
-            &factory,
-            cfg.budget,
-            cfg.checkpoints,
-        )?)
-    };
-    let plain_golden = match &checkpointed {
-        Some(_) => None,
-        None => Some(run_golden(&factory, cfg.budget)?),
-    };
+    let prepared = PreparedCampaign::prepare(&factory, cfg)?;
     let golden_secs = golden_t0.elapsed().as_secs_f64();
-    let golden: &GoldenRun = checkpointed
-        .as_ref()
-        .map(|c| &c.golden)
-        .or(plain_golden.as_ref())
-        .expect("one golden path ran");
-    let machine = factory().config().clone();
-    let ckpt_cycles = checkpointed
-        .as_ref()
-        .map(CheckpointedGolden::checkpoint_cycles);
-
-    let per = cfg.trials_per_structure;
-    let total = cfg.targets.len() * per;
+    let total = prepared.total_trials();
 
     // Heartbeat bookkeeping (stderr only; results are unaffected).
     let trials_t0 = std::time::Instant::now();
     let completed = std::sync::atomic::AtomicU64::new(0);
     let heartbeat_stride = (total as u64 / 20).max(1);
 
-    // Each trial is a pure function of `(campaign seed, global index)`, so
-    // the sim-exec pool's index-ordered merge makes the record vector
-    // bit-identical for any worker count — and, because a restored
+    // Each trial is a pure function of the prepared state and its global
+    // index, so the sim-exec pool's index-ordered merge makes the record
+    // vector bit-identical for any worker count — and, because a restored
     // snapshot steps bit-identically to a from-zero replay, also identical
     // between the checkpointed and oracle paths. The per-trial metrics
     // (early exit, restore distance) ride alongside each record.
     let (trials, pool_stats) = sim_exec::run_indexed_stats(total, cfg.workers, |i| {
-        let target = cfg.targets[i / per];
-        let mut rng = trial_rng(cfg.seed, i);
-        let entry = rng.range_u64(0, target_entries(target, &machine));
-        let bit = rng.range_u64(0, target_bits(target, &machine));
-        let cycle = rng.range_u64(golden.start, golden.end);
-        let fault = Fault { target, entry, bit };
-        let run = match &checkpointed {
-            Some(c) => {
-                let core = c.nearest_at_or_before(cycle).clone();
-                finish_trial(core, &c.golden, fault, cycle, cfg.hang_cycles)
-            }
-            None => {
-                let core = warmed_core(&factory, cfg.budget);
-                finish_trial(core, golden, fault, cycle, cfg.hang_cycles)
-            }
-        };
-        // Distance from the restored snapshot to the injection point (the
-        // cycles this trial had to re-step before flipping its bit).
-        let restore_distance = ckpt_cycles.as_ref().map(|cycles| {
-            let at = cycles.partition_point(|&c| c <= cycle);
-            debug_assert!(at > 0, "sampled cycle precedes the first snapshot");
-            cycle - cycles[at - 1]
-        });
+        let exec = prepared.run_index(&factory, i);
         if cfg.progress {
             let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             if done.is_multiple_of(heartbeat_stride) || done == total as u64 {
@@ -818,30 +1006,21 @@ where
                 eprintln!("[sfi] {done}/{total} trials ({rate:.1}/s)");
             }
         }
-        let record = TrialRecord {
-            target,
-            trial: i % per,
-            entry,
-            bit,
-            cycle,
-            landing: run.landing,
-            outcome: run.outcome,
-        };
-        (record, run.early_exit, restore_distance)
+        exec
     });
     let trial_secs = trials_t0.elapsed().as_secs_f64();
 
     let mut records = Vec::with_capacity(trials.len());
     let mut distances = Vec::new();
     let mut early_exits = 0u64;
-    for (record, early_exit, restore_distance) in trials {
-        if early_exit {
+    for exec in trials {
+        if exec.early_exit {
             early_exits += 1;
         }
-        if let Some(d) = restore_distance {
+        if let Some(d) = exec.restore_distance {
             distances.push(d);
         }
-        records.push(record);
+        records.push(exec.record);
     }
     let injected_trials = records
         .iter()
@@ -863,27 +1042,8 @@ where
         restore: RestoreStats::from_distances(&distances),
     };
 
-    let per_target = cfg
-        .targets
-        .iter()
-        .enumerate()
-        .map(|(ti, &target)| {
-            let slice = &records[ti * per..(ti + 1) * per];
-            let count = |o: Outcome| slice.iter().filter(|r| r.outcome == o).count() as u64;
-            let (masked, latent) = (count(Outcome::Masked), count(Outcome::Latent));
-            let (sdc, detected) = (count(Outcome::Sdc), count(Outcome::Detected));
-            TargetSummary {
-                target,
-                trials: per as u64,
-                masked,
-                latent,
-                sdc,
-                detected,
-                sfi: SfiPoint::from_counts(target_structure(target), sdc + detected, per as u64),
-            }
-        })
-        .collect();
-
+    let golden = prepared.golden();
+    let per_target = summarize(&cfg.targets, cfg.trials_per_structure, &records);
     Ok(CampaignResult {
         records,
         window: (golden.start, golden.end),

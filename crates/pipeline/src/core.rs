@@ -1637,6 +1637,100 @@ impl<S: InstSource> SmtCore<S> {
                 .any(|th| th.rob_slots().any(|s| s.tainted))
     }
 
+    /// A deterministic 64-bit fingerprint of the behavior-relevant machine
+    /// state: the clock, commit counters, per-thread front-end and ROB
+    /// occupancy (slab indices, ftags and PCs in program order), the
+    /// rename maps, the shared IQ, the sorted completion-event schedule,
+    /// fault-injection poison state, and the memory-hierarchy counters.
+    ///
+    /// Two cores with equal digests are not proven bit-identical — the
+    /// digest is a *divergence detector*, not a full state hash — but any
+    /// difference in the hashed state (which covers everything the
+    /// snapshot-equivalence tests have ever caught drifting) changes it.
+    /// The campaign store uses it to fail closed when a resumed campaign's
+    /// rebuilt golden checkpoints do not match the ones the persisted
+    /// chunks were produced from.
+    pub fn state_digest(&self) -> u64 {
+        // FNV-1a over the state serialized as little-endian u64s.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        put(self.cycle);
+        put(self.total_committed);
+        put(self.last_commit_cycle);
+        put(self.commit_rr as u64);
+        for &pc in self.fetch_pc.iter().chain(&self.wrong_pc) {
+            put(pc);
+        }
+        for th in &self.threads {
+            put(th.committed);
+            put(th.next_ftag);
+            put(th.icount as u64);
+            put(th.lsq_used as u64);
+            put(th.fetch_stall_until);
+            put(th.fetch_queue.len() as u64);
+            put(th.replay.len() as u64);
+            for r in &th.rename {
+                put(r.0 as u64);
+            }
+            for (i, s) in th.rob.iter().map(|&i| (i, &th.slab[i as usize])) {
+                put(i as u64);
+                put(s.ftag);
+                put(s.inst.pc);
+                put(s.dispatched_at);
+            }
+        }
+        for e in self.iq.entries() {
+            put(e.thread.0 as u64);
+            put(e.ftag);
+            put(e.slot as u64);
+            put(e.age);
+        }
+        // BinaryHeap iteration order is an implementation detail; hash the
+        // schedule in sorted order so the digest depends only on contents.
+        let mut events: Vec<_> = self.events.iter().map(|Reverse(e)| *e).collect();
+        events.sort_unstable();
+        for (cycle, thread, ftag, slot) in events {
+            put(cycle);
+            put(thread as u64);
+            put(ftag);
+            put(slot as u64);
+        }
+        put(self.int_free.available() as u64);
+        put(self.fp_free.available() as u64);
+        for (i, &p) in self
+            .faults
+            .int_poison
+            .iter()
+            .chain(&self.faults.fp_poison)
+            .enumerate()
+        {
+            if p {
+                put(i as u64);
+            }
+        }
+        put(self.faults.detected as u64);
+        put(self.faults.corrupt_retired);
+        for s in [
+            self.mem.dl1_stats(),
+            self.mem.il1_stats(),
+            self.mem.l2_stats(),
+        ] {
+            put(s.accesses);
+            put(s.misses);
+            put(s.writebacks);
+        }
+        for s in [self.mem.dtlb_stats(), self.mem.itlb_stats()] {
+            put(s.accesses);
+            put(s.misses);
+        }
+        h
+    }
+
     /// Flip one bit *now*: apply `fault` to the current microarchitectural
     /// state and report what the strike landed on. Entry indices are
     /// uniform over each array's physical entries, so strikes on empty or

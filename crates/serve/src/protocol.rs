@@ -1,0 +1,160 @@
+//! Parent <-> worker-process protocol: length-prefixed `sim-store`
+//! records over stdin/stdout.
+//!
+//! Every frame is a `u32` little-endian byte count followed by one
+//! framed, checksummed record (the same codec the store persists — tags
+//! 100+ are transient protocol types that never reach disk). The
+//! conversation:
+//!
+//! ```text
+//! parent -> worker   JobSpec           (once, on startup)
+//! worker -> parent   WorkerReady       (golden fingerprint; parent fails
+//!                                       closed unless it matches its own)
+//! parent -> worker   WorkerTask        (one chunk to run)    \  repeated
+//! worker -> parent   WorkerChunk       (the completed chunk) /  per chunk
+//! parent closes stdin -> worker exits 0
+//! ```
+//!
+//! The worker never touches the store; only the parent — the single
+//! canonical writer — persists chunks. A worker that dies mid-chunk
+//! surfaces as a read error in the parent, which aborts the job rather
+//! than publish a partial shard.
+
+use sim_store::{
+    decode_record, encode_record, ChunkPlan, ChunkRecord, Codec, Decoder, Encoder,
+    GoldenFingerprint, WireError,
+};
+use std::io::{Read, Write};
+
+/// Cap on a single protocol frame; anything larger is a corrupt length
+/// prefix, not a real record.
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Worker greeting: proof of which golden state it rebuilt.
+#[derive(Debug, Clone)]
+pub struct WorkerReady {
+    /// Fingerprint of the campaign the worker prepared.
+    pub fingerprint: GoldenFingerprint,
+}
+
+impl Codec for WorkerReady {
+    const TAG: u16 = 100;
+    const NAME: &'static str = "WorkerReady";
+
+    fn encode_body(&self, e: &mut Encoder) {
+        self.fingerprint.encode_body(e);
+    }
+
+    fn decode_body(d: &mut Decoder<'_>) -> Result<WorkerReady, WireError> {
+        Ok(WorkerReady {
+            fingerprint: GoldenFingerprint::decode_body(d)?,
+        })
+    }
+}
+
+/// One chunk assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerTask {
+    /// The chunk to run.
+    pub plan: ChunkPlan,
+}
+
+impl Codec for WorkerTask {
+    const TAG: u16 = 101;
+    const NAME: &'static str = "WorkerTask";
+
+    fn encode_body(&self, e: &mut Encoder) {
+        e.put_usize(self.plan.index);
+        e.put_usize(self.plan.start);
+        e.put_usize(self.plan.len);
+    }
+
+    fn decode_body(d: &mut Decoder<'_>) -> Result<WorkerTask, WireError> {
+        Ok(WorkerTask {
+            plan: ChunkPlan {
+                index: d.get_usize()?,
+                start: d.get_usize()?,
+                len: d.get_usize()?,
+            },
+        })
+    }
+}
+
+/// One completed chunk, travelling back to the parent.
+#[derive(Debug, Clone)]
+pub struct WorkerChunk {
+    /// The chunk, exactly as the parent will persist it.
+    pub chunk: ChunkRecord,
+}
+
+impl Codec for WorkerChunk {
+    const TAG: u16 = 102;
+    const NAME: &'static str = "WorkerChunk";
+
+    fn encode_body(&self, e: &mut Encoder) {
+        self.chunk.encode_body(e);
+    }
+
+    fn decode_body(d: &mut Decoder<'_>) -> Result<WorkerChunk, WireError> {
+        Ok(WorkerChunk {
+            chunk: ChunkRecord::decode_body(d)?,
+        })
+    }
+}
+
+/// Write one framed record.
+pub fn write_frame<T: Codec, W: Write>(w: &mut W, value: &T) -> std::io::Result<()> {
+    let bytes = encode_record(value);
+    let len = u32::try_from(bytes.len()).expect("frame < 4 GiB");
+    assert!(len <= MAX_FRAME, "{} frame of {len} bytes", T::NAME);
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Read one framed record of type `T`. `Ok(None)` on clean EOF at a frame
+/// boundary; any mid-frame truncation or decode failure is an error.
+pub fn read_frame<T: Codec, R: Read>(r: &mut R) -> std::io::Result<Option<T>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::other(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    r.read_exact(&mut bytes)?;
+    decode_record::<T>(&bytes)
+        .map(Some)
+        .map_err(|e| std::io::Error::other(format!("{} frame: {e}", T::NAME)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let task = WorkerTask {
+            plan: ChunkPlan {
+                index: 3,
+                start: 96,
+                len: 32,
+            },
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &task).unwrap();
+        let mut r = &buf[..];
+        let got: WorkerTask = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(got.plan, task.plan);
+        assert!(read_frame::<WorkerTask, _>(&mut r).unwrap().is_none());
+        // Mid-frame truncation is an error, not EOF.
+        let mut r = &buf[..buf.len() - 1];
+        assert!(read_frame::<WorkerTask, _>(&mut r).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Job execution: resolve a [`JobSpec`] into a prepared campaign, shard
+//! its chunks across worker processes (or run them in-process), persist
+//! every completed chunk, and publish the final result.
+//!
+//! The parent process is the store's single canonical writer: workers
+//! never touch disk, they stream completed chunks back over the
+//! [`protocol`](crate::protocol) and the parent publishes them. Killing
+//! the parent (or any worker) at any point loses at most the in-flight
+//! chunks; a rerun of the same spec resumes from the published ones and
+//! finishes with byte-identical results.
+
+use crate::protocol::{read_frame, write_frame, WorkerChunk, WorkerReady, WorkerTask};
+use avf_core::AvfReport;
+use sim_inject::{CampaignMetrics, Landing, PreparedCampaign};
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::SmtCore;
+use sim_store::{
+    assemble_result, encode_record, load_chunk, load_result, maybe_crash_after, plan_chunks,
+    prepare_stored, run_chunk, store_chunk, ChunkPlan, ChunkRecord, GoldenFingerprint,
+    JobResultRecord, JobSpec, ObjectId, Store, StoredOutcome,
+};
+use sim_workload::{table2, SmtWorkload, TraceGenerator};
+use smt_avf::runner::{run_workload_on, workload_generators};
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Look up a Table 2 workload by name.
+pub fn resolve_workload(name: &str) -> Result<SmtWorkload, String> {
+    table2()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown workload '{name}'; Table 2 defines: {}",
+                table2()
+                    .iter()
+                    .map(|w| w.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+/// The machine every campaign job runs on: the Table 1 baseline under
+/// ICOUNT, sized for the workload — the same configuration the ACE
+/// experiments and `validate_avf` use, so stored results are comparable.
+pub fn machine_for(workload: &SmtWorkload) -> MachineConfig {
+    MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount)
+}
+
+/// Build the deterministic core factory for `workload` (profiles resolved
+/// up front so the returned closure cannot fail).
+pub fn factory_for(
+    workload: &SmtWorkload,
+) -> Result<impl Fn() -> SmtCore<TraceGenerator> + Sync + '_, String> {
+    workload_generators(workload).map_err(|e| e.to_string())?;
+    let cfg = machine_for(workload);
+    Ok(move || {
+        SmtCore::new(
+            cfg.clone(),
+            workload_generators(workload).expect("profiles resolved above"),
+        )
+    })
+}
+
+/// How a finished job is reported.
+pub struct JobReport {
+    /// The job's identity.
+    pub job: ObjectId,
+    /// The published result.
+    pub result: JobResultRecord,
+    /// Chunks loaded from a previous run vs computed now.
+    pub resumed_chunks: usize,
+    /// Chunks computed by this run.
+    pub computed_chunks: usize,
+    /// Execution metrics for the chunks computed by this run.
+    pub metrics: CampaignMetrics,
+}
+
+/// Run `spec` to completion against the store at `store_dir`, sharding
+/// across `worker_procs` spawned worker processes (0 or 1 = in-process).
+/// Idempotent and resumable: published chunks are never recomputed.
+pub fn run_job(store_dir: &Path, spec: &JobSpec, worker_procs: usize) -> Result<JobReport, String> {
+    let store = Store::open(store_dir).map_err(|e| e.to_string())?;
+    let workload = resolve_workload(&spec.workload)?;
+    let started = Instant::now();
+    let outcome = if worker_procs <= 1 {
+        run_in_process(&store, spec, &workload)?
+    } else {
+        run_sharded(&store, spec, &workload, worker_procs)?
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+    let trials = outcome.result.records.len() as u64;
+    let computed_trials = (outcome.computed_chunks as u64)
+        .saturating_mul(spec.chunk_trials.max(1) as u64)
+        .min(trials);
+    let injected = outcome
+        .result
+        .records
+        .iter()
+        .filter(|r| r.landing == Landing::Injected)
+        .count() as u64;
+    let metrics = CampaignMetrics {
+        trials: computed_trials,
+        golden_secs: 0.0,
+        trial_secs: elapsed,
+        trials_per_sec: if elapsed > 0.0 {
+            computed_trials as f64 / elapsed
+        } else {
+            0.0
+        },
+        workers: worker_procs.max(1),
+        per_worker_jobs: Vec::new(),
+        injected_trials: injected,
+        early_exits: 0,
+        restore: None,
+    };
+    Ok(JobReport {
+        job: spec.id(),
+        result: outcome.result,
+        resumed_chunks: outcome.resumed_chunks,
+        computed_chunks: outcome.computed_chunks,
+        metrics,
+    })
+}
+
+/// The ACE reference closure for `spec`: the uninjected run whose report
+/// is published with the job result.
+fn ace_for<'a>(
+    workload: &'a SmtWorkload,
+    spec: &'a JobSpec,
+) -> impl FnOnce() -> Result<AvfReport, String> + 'a {
+    move || {
+        run_workload_on(&machine_for(workload), workload, spec.cfg.budget)
+            .map(|r| r.report)
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn run_in_process(
+    store: &Store,
+    spec: &JobSpec,
+    workload: &SmtWorkload,
+) -> Result<StoredOutcome, String> {
+    let factory = factory_for(workload)?;
+    sim_store::run_campaign_stored(store, spec, &factory, ace_for(workload, spec))
+        .map_err(|e| e.to_string())
+}
+
+/// One spawned worker process and its protocol streams.
+struct Worker {
+    child: Child,
+    stdin: BufWriter<std::process::ChildStdin>,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn spawn_worker(spec: &JobSpec) -> Result<Worker, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(&exe)
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        // Workers must not see the parent's crash hook: the hook models
+        // killing the *writer*, and only the parent writes.
+        .env_remove("SIM_STORE_CRASH_AFTER_CHUNKS")
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", exe.display()))?;
+    let mut stdin = BufWriter::new(child.stdin.take().expect("piped"));
+    let stdout = BufReader::new(child.stdout.take().expect("piped"));
+    write_frame(&mut stdin, spec).map_err(|e| format!("sending spec to worker: {e}"))?;
+    Ok(Worker {
+        child,
+        stdin,
+        stdout,
+    })
+}
+
+fn run_sharded(
+    store: &Store,
+    spec: &JobSpec,
+    workload: &SmtWorkload,
+    worker_procs: usize,
+) -> Result<StoredOutcome, String> {
+    let job = spec.id();
+    if let Some(done) = load_result(store, &job).map_err(|e| e.to_string())? {
+        return Ok(StoredOutcome {
+            result: done,
+            resumed_chunks: plan_chunks(spec.total_trials(), spec.chunk_trials).len(),
+            computed_chunks: 0,
+        });
+    }
+    let _lock = store.lock().map_err(|e| e.to_string())?;
+    if let Some(done) = load_result(store, &job).map_err(|e| e.to_string())? {
+        return Ok(StoredOutcome {
+            result: done,
+            resumed_chunks: plan_chunks(spec.total_trials(), spec.chunk_trials).len(),
+            computed_chunks: 0,
+        });
+    }
+
+    // The parent prepares its own golden: it owns fingerprint
+    // verification against the store and must not trust workers for it.
+    let factory = factory_for(workload)?;
+    let (job, prepared): (ObjectId, PreparedCampaign<TraceGenerator>) =
+        prepare_stored(store, spec, &factory).map_err(|e| e.to_string())?;
+    let expected = encode_record(&GoldenFingerprint::of(&prepared));
+
+    let plans = plan_chunks(prepared.total_trials(), spec.chunk_trials);
+    let mut missing = VecDeque::new();
+    let mut resumed = 0usize;
+    for &plan in &plans {
+        match load_chunk(store, &job, plan).map_err(|e| e.to_string())? {
+            Some(_) => resumed += 1,
+            None => missing.push_back(plan),
+        }
+    }
+
+    let total = plans.len();
+    let procs = worker_procs.min(missing.len().max(1));
+    let queue: Mutex<VecDeque<ChunkPlan>> = Mutex::new(missing);
+    let done = AtomicUsize::new(resumed);
+    let computed = AtomicUsize::new(0);
+
+    let mut workers = Vec::with_capacity(procs);
+    for _ in 0..procs {
+        workers.push(spawn_worker(spec)?);
+    }
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::with_capacity(workers.len());
+        for (wi, mut worker) in workers.into_iter().enumerate() {
+            let queue = &queue;
+            let done = &done;
+            let computed = &computed;
+            let expected = &expected;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let ready: WorkerReady = read_frame(&mut worker.stdout)
+                    .map_err(|e| format!("worker {wi}: {e}"))?
+                    .ok_or_else(|| format!("worker {wi} exited before greeting"))?;
+                if encode_record(&ready.fingerprint) != *expected {
+                    return Err(format!(
+                        "worker {wi} rebuilt a different golden state than the parent; \
+                         refusing to shard across divergent machines"
+                    ));
+                }
+                loop {
+                    let plan = match queue.lock().expect("queue lock").pop_front() {
+                        Some(p) => p,
+                        None => break,
+                    };
+                    write_frame(&mut worker.stdin, &WorkerTask { plan })
+                        .map_err(|e| format!("worker {wi}: {e}"))?;
+                    let reply: WorkerChunk = read_frame(&mut worker.stdout)
+                        .map_err(|e| format!("worker {wi}: {e}"))?
+                        .ok_or_else(|| format!("worker {wi} died running chunk {}", plan.index))?;
+                    let chunk = reply.chunk;
+                    if chunk.job != job
+                        || chunk.index != plan.index
+                        || chunk.start != plan.start
+                        || chunk.records.len() != plan.len
+                    {
+                        return Err(format!(
+                            "worker {wi} returned chunk {} for the wrong slot",
+                            chunk.index
+                        ));
+                    }
+                    store_chunk(store, &chunk).map_err(|e| e.to_string())?;
+                    let so_far = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "sim-serve: job {} chunk {} published ({so_far}/{total})",
+                        short(&job),
+                        plan.index
+                    );
+                    maybe_crash_after(computed.fetch_add(1, Ordering::Relaxed) + 1);
+                }
+                // Closing stdin is the shutdown signal.
+                drop(worker.stdin);
+                let status = worker
+                    .child
+                    .wait()
+                    .map_err(|e| format!("worker {wi}: {e}"))?;
+                if !status.success() {
+                    return Err(format!("worker {wi} exited with {status}"));
+                }
+                Ok(())
+            }));
+        }
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.join().expect("worker thread panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+
+    // Reload every chunk from the store — assembly runs over published
+    // bytes, not in-memory copies, so what we summarize is what survived.
+    let mut chunks: Vec<ChunkRecord> = Vec::with_capacity(plans.len());
+    for &plan in &plans {
+        match load_chunk(store, &job, plan).map_err(|e| e.to_string())? {
+            Some(c) => chunks.push(c),
+            None => return Err(format!("chunk {} missing after shard run", plan.index)),
+        }
+    }
+    let result = assemble_result(store, &job, spec, chunks, ace_for(workload, spec))
+        .map_err(|e| e.to_string())?;
+    Ok(StoredOutcome {
+        result,
+        resumed_chunks: resumed,
+        computed_chunks: computed.load(Ordering::Relaxed),
+    })
+}
+
+/// Worker-process entry point: speak the protocol on stdin/stdout until
+/// the parent closes stdin. Never touches the store.
+pub fn worker_main() -> Result<(), String> {
+    let mut stdin = BufReader::new(std::io::stdin());
+    let mut stdout = BufWriter::new(std::io::stdout());
+    let spec: JobSpec = read_frame(&mut stdin)
+        .map_err(|e| format!("reading job spec: {e}"))?
+        .ok_or("parent closed the pipe before sending a job spec")?;
+    let workload = resolve_workload(&spec.workload)?;
+    let factory = factory_for(&workload)?;
+    let prepared = PreparedCampaign::prepare(&factory, &spec.cfg).map_err(|e| e.to_string())?;
+    let job = spec.id();
+    write_frame(
+        &mut stdout,
+        &WorkerReady {
+            fingerprint: GoldenFingerprint::of(&prepared),
+        },
+    )
+    .map_err(|e| format!("sending greeting: {e}"))?;
+    while let Some(task) =
+        read_frame::<WorkerTask, _>(&mut stdin).map_err(|e| format!("reading task: {e}"))?
+    {
+        let records = run_chunk(&prepared, &factory, task.plan, spec.cfg.workers);
+        write_frame(
+            &mut stdout,
+            &WorkerChunk {
+                chunk: ChunkRecord {
+                    job,
+                    index: task.plan.index,
+                    start: task.plan.start,
+                    records,
+                },
+            },
+        )
+        .map_err(|e| format!("sending chunk {}: {e}", task.plan.index))?;
+    }
+    Ok(())
+}
+
+/// Abbreviated job id for log lines.
+pub fn short(id: &ObjectId) -> String {
+    id.to_hex()[..12].to_string()
+}

@@ -1,0 +1,221 @@
+//! Service-level equivalence tests, driven through the real `sim-serve`
+//! binary (the same code path CI's smoke step exercises):
+//!
+//! * **Shard equivalence** — the same job run in-process, with 1, 2 and
+//!   4 worker processes, into separate stores, publishes byte-identical
+//!   result objects (trial records, summaries, and ACE report included).
+//! * **Crash-resume equivalence** — a run killed after its first
+//!   published chunk (`SIM_STORE_CRASH_AFTER_CHUNKS`, a `kill -9`
+//!   equivalent that leaves the writer lock behind) resumes to a result
+//!   byte-identical to an uninterrupted run.
+//! * **fsck** — a deliberately corrupted object makes `sim-serve fsck`
+//!   fail closed.
+
+use sim_store::{encode_record, JobResultRecord, ObjectId, Store};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const EXE: &str = env!("CARGO_BIN_EXE_sim-serve");
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sim-serve-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The quick campaign every test submits: tiny but real (two targets,
+/// chunk smaller than the trial count so resume has several chunks to
+/// work with).
+fn submit(store: &Path, extra: &[(&str, &str)], procs: usize) -> Output {
+    let mut cmd = Command::new(EXE);
+    cmd.args(["submit", "--store", store.to_str().unwrap()]);
+    cmd.args([
+        "--workload",
+        "2T-MIX-A",
+        "--trials",
+        "4",
+        "--seed",
+        "9",
+        "--targets",
+        "iq,regfile",
+        "--chunk",
+        "3",
+        "--workers",
+        "1",
+    ]);
+    if procs > 1 {
+        cmd.args(["--worker-procs", &procs.to_string()]);
+    }
+    cmd.env_remove("SIM_STORE_CRASH_AFTER_CHUNKS");
+    for (k, v) in extra {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn sim-serve")
+}
+
+/// The single result record a store holds, as raw canonical bytes.
+fn result_bytes(store_dir: &Path) -> Vec<u8> {
+    let store = Store::open(store_dir).unwrap();
+    let refs = store.refs("jobs/").unwrap();
+    let results: Vec<&(String, ObjectId)> = refs
+        .iter()
+        .filter(|(n, _)| n.ends_with("/result"))
+        .collect();
+    assert_eq!(results.len(), 1, "exactly one job result in {refs:?}");
+    store.get(&results[0].1).unwrap()
+}
+
+#[test]
+fn sharding_does_not_change_a_single_byte() {
+    let serial = fresh_dir("serial");
+    let out = submit(&serial, &[], 1);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = result_bytes(&serial);
+
+    for procs in [2, 4] {
+        let dir = fresh_dir(&format!("procs{procs}"));
+        let out = submit(&dir, &[], procs);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            result_bytes(&dir),
+            reference,
+            "{procs} worker processes changed the result bytes"
+        );
+    }
+}
+
+#[test]
+fn kill_minus_nine_then_resume_is_byte_identical() {
+    // Uninterrupted reference.
+    let clean = fresh_dir("clean");
+    let out = submit(&clean, &[], 1);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = result_bytes(&clean);
+
+    // Crash after each possible number of published chunks (the job has
+    // three), resume, and demand identical bytes every time.
+    for crash_after in [1usize, 2] {
+        let dir = fresh_dir(&format!("crash{crash_after}"));
+        let out = submit(
+            &dir,
+            &[("SIM_STORE_CRASH_AFTER_CHUNKS", &crash_after.to_string())],
+            1,
+        );
+        assert!(
+            !out.status.success(),
+            "the crash hook must kill the process"
+        );
+        // The kill leaves the canonical writer's lock behind; resume must
+        // take it over (the recorded pid is dead) and finish the job.
+        assert!(dir.join("LOCK").exists(), "abort should leave LOCK behind");
+        let out = submit(&dir, &[], 1);
+        assert!(
+            out.status.success(),
+            "resume after crash-at-{crash_after}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("{crash_after} chunks resumed")),
+            "resume should reuse the published chunks: {stderr}"
+        );
+        assert_eq!(
+            result_bytes(&dir),
+            reference,
+            "crash after {crash_after} chunks + resume changed the result bytes"
+        );
+    }
+}
+
+#[test]
+fn sharded_crash_then_resume_is_byte_identical() {
+    let clean = fresh_dir("shard-clean");
+    let out = submit(&clean, &[], 1);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = result_bytes(&clean);
+
+    let dir = fresh_dir("shard-crash");
+    let out = submit(&dir, &[("SIM_STORE_CRASH_AFTER_CHUNKS", "1")], 2);
+    assert!(!out.status.success(), "crash hook must kill the parent");
+    let out = submit(&dir, &[], 2);
+    assert!(
+        out.status.success(),
+        "sharded resume: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(result_bytes(&dir), reference);
+}
+
+#[test]
+fn resubmitting_a_finished_job_recomputes_nothing() {
+    let dir = fresh_dir("idem");
+    let out = submit(&dir, &[], 1);
+    assert!(out.status.success());
+    let before = result_bytes(&dir);
+    let out = submit(&dir, &[], 1);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("0 computed"),
+        "second submission should be a pure read: {stderr}"
+    );
+    assert_eq!(result_bytes(&dir), before);
+}
+
+#[test]
+fn fsck_fails_closed_on_a_corrupted_object() {
+    let dir = fresh_dir("fsck");
+    let out = submit(&dir, &[], 1);
+    assert!(out.status.success());
+
+    let fsck = |dir: &Path| {
+        Command::new(EXE)
+            .args(["fsck", "--store", dir.to_str().unwrap()])
+            .output()
+            .expect("spawn fsck")
+    };
+    assert!(fsck(&dir).status.success(), "healthy store must pass fsck");
+
+    // Flip one bit in one stored object.
+    let store = Store::open(&dir).unwrap();
+    let (_, id) = store.refs("jobs/").unwrap().into_iter().next().unwrap();
+    let hex = id.to_hex();
+    let path = dir.join("objects").join(&hex[..2]).join(&hex[2..]);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let out = fsck(&dir);
+    assert!(!out.status.success(), "fsck must fail on corruption");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fail closed"), "{stderr}");
+}
+
+#[test]
+fn result_record_decodes_from_the_store() {
+    let dir = fresh_dir("decode");
+    let out = submit(&dir, &[], 1);
+    assert!(out.status.success());
+    let bytes = result_bytes(&dir);
+    let result: JobResultRecord = sim_store::decode_record(&bytes).unwrap();
+    assert_eq!(result.records.len(), 8, "4 trials x 2 targets");
+    assert_eq!(result.per_target.len(), 2);
+    assert_eq!(bytes, encode_record(&result), "round-trip byte identity");
+}

@@ -1,0 +1,548 @@
+//! Chunk-grained persisted campaigns: run an SFI campaign with every
+//! completed chunk of trials published to the store, so a crashed or
+//! killed run resumes from the last published chunk and — by the trial
+//! index determinism contract — finishes with bytes identical to an
+//! uninterrupted run.
+//!
+//! # Store layout per job
+//!
+//! A job is identified by the content address of its [`JobSpec`] record,
+//! so the same spec always names the same job. Under `refs/`:
+//!
+//! ```text
+//! jobs/<job-id>/spec        the JobSpec record
+//! jobs/<job-id>/golden      GoldenFingerprint of the prepared campaign
+//! jobs/<job-id>/chunks/NNNNNN   ChunkRecord per completed chunk
+//! jobs/<job-id>/result      JobResultRecord, published last
+//! ```
+//!
+//! # Resume semantics
+//!
+//! Chunks publish atomically and carry their job id, chunk index, and
+//! trial range; resuming re-prepares the campaign, verifies the golden
+//! fingerprint (fail closed on divergence), loads every published chunk,
+//! and computes only the missing ones. Trial `i` samples its fault from
+//! `splitmix64(seed, i)` alone, so which process computes a chunk — or
+//! how many times a prefix was recomputed before a crash — cannot change
+//! the bytes of any record.
+
+use crate::codec::Codec;
+use crate::record::{decode_record, encode_record, CodecError};
+use crate::snapshot::GoldenFingerprint;
+use crate::store::{ObjectId, Store, StoreError, WriterLock};
+use crate::wire::{Decoder, Encoder, WireError};
+use avf_core::AvfReport;
+use sim_inject::{
+    summarize, CampaignConfig, InjectError, PreparedCampaign, TargetSummary, TrialRecord,
+};
+use sim_pipeline::SmtCore;
+use sim_workload::InstSource;
+use std::fmt;
+
+/// Default trials per persisted chunk: small enough that a kill loses
+/// little work, large enough that publish overhead stays negligible.
+pub const DEFAULT_CHUNK_TRIALS: usize = 32;
+
+/// A campaign job: everything that determines its results.
+///
+/// The job's identity is the content address of this record, so two
+/// specs differing in any field are different jobs with disjoint chunk
+/// namespaces.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable label (part of the identity on purpose: two
+    /// submissions with different names are tracked separately).
+    pub name: String,
+    /// Workload name, resolved by the embedding binary's workload table.
+    pub workload: String,
+    /// The campaign to run.
+    pub cfg: CampaignConfig,
+    /// Trials per persisted chunk.
+    pub chunk_trials: usize,
+}
+
+impl Codec for JobSpec {
+    const TAG: u16 = 12;
+    const NAME: &'static str = "JobSpec";
+
+    fn encode_body(&self, e: &mut Encoder) {
+        e.put_str(&self.name);
+        e.put_str(&self.workload);
+        self.cfg.encode_body(e);
+        e.put_usize(self.chunk_trials);
+    }
+
+    fn decode_body(d: &mut Decoder<'_>) -> Result<JobSpec, WireError> {
+        Ok(JobSpec {
+            name: d.get_str()?,
+            workload: d.get_str()?,
+            cfg: CampaignConfig::decode_body(d)?,
+            chunk_trials: d.get_usize()?,
+        })
+    }
+}
+
+impl JobSpec {
+    /// The job's identity: the content address of its canonical record.
+    pub fn id(&self) -> ObjectId {
+        ObjectId::of(&encode_record(self))
+    }
+
+    /// Total trials the job runs.
+    pub fn total_trials(&self) -> usize {
+        self.cfg.targets.len() * self.cfg.trials_per_structure
+    }
+}
+
+/// Ref name of a job's spec record.
+pub fn spec_ref(job: &ObjectId) -> String {
+    format!("jobs/{job}/spec")
+}
+
+/// Ref name of a job's golden fingerprint.
+pub fn golden_ref(job: &ObjectId) -> String {
+    format!("jobs/{job}/golden")
+}
+
+/// Ref name of a job's chunk `index`.
+pub fn chunk_ref(job: &ObjectId, index: usize) -> String {
+    format!("jobs/{job}/chunks/{index:06}")
+}
+
+/// Ref name of a job's final result.
+pub fn result_ref(job: &ObjectId) -> String {
+    format!("jobs/{job}/result")
+}
+
+/// One contiguous range of trial indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Chunk index (dense, from 0).
+    pub index: usize,
+    /// First trial index in the chunk.
+    pub start: usize,
+    /// Number of trials in the chunk.
+    pub len: usize,
+}
+
+/// Split `total` trials into chunks of `chunk_trials` (the last chunk may
+/// be short). `chunk_trials` is clamped to at least 1.
+pub fn plan_chunks(total: usize, chunk_trials: usize) -> Vec<ChunkPlan> {
+    let per = chunk_trials.max(1);
+    (0..total.div_ceil(per))
+        .map(|index| ChunkPlan {
+            index,
+            start: index * per,
+            len: per.min(total - index * per),
+        })
+        .collect()
+}
+
+/// One completed, published chunk of trials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// The owning job.
+    pub job: ObjectId,
+    /// Chunk index within the job's plan.
+    pub index: usize,
+    /// First trial index.
+    pub start: usize,
+    /// The completed trials, in index order.
+    pub records: Vec<TrialRecord>,
+}
+
+impl Codec for ChunkRecord {
+    const TAG: u16 = 13;
+    const NAME: &'static str = "ChunkRecord";
+
+    fn encode_body(&self, e: &mut Encoder) {
+        self.job.put(e);
+        e.put_usize(self.index);
+        e.put_usize(self.start);
+        e.put_usize(self.records.len());
+        for r in &self.records {
+            r.encode_body(e);
+        }
+    }
+
+    fn decode_body(d: &mut Decoder<'_>) -> Result<ChunkRecord, WireError> {
+        let job = ObjectId::get(d)?;
+        let index = d.get_usize()?;
+        let start = d.get_usize()?;
+        let n = d.get_usize()?;
+        let mut records = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            records.push(TrialRecord::decode_body(d)?);
+        }
+        Ok(ChunkRecord {
+            job,
+            index,
+            start,
+            records,
+        })
+    }
+}
+
+/// A job's final, published result.
+#[derive(Debug, Clone)]
+pub struct JobResultRecord {
+    /// The owning job.
+    pub job: ObjectId,
+    /// Every trial, in index order.
+    pub records: Vec<TrialRecord>,
+    /// Per-target outcome summaries with SFI estimates.
+    pub per_target: Vec<TargetSummary>,
+    /// The ACE reference report over the same window.
+    pub report: AvfReport,
+}
+
+impl Codec for JobResultRecord {
+    const TAG: u16 = 14;
+    const NAME: &'static str = "JobResultRecord";
+
+    fn encode_body(&self, e: &mut Encoder) {
+        self.job.put(e);
+        e.put_usize(self.records.len());
+        for r in &self.records {
+            r.encode_body(e);
+        }
+        e.put_usize(self.per_target.len());
+        for t in &self.per_target {
+            t.encode_body(e);
+        }
+        self.report.encode_body(e);
+    }
+
+    fn decode_body(d: &mut Decoder<'_>) -> Result<JobResultRecord, WireError> {
+        let job = ObjectId::get(d)?;
+        let n = d.get_usize()?;
+        let mut records = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            records.push(TrialRecord::decode_body(d)?);
+        }
+        let n = d.get_usize()?;
+        let mut per_target = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            per_target.push(TargetSummary::decode_body(d)?);
+        }
+        Ok(JobResultRecord {
+            job,
+            records,
+            per_target,
+            report: AvfReport::decode_body(d)?,
+        })
+    }
+}
+
+/// A stored-campaign failure.
+#[derive(Debug)]
+pub enum CampaignStoreError {
+    /// The store itself failed.
+    Store(StoreError),
+    /// A stored record failed to decode.
+    Codec(CodecError),
+    /// The campaign could not be prepared or run.
+    Inject(InjectError),
+    /// Stored state contradicts the job being resumed (wrong job id,
+    /// golden divergence, chunk shape mismatch). Always fatal.
+    Diverged(String),
+    /// The ACE reference run failed.
+    Ace(String),
+}
+
+impl fmt::Display for CampaignStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignStoreError::Store(e) => write!(f, "store: {e}"),
+            CampaignStoreError::Codec(e) => write!(f, "stored record: {e}"),
+            CampaignStoreError::Inject(e) => write!(f, "campaign: {e}"),
+            CampaignStoreError::Diverged(s) => write!(f, "refusing to resume: {s}"),
+            CampaignStoreError::Ace(s) => write!(f, "ACE reference run: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignStoreError {}
+
+impl From<StoreError> for CampaignStoreError {
+    fn from(e: StoreError) -> CampaignStoreError {
+        CampaignStoreError::Store(e)
+    }
+}
+
+impl From<CodecError> for CampaignStoreError {
+    fn from(e: CodecError) -> CampaignStoreError {
+        CampaignStoreError::Codec(e)
+    }
+}
+
+impl From<InjectError> for CampaignStoreError {
+    fn from(e: InjectError) -> CampaignStoreError {
+        CampaignStoreError::Inject(e)
+    }
+}
+
+/// How a stored campaign finished.
+#[derive(Debug)]
+pub struct StoredOutcome {
+    /// The final result (freshly computed or loaded from the store).
+    pub result: JobResultRecord,
+    /// Chunks loaded from a previous run.
+    pub resumed_chunks: usize,
+    /// Chunks computed by this run.
+    pub computed_chunks: usize,
+}
+
+/// Load, validate and return chunk `plan` of `job` if it is already
+/// published; `Ok(None)` when absent.
+pub fn load_chunk(
+    store: &Store,
+    job: &ObjectId,
+    plan: ChunkPlan,
+) -> Result<Option<ChunkRecord>, CampaignStoreError> {
+    let Some(id) = store.get_ref(&chunk_ref(job, plan.index))? else {
+        return Ok(None);
+    };
+    let chunk: ChunkRecord = decode_record(&store.get(&id)?)?;
+    if chunk.job != *job || chunk.index != plan.index || chunk.start != plan.start {
+        return Err(CampaignStoreError::Diverged(format!(
+            "chunk {} belongs to job {} [index {}, start {}], expected job {} \
+             [index {}, start {}]",
+            plan.index, chunk.job, chunk.index, chunk.start, job, plan.index, plan.start
+        )));
+    }
+    if chunk.records.len() != plan.len {
+        return Err(CampaignStoreError::Diverged(format!(
+            "chunk {} holds {} trials, plan says {}",
+            plan.index,
+            chunk.records.len(),
+            plan.len
+        )));
+    }
+    Ok(Some(chunk))
+}
+
+/// Publish `chunk` and point its ref at it.
+pub fn store_chunk(store: &Store, chunk: &ChunkRecord) -> Result<(), CampaignStoreError> {
+    let id = store.put(&encode_record(chunk))?;
+    store.set_ref(&chunk_ref(&chunk.job, chunk.index), &id)?;
+    Ok(())
+}
+
+/// Crash hook for the crash-equivalence tests: when
+/// `SIM_STORE_CRASH_AFTER_CHUNKS=N` is set and this run has published
+/// `fresh` new chunks, die exactly like `kill -9` would (no unwinding, no
+/// cleanup, the LOCK file stays behind).
+pub fn maybe_crash_after(fresh: usize) {
+    if let Ok(v) = std::env::var("SIM_STORE_CRASH_AFTER_CHUNKS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if fresh >= n {
+                eprintln!("sim-store: SIM_STORE_CRASH_AFTER_CHUNKS={n} reached, aborting");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+/// Prepare `spec`'s campaign and reconcile it with the store: publish the
+/// spec, then publish or verify the golden fingerprint (fail closed on
+/// divergence with a previous run).
+pub fn prepare_stored<S, F>(
+    store: &Store,
+    spec: &JobSpec,
+    factory: &F,
+) -> Result<(ObjectId, PreparedCampaign<S>), CampaignStoreError>
+where
+    S: InstSource + Clone,
+    F: Fn() -> SmtCore<S>,
+{
+    let job = spec.id();
+    let prepared = PreparedCampaign::prepare(factory, &spec.cfg)?;
+    let fingerprint = GoldenFingerprint::of(&prepared);
+    let spec_id = store.put(&encode_record(spec))?;
+    store.set_ref(&spec_ref(&job), &spec_id)?;
+    match store.get_ref(&golden_ref(&job))? {
+        Some(id) => {
+            let stored: GoldenFingerprint = decode_record(&store.get(&id)?)?;
+            stored
+                .verify(&prepared)
+                .map_err(CampaignStoreError::Diverged)?;
+            // Byte-level belt and braces: identical fingerprints encode
+            // identically, so the stored object must be what we'd write.
+            if id != ObjectId::of(&encode_record(&fingerprint)) {
+                return Err(CampaignStoreError::Diverged(
+                    "stored golden fingerprint encodes differently from the rebuilt one"
+                        .to_string(),
+                ));
+            }
+        }
+        None => {
+            let id = store.put(&encode_record(&fingerprint))?;
+            store.set_ref(&golden_ref(&job), &id)?;
+        }
+    }
+    Ok((job, prepared))
+}
+
+/// Run `spec` against `store`: resume from published chunks, compute and
+/// publish the missing ones, then assemble, summarize, attach the ACE
+/// reference report from `ace`, and publish the result.
+///
+/// Holds the store's writer lock for the duration. Idempotent: if the
+/// result is already published it is returned as-is (after validating it
+/// belongs to this job), and a rerun after any interruption produces
+/// byte-identical records.
+pub fn run_campaign_stored<S, F, A>(
+    store: &Store,
+    spec: &JobSpec,
+    factory: &F,
+    ace: A,
+) -> Result<StoredOutcome, CampaignStoreError>
+where
+    S: InstSource + Clone + Sync,
+    F: Fn() -> SmtCore<S> + Sync,
+    A: FnOnce() -> Result<AvfReport, String>,
+{
+    let job = spec.id();
+    if let Some(done) = load_result(store, &job)? {
+        return Ok(StoredOutcome {
+            result: done,
+            resumed_chunks: plan_chunks(spec.total_trials(), spec.chunk_trials).len(),
+            computed_chunks: 0,
+        });
+    }
+    let _lock: WriterLock = store.lock()?;
+    // Someone else may have finished between the check and the lock.
+    if let Some(done) = load_result(store, &job)? {
+        return Ok(StoredOutcome {
+            result: done,
+            resumed_chunks: plan_chunks(spec.total_trials(), spec.chunk_trials).len(),
+            computed_chunks: 0,
+        });
+    }
+    let (job, prepared) = prepare_stored(store, spec, factory)?;
+    let plans = plan_chunks(prepared.total_trials(), spec.chunk_trials);
+    let mut chunks: Vec<ChunkRecord> = Vec::with_capacity(plans.len());
+    let mut resumed = 0usize;
+    let mut computed = 0usize;
+    for plan in plans {
+        let chunk = match load_chunk(store, &job, plan)? {
+            Some(c) => {
+                resumed += 1;
+                c
+            }
+            None => {
+                let records = run_chunk(&prepared, factory, plan, spec.cfg.workers);
+                let chunk = ChunkRecord {
+                    job,
+                    index: plan.index,
+                    start: plan.start,
+                    records,
+                };
+                store_chunk(store, &chunk)?;
+                computed += 1;
+                maybe_crash_after(computed);
+                chunk
+            }
+        };
+        chunks.push(chunk);
+    }
+    let result = assemble_result(store, &job, spec, chunks, ace)?;
+    Ok(StoredOutcome {
+        result,
+        resumed_chunks: resumed,
+        computed_chunks: computed,
+    })
+}
+
+/// Execute one chunk's trials on `workers` threads; records come back in
+/// trial-index order regardless of scheduling.
+pub fn run_chunk<S, F>(
+    prepared: &PreparedCampaign<S>,
+    factory: &F,
+    plan: ChunkPlan,
+    workers: usize,
+) -> Vec<TrialRecord>
+where
+    S: InstSource + Clone + Sync,
+    F: Fn() -> SmtCore<S> + Sync,
+{
+    sim_exec::run_indexed(plan.len, workers, |i| {
+        prepared.run_index(factory, plan.start + i).record
+    })
+}
+
+/// Assemble validated `chunks` into the job's final record, attach the
+/// ACE report, publish, and return it.
+pub fn assemble_result<A>(
+    store: &Store,
+    job: &ObjectId,
+    spec: &JobSpec,
+    chunks: Vec<ChunkRecord>,
+    ace: A,
+) -> Result<JobResultRecord, CampaignStoreError>
+where
+    A: FnOnce() -> Result<AvfReport, String>,
+{
+    let mut records = Vec::with_capacity(spec.total_trials());
+    for chunk in &chunks {
+        if chunk.start != records.len() {
+            return Err(CampaignStoreError::Diverged(format!(
+                "chunk {} starts at trial {}, assembly is at {}",
+                chunk.index,
+                chunk.start,
+                records.len()
+            )));
+        }
+        records.extend_from_slice(&chunk.records);
+    }
+    let per_target = summarize(&spec.cfg.targets, spec.cfg.trials_per_structure, &records);
+    let report = ace().map_err(CampaignStoreError::Ace)?;
+    let result = JobResultRecord {
+        job: *job,
+        records,
+        per_target,
+        report,
+    };
+    let id = store.put(&encode_record(&result))?;
+    store.set_ref(&result_ref(job), &id)?;
+    Ok(result)
+}
+
+/// Load and validate a job's published result, if any.
+pub fn load_result(
+    store: &Store,
+    job: &ObjectId,
+) -> Result<Option<JobResultRecord>, CampaignStoreError> {
+    let Some(id) = store.get_ref(&result_ref(job))? else {
+        return Ok(None);
+    };
+    let result: JobResultRecord = decode_record(&store.get(&id)?)?;
+    if result.job != *job {
+        return Err(CampaignStoreError::Diverged(format!(
+            "result under job {job} belongs to job {}",
+            result.job
+        )));
+    }
+    Ok(Some(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_plans_tile_the_trial_space() {
+        for (total, per) in [(0, 4), (1, 4), (8, 4), (9, 4), (7, 100), (5, 0)] {
+            let plans = plan_chunks(total, per);
+            let mut next = 0;
+            for (i, p) in plans.iter().enumerate() {
+                assert_eq!(p.index, i);
+                assert_eq!(p.start, next);
+                assert!(p.len > 0);
+                next += p.len;
+            }
+            assert_eq!(next, total, "total {total} per {per}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Record framing: every stored object is one self-describing,
+//! self-checking record.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "SIMS"
+//! 4       2     format version (little-endian)
+//! 6       2     type tag (little-endian, see `codec`)
+//! 8       4     body length (little-endian)
+//! 12      n     body (type-specific, see `wire`)
+//! 12+n    8     FNV-1a 64 checksum of bytes [0, 12+n)
+//! ```
+//!
+//! Decoding fails closed on every violation: wrong magic, unknown
+//! version, unexpected tag, length that disagrees with the buffer, a
+//! checksum mismatch, or a body that decodes to fewer/more bytes than the
+//! header promised. The checksum is a cheap integrity tripwire for every
+//! record (including ones travelling over the worker protocol, which are
+//! never content-hashed); the store separately verifies SHA-256 content
+//! addresses on read.
+
+use crate::codec::Codec;
+use crate::wire::{Decoder, Encoder, WireError};
+use std::fmt;
+
+/// First four bytes of every record.
+pub const MAGIC: [u8; 4] = *b"SIMS";
+
+/// Current format version. Bump on any layout change; decoders reject
+/// every version they were not built for (deterministic codecs cannot
+/// guess their way through unknown layouts).
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Frame header size in bytes (before the body).
+pub const HEADER_LEN: usize = 12;
+
+/// Checksum trailer size in bytes (after the body).
+pub const TRAILER_LEN: usize = 8;
+
+/// FNV-1a 64-bit — the per-record checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A record-level decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer is shorter than an empty record.
+    TooShort(usize),
+    /// The magic bytes are wrong — not a record at all.
+    BadMagic([u8; 4]),
+    /// The format version is not [`FORMAT_VERSION`].
+    BadVersion(u16),
+    /// The record's tag is not the expected type's.
+    WrongTag {
+        /// Tag the caller asked to decode.
+        expected: u16,
+        /// Tag found in the header.
+        found: u16,
+    },
+    /// No known type carries this tag.
+    UnknownTag(u16),
+    /// The header's body length disagrees with the buffer.
+    LengthMismatch {
+        /// Body length promised by the header.
+        promised: u32,
+        /// Body bytes actually present.
+        present: usize,
+    },
+    /// The FNV checksum does not match the record bytes.
+    ChecksumMismatch,
+    /// The body failed to decode.
+    Body(WireError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::TooShort(n) => write!(f, "{n} bytes is shorter than an empty record"),
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:02x?} (not a sim-store record)"),
+            CodecError::BadVersion(v) => {
+                write!(f, "format version {v} (this build reads {FORMAT_VERSION})")
+            }
+            CodecError::WrongTag { expected, found } => {
+                write!(f, "record tag {found} where tag {expected} was expected")
+            }
+            CodecError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+            CodecError::LengthMismatch { promised, present } => {
+                write!(
+                    f,
+                    "header promises {promised} body bytes, {present} present"
+                )
+            }
+            CodecError::ChecksumMismatch => write!(f, "record checksum mismatch"),
+            CodecError::Body(e) => write!(f, "body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<WireError> for CodecError {
+    fn from(e: WireError) -> CodecError {
+        CodecError::Body(e)
+    }
+}
+
+/// Encode `value` as a framed, checksummed record.
+pub fn encode_record<T: Codec>(value: &T) -> Vec<u8> {
+    let mut body = Encoder::new();
+    value.encode_body(&mut body);
+    let body = body.into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&T::TAG.to_le_bytes());
+    out.extend_from_slice(&(u32::try_from(body.len()).expect("body < 4 GiB")).to_le_bytes());
+    out.extend_from_slice(&body);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// A validated frame: header parsed, checksum verified, body not yet
+/// decoded.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    /// The record's type tag.
+    pub tag: u16,
+    /// The undecoded body bytes.
+    pub body: &'a [u8],
+}
+
+/// Parse and validate a record's framing (magic, version, length,
+/// checksum) without decoding the body.
+pub fn parse_frame(bytes: &[u8]) -> Result<Frame<'_>, CodecError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(CodecError::TooShort(bytes.len()));
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let tag = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    let promised = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let present = bytes.len() - HEADER_LEN - TRAILER_LEN;
+    if promised as usize != present {
+        return Err(CodecError::LengthMismatch { promised, present });
+    }
+    let sum_at = bytes.len() - TRAILER_LEN;
+    let stored = u64::from_le_bytes(bytes[sum_at..].try_into().unwrap());
+    if fnv1a64(&bytes[..sum_at]) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(Frame {
+        tag,
+        body: &bytes[HEADER_LEN..sum_at],
+    })
+}
+
+/// Decode a framed record of type `T`, verifying magic, version, tag,
+/// length, checksum, and that the body decodes exactly.
+pub fn decode_record<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
+    let frame = parse_frame(bytes)?;
+    if frame.tag != T::TAG {
+        return Err(CodecError::WrongTag {
+            expected: T::TAG,
+            found: frame.tag,
+        });
+    }
+    let mut d = Decoder::new(frame.body);
+    let v = T::decode_body(&mut d)?;
+    d.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Decoder;
+
+    struct Probe(u64);
+    impl Codec for Probe {
+        const TAG: u16 = 0x7FFF;
+        const NAME: &'static str = "Probe";
+        fn encode_body(&self, e: &mut Encoder) {
+            e.put_u64(self.0);
+        }
+        fn decode_body(d: &mut Decoder<'_>) -> Result<Probe, WireError> {
+            Ok(Probe(d.get_u64()?))
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = encode_record(&Probe(42));
+        assert_eq!(decode_record::<Probe>(&bytes).unwrap().0, 42);
+        assert_eq!(bytes, encode_record(&Probe(42)), "encoding is a function");
+    }
+
+    #[test]
+    fn every_flipped_bit_is_caught() {
+        let bytes = encode_record(&Probe(0x0123_4567_89AB_CDEF));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut c = bytes.clone();
+                c[byte] ^= 1 << bit;
+                assert!(
+                    decode_record::<Probe>(&c).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught() {
+        let bytes = encode_record(&Probe(7));
+        for n in 0..bytes.len() {
+            assert!(decode_record::<Probe>(&bytes[..n]).is_err(), "len {n}");
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

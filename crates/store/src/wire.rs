@@ -1,0 +1,282 @@
+//! Wire primitives: a hand-rolled, fixed-layout binary encoding.
+//!
+//! Every scalar is little-endian and fixed-width; every sequence is an
+//! explicit `u64` length followed by its elements; `f64` travels as its
+//! IEEE-754 bit pattern. There is no padding, no alignment, and no
+//! implementation-defined ordering anywhere in the format, so encoding is
+//! a pure function of the value — the property the content-addressed
+//! store's `hash(encoding) = key` invariant rests on.
+//!
+//! Decoding is fail-closed: a truncated buffer, an out-of-range enum tag,
+//! a non-0/1 boolean or invalid UTF-8 is an error, never a guess.
+
+use std::fmt;
+
+/// A low-level decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the value needed.
+        needed: usize,
+        /// Bytes left in the buffer.
+        have: usize,
+    },
+    /// An enum tag byte holds no known variant.
+    BadEnum {
+        /// The enum being decoded.
+        ty: &'static str,
+        /// The rejected tag.
+        value: u64,
+    },
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+    /// A string's bytes are not valid UTF-8.
+    BadUtf8,
+    /// A length or index does not fit the host `usize`.
+    IntOutOfRange(u64),
+    /// The value decoded cleanly but left unread bytes behind.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated: value needs {needed} bytes, {have} left")
+            }
+            WireError::BadEnum { ty, value } => write!(f, "no {ty} variant has tag {value}"),
+            WireError::BadBool(b) => write!(f, "boolean byte {b} is neither 0 nor 1"),
+            WireError::BadUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            WireError::IntOutOfRange(v) => write!(f, "integer {v} does not fit usize"),
+            WireError::TrailingBytes(n) => write!(f, "{n} bytes left after the value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder over a byte vector.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (bit-exact round trip,
+    /// NaN payloads included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Append raw bytes with a `u64` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Append raw bytes with no length prefix (fixed-size fields whose
+    /// length is part of the format, e.g. object ids).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless every byte was consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` and narrow it to `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, WireError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| WireError::IntOutOfRange(v))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a boolean; bytes other than 0/1 are rejected.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    /// Read a `u64`-length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.get_usize()?;
+        self.take(n)
+    }
+
+    /// Read a `u64`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read exactly `n` raw bytes (fixed-size fields).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(0xAB);
+        e.put_u16(0xBEEF);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX);
+        e.put_f64(-0.0);
+        e.put_f64(f64::NAN);
+        e.put_bool(true);
+        e.put_str("héllo");
+        e.put_bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 0xAB);
+        assert_eq!(d.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.get_f64().unwrap().is_nan());
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert_eq!(d.get_bytes().unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_fails_closed() {
+        let mut e = Encoder::new();
+        e.put_u64(7);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..5]);
+        assert!(matches!(d.get_u64(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_trailing_fail_closed() {
+        let mut d = Decoder::new(&[2]);
+        assert_eq!(d.get_bool(), Err(WireError::BadBool(2)));
+        let d = Decoder::new(&[0, 0]);
+        assert_eq!(d.finish(), Err(WireError::TrailingBytes(2)));
+    }
+}

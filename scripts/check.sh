@@ -16,6 +16,13 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+# The campaign service's crash/resume/fsck contract, end to end against
+# the real binaries: killed+resumed stores must be byte-identical to
+# clean ones, validate_avf --store must agree with the serial path, and
+# fsck must fail closed on corruption (DESIGN.md §5h).
+echo "==> campaign service smoke"
+scripts/service_smoke.sh
+
 # The committed experiments_output.txt must match what the binaries
 # actually print — it silently rotted once before PR 4. Regenerating is
 # the expensive step (a full default-scale experiment pass), so it can be

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Campaign-service smoke: the end-to-end crash/resume/fsck contract,
+# driven through the real binaries (see DESIGN.md §5h).
+#
+#   1. Submit a quick campaign into store A (clean reference).
+#   2. Submit the same campaign into store B with the deterministic
+#      crash hook armed — the writer aborts after its first published
+#      chunk, leaving a stale LOCK behind.
+#   3. Resubmit into store B; the resume must take over the lock, reuse
+#      the published chunk, and finish.
+#   4. Stores A and B must be byte-identical (objects AND refs): a kill
+#      -9 changed nothing about the final bytes.
+#   5. validate_avf --store must agree with the plain serial
+#      validate_avf on the rendered comparison table, and --resume must
+#      reuse the store.
+#   6. Corrupt one object in B; fsck must fail closed.
+#
+# Usage: scripts/service_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE=(cargo run --release -q -p sim-serve --)
+SUBMIT=(submit --workload 2T-MIX-A --trials 4 --seed 9
+  --targets iq,regfile --chunk 3 --workers 1)
+VALIDATE=(cargo run --release -q --bin validate_avf --
+  --workload 2T-MIX-A --trials 4 --seed 9 --workers 1)
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+A="$work/store-a" B="$work/store-b" C="$work/store-c"
+
+echo "==> service smoke: clean reference submit"
+"${SERVE[@]}" "${SUBMIT[@]}" --store "$A"
+
+echo "==> service smoke: submit with crash hook (abort after 1 chunk)"
+if SIM_STORE_CRASH_AFTER_CHUNKS=1 "${SERVE[@]}" "${SUBMIT[@]}" --store "$B"; then
+  echo "crash hook did not fire" >&2
+  exit 1
+fi
+[[ -f "$B/LOCK" ]] || { echo "abort should leave LOCK behind" >&2; exit 1; }
+
+echo "==> service smoke: resume after crash"
+"${SERVE[@]}" "${SUBMIT[@]}" --store "$B"
+
+echo "==> service smoke: killed+resumed store is byte-identical to clean"
+diff -r "$A/objects" "$B/objects"
+diff -r "$A/refs" "$B/refs"
+
+echo "==> service smoke: validate_avf --store matches plain serial run"
+"${VALIDATE[@]}" > "$work/serial.txt"
+"${VALIDATE[@]}" --store "$C" > "$work/stored.txt"
+# The golden window, every comparison row (structure, SFI estimate, CI,
+# ACE AVF, verdict), and the outcome tallies must agree; wall-clock
+# metric lines differ by design.
+rows='^(golden window|outcomes:|IQ|ROB|LSQ|Reg|FU|DL1|DTLB|ITLB)'
+grep -E "$rows" "$work/serial.txt" > "$work/serial-rows.txt"
+grep -E "$rows" "$work/stored.txt" > "$work/stored-rows.txt"
+diff -u "$work/serial-rows.txt" "$work/stored-rows.txt"
+echo "==> service smoke: validate_avf --resume reuses the store"
+"${VALIDATE[@]}" --store "$C" --resume > /dev/null
+
+echo "==> service smoke: fsck passes clean, fails closed on corruption"
+"${SERVE[@]}" fsck --store "$B"
+obj="$(find "$B/objects" -type f | sort | head -1)"
+printf 'X' | dd of="$obj" bs=1 seek=12 conv=notrunc status=none
+if "${SERVE[@]}" fsck --store "$B"; then
+  echo "fsck passed a corrupted store" >&2
+  exit 1
+fi
+
+echo "service smoke passed."

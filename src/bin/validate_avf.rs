@@ -21,7 +21,9 @@
 //! the time series; combined with `--trace-out`, the AVF windows become
 //! counter tracks on the same timeline.
 
-use smt_avf::experiments::campaign::{default_campaign, validate_workload};
+use smt_avf::experiments::campaign::{
+    default_campaign, validate_workload, validate_workload_stored,
+};
 use smt_avf::{ExperimentScale, TraceSettings};
 use std::process::ExitCode;
 
@@ -35,6 +37,9 @@ struct Options {
     replay_from_zero: bool,
     trace_out: Option<String>,
     telemetry_window: Option<u64>,
+    store: Option<String>,
+    resume: bool,
+    chunk: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -48,6 +53,9 @@ fn parse_args() -> Result<Options, String> {
         replay_from_zero: false,
         trace_out: None,
         telemetry_window: None,
+        store: None,
+        resume: false,
+        chunk: 0, // 0 = sim-store default
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -85,6 +93,13 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--checkpoints: {e}"))?
             }
             "--replay-from-zero" => opts.replay_from_zero = true,
+            "--store" => opts.store = Some(value("--store")?),
+            "--resume" => opts.resume = true,
+            "--chunk" => {
+                opts.chunk = value("--chunk")?
+                    .parse()
+                    .map_err(|e| format!("--chunk: {e}"))?
+            }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--telemetry-window" => {
                 let n: u64 = value("--telemetry-window")?
@@ -99,6 +114,7 @@ fn parse_args() -> Result<Options, String> {
                 return Err("usage: validate_avf [--workload NAME] [--trials N] \
                      [--seed S] [--workers W] [--scale quick|default] \
                      [--checkpoints K] [--replay-from-zero] \
+                     [--store DIR] [--resume] [--chunk N] \
                      [--trace-out PATH] [--telemetry-window N]"
                     .to_string())
             }
@@ -107,6 +123,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.trials == 0 {
         return Err("--trials must be positive".to_string());
+    }
+    if opts.resume && opts.store.is_none() {
+        return Err("--resume requires --store".to_string());
     }
     Ok(opts)
 }
@@ -222,7 +241,23 @@ fn main() -> ExitCode {
         },
     );
 
-    let v = match validate_workload(&workload, &campaign) {
+    let v = match &opts.store {
+        Some(dir) => {
+            println!(
+                "persisting to store {dir}{}",
+                if opts.resume { " (resuming)" } else { "" }
+            );
+            validate_workload_stored(
+                &workload,
+                &campaign,
+                std::path::Path::new(dir),
+                opts.chunk,
+                opts.resume,
+            )
+        }
+        None => validate_workload(&workload, &campaign),
+    };
+    let v = match v {
         Ok(v) => v,
         Err(e) => {
             eprintln!("validation failed: {e}");

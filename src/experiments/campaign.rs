@@ -11,10 +11,14 @@
 use crate::runner::{run_workload_on, workload_generators, RunError};
 use crate::scale::ExperimentScale;
 use avf_core::{compare, ComparisonRow};
-use sim_inject::{run_campaign, CampaignConfig, CampaignResult, InjectError};
+use sim_inject::{
+    run_campaign, CampaignConfig, CampaignMetrics, CampaignResult, InjectError, Landing,
+};
 use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::{SimResult, SmtCore};
+use sim_store::{decode_record, GoldenFingerprint, JobSpec, Store, DEFAULT_CHUNK_TRIALS};
 use sim_workload::SmtWorkload;
+use std::path::Path;
 
 /// An error raised while cross-validating a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +27,9 @@ pub enum ValidationError {
     Run(RunError),
     /// The fault-injection campaign failed.
     Inject(InjectError),
+    /// The campaign store refused the run (corruption, lock contention,
+    /// or a resume whose golden state diverged).
+    Store(String),
 }
 
 impl std::fmt::Display for ValidationError {
@@ -30,6 +37,7 @@ impl std::fmt::Display for ValidationError {
         match self {
             ValidationError::Run(e) => write!(f, "reference run failed: {e}"),
             ValidationError::Inject(e) => write!(f, "injection campaign failed: {e}"),
+            ValidationError::Store(e) => write!(f, "campaign store: {e}"),
         }
     }
 }
@@ -105,6 +113,114 @@ pub fn validate_workload(
     };
     let result = run_campaign(factory, campaign)?;
     let ace = run_workload_on(&cfg, workload, campaign.budget)?;
+    let rows = compare(&ace.report, &result.sfi_points());
+    Ok(SfiValidation {
+        workload: workload.clone(),
+        ace,
+        campaign: result,
+        rows,
+    })
+}
+
+/// The job spec `validate_avf --store` submits for `workload` +
+/// `campaign`: shared between the CLI and the service so both name (and
+/// therefore resume) the same job.
+pub fn stored_job_spec(
+    workload: &SmtWorkload,
+    campaign: &CampaignConfig,
+    chunk_trials: usize,
+) -> JobSpec {
+    JobSpec {
+        name: format!("validate-{}", workload.name),
+        workload: workload.name.clone(),
+        cfg: campaign.clone(),
+        chunk_trials: if chunk_trials == 0 {
+            DEFAULT_CHUNK_TRIALS
+        } else {
+            chunk_trials
+        },
+    }
+}
+
+/// [`validate_workload`], persisted: run the campaign through the
+/// content-addressed store at `store_dir`, chunk by chunk, resuming any
+/// chunks a previous (possibly killed) run already published. The
+/// returned validation is byte-identical to an uninterrupted
+/// [`validate_workload`] of the same configuration in its `records` and
+/// `per_target` fields; `metrics` reflects only the work this run did.
+///
+/// With `require_existing` (the CLI's `--resume`), the store must already
+/// hold state for this exact job — a typo'd flag resulting in a fresh
+/// job id fails loudly instead of silently recomputing from scratch.
+pub fn validate_workload_stored(
+    workload: &SmtWorkload,
+    campaign: &CampaignConfig,
+    store_dir: &Path,
+    chunk_trials: usize,
+    require_existing: bool,
+) -> Result<SfiValidation, ValidationError> {
+    workload_generators(workload)?;
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(workload.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let factory = || {
+        SmtCore::new(
+            cfg.clone(),
+            workload_generators(workload).expect("profiles resolved above"),
+        )
+    };
+    let store = Store::open(store_dir).map_err(|e| ValidationError::Store(e.to_string()))?;
+    let spec = stored_job_spec(workload, campaign, chunk_trials);
+    let job = spec.id();
+    if require_existing {
+        let existing = store
+            .refs(&format!("jobs/{job}/"))
+            .map_err(|e| ValidationError::Store(e.to_string()))?;
+        if existing.is_empty() {
+            return Err(ValidationError::Store(format!(
+                "--resume: store has no state for job {job} (name {}); \
+                 a resumed run must match the original workload, trials, seed, \
+                 scale, checkpoints and chunk size exactly",
+                spec.name
+            )));
+        }
+    }
+    let ace = run_workload_on(&cfg, workload, campaign.budget)?;
+    let report = ace.report.clone();
+    let outcome = sim_store::run_campaign_stored(&store, &spec, &factory, move || Ok(report))
+        .map_err(|e| ValidationError::Store(e.to_string()))?;
+    // The golden window travels in the job's stored fingerprint (published
+    // by whichever run prepared the campaign first).
+    let golden_id = store
+        .get_ref(&sim_store::campaign::golden_ref(&job))
+        .map_err(|e| ValidationError::Store(e.to_string()))?
+        .ok_or_else(|| ValidationError::Store("job has a result but no golden".into()))?;
+    let golden: GoldenFingerprint = store
+        .get(&golden_id)
+        .map_err(|e| ValidationError::Store(e.to_string()))
+        .and_then(|b| decode_record(&b).map_err(|e| ValidationError::Store(e.to_string())))?;
+    let injected = outcome
+        .result
+        .records
+        .iter()
+        .filter(|r| r.landing == Landing::Injected)
+        .count() as u64;
+    let result = CampaignResult {
+        window: (golden.golden.start, golden.golden.end),
+        per_target: outcome.result.per_target,
+        metrics: CampaignMetrics {
+            trials: outcome.result.records.len() as u64,
+            golden_secs: 0.0,
+            trial_secs: 0.0,
+            trials_per_sec: 0.0,
+            workers: campaign.workers.max(1),
+            per_worker_jobs: Vec::new(),
+            injected_trials: injected,
+            early_exits: 0,
+            restore: None,
+        },
+        records: outcome.result.records,
+    };
     let rows = compare(&ace.report, &result.sfi_points());
     Ok(SfiValidation {
         workload: workload.clone(),
