@@ -13,6 +13,15 @@
 //! `"cycles_per_sec":` value, which the perfbench schema places in the
 //! `step` section before any other `*cycles_per_sec` key — so the guard
 //! stays dependency-free like the rest of the workspace.
+//!
+//! When the candidate carries a `lanes` section (the lane-parallel batched
+//! SFI timing), the guard additionally requires
+//! `"bit_identical_to_oracle": true` and a speedup of at least
+//! `BENCH_GUARD_MIN_LANES_SPEEDUP` (default 0.8 — on the smoke budget the
+//! fixed golden-prep cost dominates both paths and the ratio sits near
+//! 1.0, so the floor only trips when batching becomes a loss far outside
+//! that noise; the ≥1.5x claim is asserted by full perfbench runs where
+//! timing noise can't fake a regression).
 
 use std::process::ExitCode;
 
@@ -31,6 +40,57 @@ fn step_cycles_per_sec(json: &str, path: &str) -> f64 {
         .collect();
     num.parse()
         .unwrap_or_else(|e| panic!("{path}: unparsable cycles_per_sec {num:?}: {e}"))
+}
+
+/// The number right after `key` inside `section` (the text from the
+/// section's opening key to its closing brace), if the section exists.
+fn section_value(json: &str, section: &str, key: &str, path: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{section}\": {{"))?;
+    let body = &json[at..];
+    let end = body.find('}').unwrap_or(body.len());
+    let body = &body[..end];
+    let key = format!("\"{key}\":");
+    let at = body
+        .find(&key)
+        .unwrap_or_else(|| panic!("{path}: \"{section}\" section has no {key} key"));
+    let num: String = body[at + key.len()..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e')
+        .collect();
+    Some(
+        num.parse()
+            .unwrap_or_else(|e| panic!("{path}: unparsable {key} {num:?}: {e}")),
+    )
+}
+
+/// Gate the candidate's `lanes` section, if present: the batched campaign
+/// must have been proven bit-identical, and its speedup must clear the
+/// floor. A candidate without the section (PERFBENCH_LANES=0) passes — the
+/// guard checks what was measured, it doesn't force the measurement.
+fn check_lanes(json: &str, path: &str) -> Result<(), String> {
+    let Some(speedup) = section_value(json, "lanes", "speedup", path) else {
+        return Ok(());
+    };
+    let lanes_at = json.find("\"lanes\": {").expect("section located above");
+    let body = &json[lanes_at..];
+    let body = &body[..body.find('}').unwrap_or(body.len())];
+    if !body.contains("\"bit_identical_to_oracle\": true") {
+        return Err(format!(
+            "{path}: lanes section lacks \"bit_identical_to_oracle\": true"
+        ));
+    }
+    let min_speedup: f64 = std::env::var("BENCH_GUARD_MIN_LANES_SPEEDUP")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.8);
+    println!("bench_guard: lanes.speedup {speedup:.3} (floor {min_speedup}, bit-identical)");
+    if speedup < min_speedup {
+        return Err(format!(
+            "{path}: lane-batch speedup {speedup:.3} fell below the {min_speedup} floor"
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -57,6 +117,10 @@ fn main() -> ExitCode {
              {:.0}% below the committed baseline",
             (1.0 - min_ratio) * 100.0
         );
+        return ExitCode::FAILURE;
+    }
+    if let Err(msg) = check_lanes(&read(candidate_path), candidate_path) {
+        eprintln!("bench_guard: FAIL — {msg}");
         return ExitCode::FAILURE;
     }
     println!("bench_guard: OK");

@@ -24,6 +24,12 @@
 //!    oracle) and on, asserting the two `SimResult`s bit-identical before
 //!    the speedup is trusted. Memory-bound mixes show the largest
 //!    multiple; full runs assert ≥1.5x on `4T-MEM-A`.
+//! 6. **Lane-parallel batched SFI** — the same checkpointed campaign
+//!    timed scalar (`lanes = 0`, one core per trial) and batched
+//!    (`lanes = 32`, trials riding a shared follower with lazy forking),
+//!    asserting record-for-record identical results first. Both runs use
+//!    one worker so the ratio isolates the lane engine from pool scaling;
+//!    full runs assert ≥1.5x.
 //!
 //! The JSON also records the machine context that makes parallel numbers
 //! interpretable: `std::thread::available_parallelism()` and the
@@ -42,6 +48,8 @@
 //! * `PERFBENCH_SFI` — set to `0` to skip the SFI section entirely
 //! * `PERFBENCH_SFI_TRIALS` — trials per structure for the SFI timing
 //!   (default 50)
+//! * `PERFBENCH_LANES` — set to `0` to skip the lane-batch section
+//!   (it shares `PERFBENCH_SFI_TRIALS`)
 //! * `PERFBENCH_TRACE_REPS` — repetitions per tracing configuration
 //!   (default 3, clamped to at least 3)
 //! * `PERFBENCH_FF` — set to `0` to skip the fast-forward section
@@ -204,6 +212,53 @@ fn sfi_wallclock(trials: usize) -> (f64, f64, usize) {
     );
     assert_eq!(oracle.per_target, checkpointed.per_target);
     (oracle_secs, checkpointed_secs, cc.checkpoints)
+}
+
+/// Time the checkpointed SFI campaign scalar (`lanes = 0`) and batched
+/// (`lanes = LANE_WIDTH`) and prove the records identical before returning
+/// `(scalar_secs, batched_secs)`.
+///
+/// One worker on both sides: the ratio measures the lane engine alone, not
+/// pool scaling. The two dimensions compose — `run_trials_batched` hands
+/// whole batches to the same `sim_exec` pool the scalar path uses.
+fn lanes_wallclock(trials: usize) -> (f64, f64) {
+    const LANE_WIDTH: usize = 32;
+    let w = table2()
+        .into_iter()
+        .find(|w| w.name == "2T-MIX-A")
+        .expect("bundled workload");
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(w.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let factory = || {
+        SmtCore::new(
+            cfg.clone(),
+            workload_generators(&w).expect("bundled workload"),
+        )
+    };
+    let mut cc = default_campaign(&w, trials, 12, ExperimentScale::quick());
+    cc.workers = 1;
+
+    cc.lanes = 0;
+    let t0 = Instant::now();
+    let scalar = run_campaign(factory, &cc).expect("scalar campaign");
+    let scalar_secs = t0.elapsed().as_secs_f64();
+
+    cc.lanes = LANE_WIDTH;
+    let t0 = Instant::now();
+    let batched = run_campaign(factory, &cc).expect("batched campaign");
+    let batched_secs = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        scalar.window, batched.window,
+        "batched campaign measured a different golden window"
+    );
+    assert_eq!(
+        scalar.records, batched.records,
+        "lane-batched campaign diverged from the scalar oracle"
+    );
+    assert_eq!(scalar.per_target, batched.per_target);
+    (scalar_secs, batched_secs)
 }
 
 fn main() {
@@ -412,6 +467,35 @@ fn main() {
         );
     }
 
+    // Lane-parallel batched SFI: scalar vs 32-lane lockstep on the same
+    // checkpointed campaign, proven record-identical before the speedup is
+    // recorded. Full runs hold the ≥1.5x floor (quick CI budgets are too
+    // noisy for a wall-clock assertion to mean anything).
+    let mut lanes_json = String::from("null");
+    if env_u64("PERFBENCH_LANES", 1) != 0 && sfi_trials > 0 {
+        let (scalar_secs, batched_secs) = lanes_wallclock(sfi_trials);
+        let lanes_speedup = scalar_secs / batched_secs;
+        println!(
+            "lanes: {sfi_trials} trials/structure — scalar {scalar_secs:.2}s, \
+             32-lane batched {batched_secs:.2}s ({lanes_speedup:.2}x, bit-identical)"
+        );
+        if sfi_trials >= 50 {
+            assert!(
+                lanes_speedup >= 1.5,
+                "lane-batch speedup {lanes_speedup:.2}x fell below the 1.5x floor"
+            );
+        }
+        lanes_json = format!(
+            "{{\n    \"workload\": \"2T-MIX-A\",\n    \"scale\": \"quick\",\n    \
+             \"trials_per_structure\": {sfi_trials},\n    \
+             \"lane_width\": 32,\n    \
+             \"scalar_secs\": {scalar_secs:.3},\n    \
+             \"batched_secs\": {batched_secs:.3},\n    \
+             \"speedup\": {lanes_speedup:.3},\n    \
+             \"bit_identical_to_oracle\": true\n  }}"
+        );
+    }
+
     let json = format!(
         "{{\n  \"schema\": \"smt-avf/perfbench/v1\",\n  \"commit\": \"{}\",\n  \
          \"hardware\": {{\n    \"available_parallelism\": {parallelism},\n    \
@@ -424,7 +508,8 @@ fn main() {
          \"trace\": {trace_json},\n  \
          \"fastforward\": {fastforward_json},\n  \
          \"sweep\": {sweep_json},\n  \
-         \"sfi\": {sfi_json}\n}}\n",
+         \"sfi\": {sfi_json},\n  \
+         \"lanes\": {lanes_json}\n}}\n",
         git_sha(),
         sim_exec::JOB_CHUNK,
         w.name,

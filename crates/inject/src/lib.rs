@@ -57,7 +57,7 @@ use avf_core::{SfiPoint, StructureId};
 use sim_model::rng::splitmix64;
 use sim_model::{MachineConfig, SimRng};
 pub use sim_pipeline::{Fault, FaultTarget, Landing, RetiredInst};
-use sim_pipeline::{SimBudget, SmtCore};
+use sim_pipeline::{FaultProbe, LaneBatch, SimBudget, SmtCore};
 use sim_workload::InstSource;
 
 /// An error preparing or executing a fault-injection campaign.
@@ -244,6 +244,18 @@ pub struct CampaignConfig {
     /// snapshot capture) bounds the clock jumps — so turning it off only
     /// buys the cycle-by-cycle oracle the equivalence tests diff against.
     pub fast_forward: bool,
+    /// Lane-parallel batched trials: group up to this many trials per
+    /// shared golden follower core (see [`sim_pipeline::LaneBatch`]),
+    /// clamped to 64. `0` (the default) runs every trial on the scalar
+    /// per-trial path, which is the oracle the batched path is proven
+    /// bit-identical against. Requires the checkpointed golden path
+    /// (ignored under [`replay_from_zero`]). Purely an execution knob:
+    /// records are bit-identical for any value, so it is deliberately
+    /// excluded from the campaign store's job identity (a stored campaign
+    /// hashes and resumes the same regardless of lane count).
+    ///
+    /// [`replay_from_zero`]: CampaignConfig::replay_from_zero
+    pub lanes: usize,
     /// The structures to inject into.
     pub targets: Vec<FaultTarget>,
 }
@@ -265,6 +277,7 @@ impl CampaignConfig {
             replay_from_zero: false,
             progress: false,
             fast_forward: true,
+            lanes: 0,
             targets: vec![
                 FaultTarget::Iq,
                 FaultTarget::Rob,
@@ -931,6 +944,290 @@ impl<S: InstSource + Clone> PreparedCampaign<S> {
     }
 }
 
+/// Group the trial range `[start, start + len)` into lane batches: trials
+/// are bucketed by the golden snapshot they restore, ordered by
+/// `(injection cycle, index)` within a bucket — a batch's follower visits
+/// each lane's injection cycle in nondecreasing order — and chunked into
+/// groups of at most `lanes`. A pure function of the prepared state, so
+/// the batch plan (and with it every record) is identical for any worker
+/// count.
+fn plan_batches<S: InstSource + Clone>(
+    prepared: &PreparedCampaign<S>,
+    start: usize,
+    len: usize,
+    lanes: usize,
+) -> Vec<Vec<usize>> {
+    let ckpt = prepared
+        .checkpointed
+        .as_ref()
+        .expect("batched planning requires the checkpointed golden path");
+    let mut by_ckpt: Vec<Vec<(u64, usize)>> = vec![Vec::new(); ckpt.checkpoints.len()];
+    for i in start..start + len {
+        let cycle = prepared.sample(i).cycle;
+        let k = ckpt.checkpoints.partition_point(|(at, _)| *at <= cycle);
+        debug_assert!(k > 0, "sampled cycle precedes the first snapshot");
+        by_ckpt[k - 1].push((cycle, i));
+    }
+    let mut batches = Vec::new();
+    for mut group in by_ckpt {
+        group.sort_unstable();
+        for chunk in group.chunks(lanes) {
+            batches.push(chunk.iter().map(|&(_, i)| i).collect());
+        }
+    }
+    batches
+}
+
+/// A trial riding the shared follower: its lane plus the scalar trial
+/// loop's convergence-check schedule (per rider, exactly as
+/// [`finish_trial`] keeps it per core).
+struct Rider {
+    lane: usize,
+    check_step: u64,
+    next_check: u64,
+}
+
+/// Execute one lane batch: restore the shared snapshot once, step the
+/// follower through the golden timing, and resolve every lane — metadata
+/// strikes ride the follower's lane masks, everything else forks to the
+/// scalar [`finish_trial`] path.
+///
+/// Equivalence with the scalar path, lane by lane:
+/// * the follower's clock is bounded by every rider's externally
+///   scheduled cycles (injection, hang verdict, convergence checks), and
+///   `step_fast_bounded` histories are bound-sequence-independent, so
+///   each rider observes its verdict conditions on exactly the cycles its
+///   scalar trial would stop on — extra stops for *other* riders are
+///   harmless because every condition is a function of the cycle;
+/// * a riding lane's timing is the golden timing (taint/poison is pure
+///   metadata), so its retired stream equals the golden stream whenever
+///   its corrupt count is zero — the scalar per-thread prefix diff can
+///   never fire for it, and the scalar convergence predicate reduces to
+///   [`LaneBatch::lane_clean`];
+/// * a forked lane starts from a clone of the follower, which is
+///   bit-identical to a scalar restore of the same snapshot stepped to
+///   the same cycle.
+fn run_one_batch<S: InstSource + Clone>(
+    prepared: &PreparedCampaign<S>,
+    indices: &[usize],
+) -> Vec<TrialExec> {
+    let ckpt = prepared
+        .checkpointed
+        .as_ref()
+        .expect("batched execution requires the checkpointed golden path");
+    let golden = &ckpt.golden;
+    let hang_cycles = prepared.cfg.hang_cycles;
+    let cycle_cap = golden.end * 2 + hang_cycles;
+    let samples: Vec<SampledTrial> = indices.iter().map(|&i| prepared.sample(i)).collect();
+
+    let follower = ckpt.nearest_at_or_before(samples[0].cycle).clone();
+    let mut batch = LaneBatch::new(follower, indices.len());
+    let mut out: Vec<Option<TrialExec>> = vec![None; indices.len()];
+    let mut riders: Vec<Rider> = Vec::new();
+    let mut pending = 0usize;
+
+    let make_exec = |k: usize, landing: Landing, outcome: Outcome, early_exit: bool| TrialExec {
+        record: TrialRecord {
+            target: samples[k].target,
+            trial: indices[k] % prepared.cfg.trials_per_structure,
+            entry: samples[k].fault.entry,
+            bit: samples[k].fault.bit,
+            cycle: samples[k].cycle,
+            landing,
+            outcome,
+        },
+        early_exit,
+        restore_distance: prepared.restore_distance(samples[k].cycle),
+    };
+
+    loop {
+        // Inject every trial whose cycle has arrived. The step bound never
+        // overshoots a pending injection cycle, so the follower sits on
+        // exactly the cycle a scalar trial would inject at, and probes /
+        // forks observe exactly the scalar pre-injection state (probing
+        // and lane activation never mutate the follower's timing state).
+        while pending < samples.len() && batch.cycle() >= samples[pending].cycle {
+            debug_assert_eq!(batch.cycle(), samples[pending].cycle);
+            let k = pending;
+            pending += 1;
+            match batch.probe(&samples[k].fault) {
+                FaultProbe::Empty => {
+                    out[k] = Some(make_exec(k, Landing::Empty, Outcome::Masked, false));
+                }
+                FaultProbe::Benign => {
+                    out[k] = Some(make_exec(k, Landing::Benign, Outcome::Masked, false));
+                }
+                FaultProbe::Detected => {
+                    out[k] = Some(make_exec(k, Landing::Detected, Outcome::Detected, false));
+                }
+                probe @ (FaultProbe::TaintSlot { .. } | FaultProbe::PoisonReg { .. }) => {
+                    batch.activate(k, probe);
+                    riders.push(Rider {
+                        lane: k,
+                        check_step: CONVERGENCE_CHECK_START,
+                        next_check: batch.cycle() + CONVERGENCE_CHECK_START,
+                    });
+                }
+                FaultProbe::Diverges => {
+                    // Fork: clone the follower and run the existing scalar
+                    // trial tail (which re-steps zero cycles and injects
+                    // for real).
+                    let run = finish_trial(
+                        batch.fork(),
+                        golden,
+                        samples[k].fault,
+                        samples[k].cycle,
+                        hang_cycles,
+                    );
+                    out[k] = Some(make_exec(k, run.landing, run.outcome, run.early_exit));
+                }
+            }
+        }
+
+        // The follower reached the commit target: the scalar loop exits
+        // here without further hang/convergence checks, so finalize every
+        // remaining rider by the completed-trial classification.
+        if batch.total_committed() >= golden.target_committed {
+            for r in riders.drain(..) {
+                let outcome = if batch.corrupt(r.lane) > 0 {
+                    Outcome::Sdc
+                } else if batch.residual(r.lane) {
+                    Outcome::Latent
+                } else {
+                    Outcome::Masked
+                };
+                out[r.lane] = Some(make_exec(r.lane, Landing::Injected, outcome, false));
+            }
+            break;
+        }
+
+        // Per-rider verdict checks at this stop cycle, in the scalar
+        // trial loop's order: hang watchdog first, then the convergence
+        // early-exit when this rider's check cycle has arrived.
+        let now = batch.cycle();
+        let gap = batch.cycles_since_last_commit();
+        riders.retain_mut(|r| {
+            if now >= cycle_cap || gap > hang_cycles {
+                out[r.lane] = Some(make_exec(
+                    r.lane,
+                    Landing::Injected,
+                    Outcome::Detected,
+                    false,
+                ));
+                return false;
+            }
+            if now >= r.next_check {
+                r.check_step = (r.check_step * 2).min(CONVERGENCE_CHECK_MAX);
+                r.next_check = now + r.check_step;
+                if batch.lane_clean(r.lane) {
+                    out[r.lane] = Some(make_exec(r.lane, Landing::Injected, Outcome::Masked, true));
+                    return false;
+                }
+            }
+            true
+        });
+        if riders.is_empty() && pending >= samples.len() {
+            break; // every lane resolved; nothing left to ride for
+        }
+        if riders.is_empty() {
+            // Converged riders leave all-zero masks behind; drop the
+            // event feed until the next injection arms it again.
+            batch.disarm_if_idle();
+        }
+
+        // Clamp the next clock advance to the earliest externally
+        // scheduled cycle of any unresolved trial (same rule as the
+        // scalar loop, over all riders at once).
+        let last_commit = now - gap;
+        let mut bound = cycle_cap.min(last_commit + hang_cycles + 1);
+        if pending < samples.len() {
+            bound = bound.min(samples[pending].cycle);
+        }
+        for r in &riders {
+            bound = bound.min(r.next_check);
+        }
+        batch.step_bounded(bound, golden.target_committed);
+    }
+
+    out.into_iter()
+        .map(|o| o.expect("every lane resolved"))
+        .collect()
+}
+
+/// Execute the trial range `[start, start + len)` with
+/// [`CampaignConfig::lanes`]-way batching, returning execs in trial-index
+/// order — bit-identical to the scalar per-trial path (and to itself at
+/// any worker count; a batch is the pool's job unit and results scatter
+/// by global index). Falls back to the scalar path when `lanes == 0` or
+/// the campaign was prepared without checkpoints.
+pub fn run_trials_batched<S, F>(
+    prepared: &PreparedCampaign<S>,
+    factory: &F,
+    start: usize,
+    len: usize,
+    workers: usize,
+) -> Vec<TrialExec>
+where
+    S: InstSource + Clone + Sync,
+    F: Fn() -> SmtCore<S> + Sync,
+{
+    run_trials_batched_stats(prepared, factory, start, len, workers).0
+}
+
+/// [`run_trials_batched`] plus the worker pool's scheduling stats.
+pub fn run_trials_batched_stats<S, F>(
+    prepared: &PreparedCampaign<S>,
+    factory: &F,
+    start: usize,
+    len: usize,
+    workers: usize,
+) -> (Vec<TrialExec>, sim_exec::PoolStats)
+where
+    S: InstSource + Clone + Sync,
+    F: Fn() -> SmtCore<S> + Sync,
+{
+    let lanes = prepared.cfg.lanes.min(64);
+    if lanes == 0 || prepared.checkpointed.is_none() || len == 0 {
+        return sim_exec::run_indexed_stats(len, workers, |i| {
+            prepared.run_index(factory, start + i)
+        });
+    }
+    let batches = plan_batches(prepared, start, len, lanes);
+
+    // Heartbeat bookkeeping (stderr only; results are unaffected).
+    let t0 = std::time::Instant::now();
+    let completed = std::sync::atomic::AtomicU64::new(0);
+    let heartbeat_stride = (len as u64 / 20).max(1);
+
+    let (per_batch, stats) = sim_exec::run_indexed_stats(batches.len(), workers, |b| {
+        let execs = run_one_batch(prepared, &batches[b]);
+        if prepared.cfg.progress {
+            let done = completed
+                .fetch_add(execs.len() as u64, std::sync::atomic::Ordering::Relaxed)
+                + execs.len() as u64;
+            if done / heartbeat_stride != (done - execs.len() as u64) / heartbeat_stride
+                || done == len as u64
+            {
+                let secs = t0.elapsed().as_secs_f64();
+                let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+                eprintln!("[sfi] {done}/{len} trials ({rate:.1}/s, {lanes} lanes)");
+            }
+        }
+        execs
+    });
+    let mut out: Vec<Option<TrialExec>> = vec![None; len];
+    for (b, execs) in per_batch.into_iter().enumerate() {
+        for (k, exec) in execs.into_iter().enumerate() {
+            out[batches[b][k] - start] = Some(exec);
+        }
+    }
+    let out = out
+        .into_iter()
+        .map(|o| o.expect("batches tile the trial range"))
+        .collect();
+    (out, stats)
+}
+
 /// Per-structure tallies over `records`, which must hold
 /// `trials_per_structure` consecutive records per target in campaign
 /// order (the order [`run_campaign`] and the chunked store path produce).
@@ -995,19 +1292,25 @@ where
     // vector bit-identical for any worker count — and, because a restored
     // snapshot steps bit-identically to a from-zero replay, also identical
     // between the checkpointed and oracle paths. The per-trial metrics
-    // (early exit, restore distance) ride alongside each record.
-    let (trials, pool_stats) = sim_exec::run_indexed_stats(total, cfg.workers, |i| {
-        let exec = prepared.run_index(&factory, i);
-        if cfg.progress {
-            let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-            if done.is_multiple_of(heartbeat_stride) || done == total as u64 {
-                let secs = trials_t0.elapsed().as_secs_f64();
-                let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-                eprintln!("[sfi] {done}/{total} trials ({rate:.1}/s)");
+    // (early exit, restore distance) ride alongside each record. With
+    // `lanes > 0` the batched engine groups trials onto shared follower
+    // cores — same records, proven by the lane-equivalence tests.
+    let (trials, pool_stats) = if cfg.lanes > 0 && !cfg.replay_from_zero {
+        run_trials_batched_stats(&prepared, &factory, 0, total, cfg.workers)
+    } else {
+        sim_exec::run_indexed_stats(total, cfg.workers, |i| {
+            let exec = prepared.run_index(&factory, i);
+            if cfg.progress {
+                let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if done.is_multiple_of(heartbeat_stride) || done == total as u64 {
+                    let secs = trials_t0.elapsed().as_secs_f64();
+                    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+                    eprintln!("[sfi] {done}/{total} trials ({rate:.1}/s)");
+                }
             }
-        }
-        exec
-    });
+            exec
+        })
+    };
     let trial_secs = trials_t0.elapsed().as_secs_f64();
 
     let mut records = Vec::with_capacity(trials.len());

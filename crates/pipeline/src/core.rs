@@ -1,7 +1,8 @@
 //! The SMT core: fetch → dispatch → issue → execute → commit, with
 //! deferred ACE-bit banking at every structure.
 
-use crate::inject::{Fault, FaultState, FaultTarget, Landing, RetiredInst};
+use crate::inject::{Fault, FaultProbe, FaultState, FaultTarget, Landing, RetiredInst};
+use crate::lanes::LaneEvent;
 use crate::resources::{FreeList, FuPool, IqEntry, IssueQueue, RegTracker};
 use crate::result::{SimResult, ThreadStats};
 use crate::slot::{FrontEndInst, Slot, SlotState};
@@ -110,6 +111,14 @@ pub struct SmtCore<S = TraceGenerator> {
     tracer: Option<Tracer>,
     /// Fault-injection bookkeeping (poisoned registers, commit log).
     faults: FaultState,
+    /// Lane-batch event feed: when enabled, every taint/poison-relevant
+    /// mutation (dispatch alloc, issue, writeback, commit, squash) pushes
+    /// one [`LaneEvent`] so a `LaneBatch` can mirror the metadata for N
+    /// lanes at once. `None` (the default) is a single branch per site;
+    /// recording never feeds back into timing, so enabling it cannot
+    /// perturb the simulated history (the lane equivalence tests pin
+    /// this).
+    lane_events: Option<Vec<LaneEvent>>,
     /// Reusable per-cycle buffers (see [`Scratch`]).
     scratch: Scratch,
     /// Idle-cycle fast-forwarding: when the core is provably quiescent,
@@ -275,6 +284,7 @@ impl<S: InstSource> SmtCore<S> {
             #[cfg(feature = "trace")]
             tracer: None,
             faults: FaultState::new(cfg2.0, cfg2.1),
+            lane_events: None,
             scratch: Scratch::default(),
             fast_forward: true,
         }
@@ -705,9 +715,32 @@ impl<S: InstSource> SmtCore<S> {
     }
 
     fn commit_one(&mut self, t: usize, now: u64) {
+        // Lane feed: the slab index is recycled by the pop, so capture it
+        // first (only when the feed is armed — it is `None` otherwise).
+        let lane_slab = if self.lane_events.is_some() {
+            self.threads[t].rob.front().copied()
+        } else {
+            None
+        };
         let slot = self.threads[t]
             .pop_front_slot()
             .expect("commit on empty ROB");
+        if let Some(slab) = lane_slab {
+            let old = slot.old_phys.map(|p| {
+                (
+                    slot.inst.dest.expect("old mapping without dest").is_fp(),
+                    p.0,
+                )
+            });
+            self.lane_events
+                .as_mut()
+                .expect("lane_slab captured only when the feed is armed")
+                .push(LaneEvent::Commit {
+                    thread: t as u8,
+                    slab,
+                    old,
+                });
+        }
         let id = ThreadId(t as u8);
         let inst = &slot.inst;
         assert!(!inst.wrong_path, "wrong-path op reached commit");
@@ -851,6 +884,14 @@ impl<S: InstSource> SmtCore<S> {
                 // A tainted producer writes a corrupt value; a clean one
                 // heals whatever the register held before.
                 self.faults.poison(fp)[p.index()] = tainted;
+                if let Some(buf) = &mut self.lane_events {
+                    buf.push(LaneEvent::Writeback {
+                        thread: t as u8,
+                        slab: idx,
+                        fp,
+                        reg: p.0,
+                    });
+                }
             }
             // Resolve mispredicted branches: squash the wrong path.
             if inst.op.is_branch() && mispredicted {
@@ -963,6 +1004,21 @@ impl<S: InstSource> SmtCore<S> {
             // fields the rest of the loop needs instead of cloning the slot.
             let inst = slot.inst;
             let srcs_phys = slot.srcs_phys;
+            if let Some(buf) = &mut self.lane_events {
+                let srcs = [0, 1].map(|i| {
+                    srcs_phys[i].map(|p| {
+                        (
+                            inst.srcs[i].expect("phys src without arch src").is_fp(),
+                            p.0,
+                        )
+                    })
+                });
+                buf.push(LaneEvent::Issue {
+                    thread: t as u8,
+                    slab: e.slot,
+                    srcs,
+                });
+            }
             self.record_reads(&inst, &srcs_phys, now);
             let th = &mut self.threads[t];
             th.iq_used -= 1;
@@ -1076,7 +1132,29 @@ impl<S: InstSource> SmtCore<S> {
             if back.ftag <= boundary {
                 break;
             }
+            // Lane feed: slab index is recycled by the pop — capture first.
+            let lane_slab = if self.lane_events.is_some() {
+                self.threads[t].rob.back().copied()
+            } else {
+                None
+            };
             let slot = self.threads[t].pop_back_slot().expect("just peeked");
+            if let Some(slab) = lane_slab {
+                let dest = slot.dest_phys.map(|p| {
+                    (
+                        slot.inst.dest.expect("phys dest without arch dest").is_fp(),
+                        p.0,
+                    )
+                });
+                self.lane_events
+                    .as_mut()
+                    .expect("lane_slab captured only when the feed is armed")
+                    .push(LaneEvent::Squash {
+                        thread: t as u8,
+                        slab,
+                        dest,
+                    });
+            }
             let inst = &slot.inst;
             let k = DeallocKind::Squashed;
             // Occupancy-only banking for every structure the op touched.
@@ -1297,6 +1375,12 @@ impl<S: InstSource> SmtCore<S> {
                     // A reallocated register no longer holds the old
                     // (possibly corrupt) value.
                     self.faults.poison(arch.is_fp())[p.index()] = false;
+                    if let Some(buf) = &mut self.lane_events {
+                        buf.push(LaneEvent::Alloc {
+                            fp: arch.is_fp(),
+                            reg: p.0,
+                        });
+                    }
                     slot.dest_phys = Some(p);
                     slot.old_phys = Some(self.threads[t].rename[arch.index()]);
                     self.threads[t].rename[arch.index()] = p;
@@ -2009,6 +2093,243 @@ impl<S: InstSource> SmtCore<S> {
         } else {
             // FU control (op select, stage valid bits).
             self.detect()
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Read-only fault probing and the lane event feed (see `crate::lanes`)
+    // -----------------------------------------------------------------
+
+    /// Predict what [`SmtCore::inject_fault`] would do *without mutating
+    /// anything*. The decision tree mirrors `inject_fault` branch for
+    /// branch; every arm whose injection rewrites state beyond the
+    /// taint/poison metadata reports [`FaultProbe::Diverges`] instead.
+    /// The lane-equivalence tests pin probe/inject agreement.
+    pub fn probe_fault(&self, fault: &Fault) -> FaultProbe {
+        match fault.target {
+            FaultTarget::Iq => self.probe_iq(fault.entry, fault.bit),
+            FaultTarget::Rob => self.probe_rob(fault.entry, fault.bit),
+            FaultTarget::LsqTag => self.probe_lsq(fault.entry, fault.bit),
+            FaultTarget::RegFile => self.probe_regfile(fault.entry),
+            FaultTarget::Fu => self.probe_fu(fault.entry, fault.bit),
+            // Cache and TLB strikes mutate hierarchy contents (or perturb
+            // timing through refills): never maskable per-lane, even when
+            // the strike would land on an empty entry — the fork decides.
+            FaultTarget::Dl1Data | FaultTarget::Dl1Tag | FaultTarget::Dtlb | FaultTarget::Itlb => {
+                FaultProbe::Diverges
+            }
+        }
+    }
+
+    fn probe_iq(&self, entry: u64, bit: u64) -> FaultProbe {
+        let Some(&e) = self.iq.entries().get(entry as usize) else {
+            return FaultProbe::Empty;
+        };
+        let t = e.thread.index();
+        let slot = &self.threads[t].slab[e.slot as usize];
+        debug_assert_eq!(slot.ftag, e.ftag, "IQ entry without ROB slot");
+        if slot.inst.wrong_path {
+            return FaultProbe::Benign;
+        }
+        let b = bit % budgets::iq::ENTRY;
+        let src_end = budgets::iq::OPCODE + 2 * budgets::iq::SRC_TAG;
+        let dest_end = src_end + budgets::iq::DEST_TAG;
+        let imm_end = dest_end + budgets::iq::IMMEDIATE;
+        if b < budgets::iq::OPCODE {
+            FaultProbe::Detected
+        } else if b < src_end {
+            let idx = ((b - budgets::iq::OPCODE) / budgets::iq::SRC_TAG) as usize;
+            let tag_bit = (b - budgets::iq::OPCODE) % budgets::iq::SRC_TAG;
+            let Some(p) = slot.srcs_phys[idx] else {
+                return FaultProbe::Benign;
+            };
+            let pool = if slot.inst.srcs[idx].expect("arch src").is_fp() {
+                self.cfg.fp_phys_regs
+            } else {
+                self.cfg.int_phys_regs
+            };
+            if (p.0 ^ (1 << tag_bit.min(15))) as u32 % pool == p.0 as u32 {
+                FaultProbe::Benign
+            } else {
+                // Injection rewrites the renamed source tag: the op waits
+                // on (and reads) a different register — timing changes.
+                FaultProbe::Diverges
+            }
+        } else if b < dest_end {
+            if slot.dest_phys.is_none() {
+                FaultProbe::Benign
+            } else {
+                FaultProbe::TaintSlot {
+                    thread: t as u8,
+                    slab: e.slot,
+                }
+            }
+        } else if b < imm_end {
+            if slot.inst.dyn_dead {
+                FaultProbe::Benign
+            } else if slot.inst.op.is_mem() {
+                FaultProbe::Diverges // the effective address is rewritten
+            } else if slot.inst.op.is_branch() {
+                FaultProbe::Detected
+            } else {
+                FaultProbe::TaintSlot {
+                    thread: t as u8,
+                    slab: e.slot,
+                }
+            }
+        } else if slot.inst.dyn_dead || slot.inst.op == OpClass::Nop {
+            FaultProbe::Benign
+        } else {
+            FaultProbe::Detected
+        }
+    }
+
+    fn probe_rob(&self, entry: u64, bit: u64) -> FaultProbe {
+        let per = self.cfg.rob_entries_per_thread as u64;
+        let t = (entry / per) as usize % self.threads.len();
+        let idx = (entry % per) as usize;
+        let Some(&slab_i) = self.threads[t].rob.get(idx) else {
+            return FaultProbe::Empty;
+        };
+        let slot = &self.threads[t].slab[slab_i as usize];
+        if slot.inst.wrong_path {
+            return FaultProbe::Benign;
+        }
+        let b = bit % budgets::rob::ENTRY;
+        let arch_end = budgets::rob::PC + budgets::rob::DEST_ARCH;
+        let dest_end = arch_end + budgets::rob::DEST_PHYS;
+        let old_end = dest_end + budgets::rob::OLD_PHYS;
+        let status_end = old_end + budgets::rob::STATUS;
+        let opcode_end = status_end + budgets::rob::OPCODE;
+        if b < budgets::rob::PC {
+            if slot.inst.dyn_dead {
+                FaultProbe::Benign
+            } else {
+                FaultProbe::Diverges // the recorded PC is rewritten
+            }
+        } else if b < old_end {
+            if slot.dest_phys.is_none() {
+                FaultProbe::Benign
+            } else {
+                FaultProbe::TaintSlot {
+                    thread: t as u8,
+                    slab: slab_i,
+                }
+            }
+        } else if b < opcode_end {
+            FaultProbe::Detected
+        } else if slot.inst.op.is_branch() {
+            FaultProbe::TaintSlot {
+                thread: t as u8,
+                slab: slab_i,
+            }
+        } else {
+            FaultProbe::Benign
+        }
+    }
+
+    fn probe_lsq(&self, entry: u64, bit: u64) -> FaultProbe {
+        let per = self.cfg.lsq_entries_per_thread as u64;
+        let t = (entry / per) as usize % self.threads.len();
+        let idx = (entry % per) as usize;
+        let th = &self.threads[t];
+        let Some(slab_i) = th
+            .rob
+            .iter()
+            .copied()
+            .filter(|&i| th.slab[i as usize].in_lsq)
+            .nth(idx)
+        else {
+            return FaultProbe::Empty;
+        };
+        let slot = &th.slab[slab_i as usize];
+        if slot.inst.wrong_path {
+            return FaultProbe::Benign;
+        }
+        if bit % budgets::lsq::TAG_ENTRY < budgets::lsq::ADDR {
+            if slot.inst.dyn_dead {
+                FaultProbe::Benign
+            } else {
+                FaultProbe::Diverges // the access address is rewritten
+            }
+        } else {
+            FaultProbe::Detected
+        }
+    }
+
+    fn probe_regfile(&self, entry: u64) -> FaultProbe {
+        let int_pool = self.cfg.int_phys_regs as u64;
+        let fp_pool = self.cfg.fp_phys_regs as u64;
+        let e = entry % (int_pool + fp_pool);
+        let (fp, reg) = if e < int_pool {
+            (false, PhysReg(e as u16))
+        } else {
+            (true, PhysReg((e - int_pool) as u16))
+        };
+        let written = if fp {
+            self.fp_regs.is_ready(reg)
+        } else {
+            self.int_regs.is_ready(reg)
+        };
+        if written {
+            FaultProbe::PoisonReg { fp, reg: reg.0 }
+        } else {
+            FaultProbe::Empty
+        }
+    }
+
+    fn probe_fu(&self, entry: u64, bit: u64) -> FaultProbe {
+        let now = self.cycle;
+        let Some((t, slab_i)) = self
+            .threads
+            .iter()
+            .enumerate()
+            .flat_map(|(t, th)| th.rob.iter().map(move |&i| (t, i, &th.slab[i as usize])))
+            .filter(|(_, _, s)| {
+                s.state == SlotState::Issued
+                    && s.inst.op != OpClass::Nop
+                    && s.issued_at + s.exec_latency.max(1) >= now
+            })
+            .map(|(t, i, _)| (t, i))
+            .nth(entry as usize)
+        else {
+            return FaultProbe::Empty;
+        };
+        let slot = &self.threads[t].slab[slab_i as usize];
+        if slot.inst.wrong_path || slot.inst.dyn_dead {
+            FaultProbe::Benign
+        } else if bit % budgets::fu::ENTRY < 128 {
+            FaultProbe::TaintSlot {
+                thread: t as u8,
+                slab: slab_i,
+            }
+        } else {
+            FaultProbe::Detected
+        }
+    }
+
+    /// Arm the lane event feed (idempotent). While armed, every
+    /// taint/poison-relevant mutation pushes one [`LaneEvent`]; the feed
+    /// never influences the simulated history.
+    pub(crate) fn lane_events_enable(&mut self) {
+        if self.lane_events.is_none() {
+            self.lane_events = Some(Vec::new());
+        }
+    }
+
+    /// Disarm the feed and drop pending events. Forked clones call this:
+    /// a scalar fork maintains its own `FaultState` directly.
+    pub(crate) fn lane_events_disable(&mut self) {
+        self.lane_events = None;
+    }
+
+    /// Move pending events into `out` (clearing it first); the internal
+    /// buffer stays armed and the two vectors' capacities ping-pong, so
+    /// steady state allocates nothing.
+    pub(crate) fn lane_events_drain(&mut self, out: &mut Vec<LaneEvent>) {
+        out.clear();
+        if let Some(buf) = &mut self.lane_events {
+            std::mem::swap(buf, out);
         }
     }
 }

@@ -96,6 +96,53 @@ pub enum Landing {
     Detected,
 }
 
+/// Read-only prediction of what [`inject_fault`] would do, computed by
+/// [`probe_fault`] without mutating the core. The lane-batch engine uses
+/// it to keep metadata-only strikes (taint/poison, which never feed back
+/// into timing) riding a shared golden follower, and to fork anything
+/// else out to the scalar path.
+///
+/// The classification is conservative by construction: any strike whose
+/// injection mutates state beyond the taint/poison metadata — renamed
+/// source tags, effective addresses, recorded PCs, cache/TLB contents —
+/// probes as [`FaultProbe::Diverges`] even when the mutation would turn
+/// out to be timing-neutral, because the fork (a scalar trial) is always
+/// correct and only the *cheap* cases must be predicted exactly.
+///
+/// [`inject_fault`]: crate::SmtCore::inject_fault
+/// [`probe_fault`]: crate::SmtCore::probe_fault
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProbe {
+    /// The strike would land [`Landing::Empty`].
+    Empty,
+    /// The strike would land [`Landing::Benign`].
+    Benign,
+    /// The strike would land [`Landing::Detected`].
+    Detected,
+    /// The strike would land [`Landing::Injected`] by setting exactly one
+    /// slot's `tainted` flag — pure metadata, no timing feedback. The slot
+    /// is identified by `(thread, slab index)`, the stable reference the
+    /// lane engine's taint masks are keyed on.
+    TaintSlot {
+        /// Owning thread.
+        thread: u8,
+        /// Slab index of the struck slot in that thread's ROB slab.
+        slab: u32,
+    },
+    /// The strike would land [`Landing::Injected`] by poisoning exactly
+    /// one physical register — pure metadata, no timing feedback.
+    PoisonReg {
+        /// Floating-point pool (`false` = integer pool).
+        fp: bool,
+        /// Register index within its pool.
+        reg: u16,
+    },
+    /// The strike would mutate state the lane engine cannot mask
+    /// per-lane (addresses, tags, cache/TLB contents, recorded PCs): the
+    /// lane must fork to a scalar core and inject for real.
+    Diverges,
+}
+
 /// One retired instruction as recorded by the commit log: the fields an
 /// architectural-output diff can observe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

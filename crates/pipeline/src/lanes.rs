@@ -1,0 +1,347 @@
+//! Lane-parallel batched fault trials: one shared golden *follower* core
+//! carries up to 64 trials ("lanes") at once, with per-lane bitmasks
+//! mirroring the only state a metadata-only strike can touch.
+//!
+//! The observation this exploits: `Slot::tainted` and the register poison
+//! tables are pure metadata — nothing in the scheduler, caches, or
+//! predictors reads them, so a trial whose injection only sets taint or
+//! poison follows the golden timing *forever*. Instead of re-simulating
+//! that timing once per trial, a [`LaneBatch`] steps the pristine golden
+//! core once and mirrors the metadata for N trials in
+//! structure-of-arrays form: one `u64` lane mask per ROB slab slot and
+//! per physical register, updated from a stream of [`LaneEvent`]s the
+//! core emits at exactly the five sites that touch taint or poison
+//! state. Lane masks make the N-trial update O(1) per event — a bitwise
+//! OR/assign — rather than O(N).
+//!
+//! Strikes that would mutate anything beyond metadata (renamed source
+//! tags, effective addresses, recorded PCs, cache/TLB contents) are
+//! detected up front by [`SmtCore::probe_fault`] and *forked*: the lane
+//! clones the follower (bit-identical, by the snapshot property the
+//! checkpointed campaigns already rely on) and runs the existing scalar
+//! path. Divergence detection is conservative by construction — the
+//! probe only has to be exact about the cheap cases, because the fork is
+//! always correct.
+
+use crate::core::SmtCore;
+use crate::inject::{Fault, FaultProbe};
+use sim_workload::{InstSource, TraceGenerator};
+
+/// One taint/poison-relevant mutation in the follower core, emitted when
+/// the lane feed is armed. Registers are identified by `(fp, index)`,
+/// in-flight instructions by `(thread, slab index)` — the same stable
+/// keys [`FaultProbe`] reports.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LaneEvent {
+    /// Dispatch allocated a fresh destination register: any lane's stale
+    /// poison on it is cleared (scalar: `poison[p] = false` on alloc).
+    Alloc { fp: bool, reg: u16 },
+    /// An instruction issued and read its renamed sources: poison on any
+    /// source propagates to the slot's taint (scalar: `slot.tainted = true`
+    /// if a source is poisoned).
+    Issue {
+        thread: u8,
+        slab: u32,
+        srcs: [Option<(bool, u16)>; 2],
+    },
+    /// A producer wrote back: the destination register now holds exactly
+    /// the producer's corruption (scalar: `poison[p] = slot.tainted` — an
+    /// assignment, so a clean producer *heals* the register).
+    Writeback {
+        thread: u8,
+        slab: u32,
+        fp: bool,
+        reg: u16,
+    },
+    /// The ROB head retired: a tainted retirement is an architectural
+    /// corruption (scalar: `corrupt_retired += 1`), the slab slot is
+    /// recycled, and the previous mapping of the destination is freed
+    /// (scalar: `poison[old] = false`).
+    Commit {
+        thread: u8,
+        slab: u32,
+        old: Option<(bool, u16)>,
+    },
+    /// A squash discarded the slot: its taint vanishes with it and the
+    /// speculative destination register is freed (scalar: `poison[p] =
+    /// false` on rollback).
+    Squash {
+        thread: u8,
+        slab: u32,
+        dest: Option<(bool, u16)>,
+    },
+}
+
+/// Up to 64 metadata-only fault trials riding one golden follower core.
+///
+/// The follower is stepped through the shared golden timing; per-lane
+/// taint/poison masks are updated from the core's [`LaneEvent`] feed.
+/// The feed stays disarmed (zero per-site cost beyond one branch) until
+/// the first [`LaneBatch::activate`] call — before any lane has injected
+/// every mask is zero and every event would be a no-op.
+pub struct LaneBatch<S = TraceGenerator> {
+    follower: SmtCore<S>,
+    lanes: usize,
+    /// Per-thread, per-slab-slot lane masks: bit `l` set means lane `l`'s
+    /// copy of that in-flight instruction is tainted. Grown on demand —
+    /// the slab itself grows lazily.
+    taint: Vec<Vec<u64>>,
+    /// Per-physical-register lane masks (bit `l` = poisoned in lane `l`).
+    int_poison: Vec<u64>,
+    fp_poison: Vec<u64>,
+    /// Per-lane count of corrupt retirements (the scalar
+    /// `corrupt_retired`).
+    corrupt: Vec<u64>,
+    /// Drain buffer for the event feed (capacity ping-pongs with the
+    /// core's internal buffer).
+    scratch: Vec<LaneEvent>,
+    /// The feed is armed (first activation has happened).
+    armed: bool,
+}
+
+impl<S: InstSource> LaneBatch<S> {
+    /// Wrap a follower core (a restored golden checkpoint) for up to
+    /// `lanes` trials. `lanes` must be in `1..=64` (one mask bit each).
+    pub fn new(follower: SmtCore<S>, lanes: usize) -> LaneBatch<S> {
+        assert!((1..=64).contains(&lanes), "lane count must be 1..=64");
+        let cfg = follower.config();
+        let contexts = cfg.contexts;
+        let slab_cap = cfg.rob_entries_per_thread as usize;
+        let int_regs = cfg.int_phys_regs as usize;
+        let fp_regs = cfg.fp_phys_regs as usize;
+        LaneBatch {
+            follower,
+            lanes,
+            taint: vec![vec![0; slab_cap]; contexts],
+            int_poison: vec![0; int_regs],
+            fp_poison: vec![0; fp_regs],
+            corrupt: vec![0; lanes],
+            scratch: Vec::new(),
+            armed: false,
+        }
+    }
+
+    /// The shared follower core (read-only).
+    pub fn follower(&self) -> &SmtCore<S> {
+        &self.follower
+    }
+
+    /// Follower clock.
+    pub fn cycle(&self) -> u64 {
+        self.follower.cycle()
+    }
+
+    /// Follower committed-instruction count.
+    pub fn total_committed(&self) -> u64 {
+        self.follower.total_committed()
+    }
+
+    /// Follower hang detector.
+    pub fn cycles_since_last_commit(&self) -> u64 {
+        self.follower.cycles_since_last_commit()
+    }
+
+    /// Predict a strike against the follower's current state (the state a
+    /// scalar trial would inject into at this cycle).
+    pub fn probe(&self, fault: &Fault) -> FaultProbe {
+        self.follower.probe_fault(fault)
+    }
+
+    /// Inject a metadata-only strike into lane `lane`: set the taint or
+    /// poison bit the scalar `inject_fault` would have set. Arms the
+    /// event feed on first use.
+    ///
+    /// # Panics
+    /// Panics if `probe` is not `TaintSlot` or `PoisonReg` (anything else
+    /// either needs no lane at all or must fork).
+    pub fn activate(&mut self, lane: usize, probe: FaultProbe) {
+        assert!(lane < self.lanes, "lane out of range");
+        if !self.armed {
+            // Before the first injection every mask is zero, so every
+            // missed event was a no-op; arm lazily.
+            self.follower.lane_events_enable();
+            self.armed = true;
+        }
+        let bit = 1u64 << lane;
+        match probe {
+            FaultProbe::TaintSlot { thread, slab } => {
+                let tm = &mut self.taint[thread as usize];
+                if slab as usize >= tm.len() {
+                    tm.resize(slab as usize + 1, 0);
+                }
+                tm[slab as usize] |= bit;
+            }
+            FaultProbe::PoisonReg { fp, reg } => {
+                if fp {
+                    self.fp_poison[reg as usize] |= bit;
+                } else {
+                    self.int_poison[reg as usize] |= bit;
+                }
+            }
+            other => panic!("lane activation on non-metadata probe {other:?}"),
+        }
+    }
+
+    /// Clone the follower for a diverging lane's scalar run. The clone is
+    /// bit-identical to the follower (and so to a scalar restore of the
+    /// same checkpoint stepped to this cycle); its event feed is disarmed
+    /// because a scalar trial maintains its own `FaultState` directly.
+    pub fn fork(&self) -> SmtCore<S>
+    where
+        S: Clone,
+    {
+        let mut core = self.follower.clone();
+        core.lane_events_disable();
+        core
+    }
+
+    /// Advance the follower until its clock reaches `bound` or its commit
+    /// count reaches `target_committed`, mirroring every event into the
+    /// lane masks. Like `step_fast_bounded`, stopping early and resuming
+    /// with a different bound cannot change the simulated history.
+    pub fn step_bounded(&mut self, bound: u64, target_committed: u64) {
+        while self.follower.cycle() < bound && self.follower.total_committed() < target_committed {
+            self.follower.step_fast_bounded(bound);
+            if self.armed {
+                let mut events = std::mem::take(&mut self.scratch);
+                self.follower.lane_events_drain(&mut events);
+                for &ev in &events {
+                    self.apply(ev);
+                }
+                self.scratch = events;
+            }
+        }
+    }
+
+    /// Mirror one follower event into the lane masks. Events are applied
+    /// in emission order, so within-step slab recycling (commit/squash
+    /// then re-dispatch) resolves exactly as the scalar updates do.
+    fn apply(&mut self, ev: LaneEvent) {
+        match ev {
+            LaneEvent::Alloc { fp, reg } => {
+                if fp {
+                    self.fp_poison[reg as usize] = 0;
+                } else {
+                    self.int_poison[reg as usize] = 0;
+                }
+            }
+            LaneEvent::Issue { thread, slab, srcs } => {
+                let mut m = 0u64;
+                for (fp, reg) in srcs.into_iter().flatten() {
+                    m |= if fp {
+                        self.fp_poison[reg as usize]
+                    } else {
+                        self.int_poison[reg as usize]
+                    };
+                }
+                if m != 0 {
+                    let tm = &mut self.taint[thread as usize];
+                    if slab as usize >= tm.len() {
+                        tm.resize(slab as usize + 1, 0);
+                    }
+                    tm[slab as usize] |= m;
+                }
+            }
+            LaneEvent::Writeback {
+                thread,
+                slab,
+                fp,
+                reg,
+            } => {
+                let t = self.taint_of(thread, slab);
+                if fp {
+                    self.fp_poison[reg as usize] = t;
+                } else {
+                    self.int_poison[reg as usize] = t;
+                }
+            }
+            LaneEvent::Commit { thread, slab, old } => {
+                let mut m = self.taint_of(thread, slab);
+                self.clear_taint(thread, slab);
+                while m != 0 {
+                    self.corrupt[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+                if let Some((fp, reg)) = old {
+                    if fp {
+                        self.fp_poison[reg as usize] = 0;
+                    } else {
+                        self.int_poison[reg as usize] = 0;
+                    }
+                }
+            }
+            LaneEvent::Squash { thread, slab, dest } => {
+                self.clear_taint(thread, slab);
+                if let Some((fp, reg)) = dest {
+                    if fp {
+                        self.fp_poison[reg as usize] = 0;
+                    } else {
+                        self.int_poison[reg as usize] = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn taint_of(&self, thread: u8, slab: u32) -> u64 {
+        self.taint[thread as usize]
+            .get(slab as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn clear_taint(&mut self, thread: u8, slab: u32) {
+        if let Some(m) = self.taint[thread as usize].get_mut(slab as usize) {
+            *m = 0;
+        }
+    }
+
+    /// Disarm the event feed if no lane holds any taint or poison (e.g.
+    /// every injected rider has converged and the next injection is still
+    /// ahead). With all masks zero every event is a no-op — the same
+    /// reasoning that lets [`LaneBatch::activate`] arm the feed lazily —
+    /// so idle stretches pay nothing; the next activation re-arms.
+    pub fn disarm_if_idle(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let idle = self
+            .int_poison
+            .iter()
+            .chain(&self.fp_poison)
+            .all(|&m| m == 0)
+            && self.taint.iter().all(|tm| tm.iter().all(|&m| m == 0));
+        if idle {
+            self.follower.lane_events_disable();
+            self.armed = false;
+        }
+    }
+
+    /// Corrupt retirements charged to `lane` so far (the scalar trial's
+    /// `corrupt_retired`).
+    pub fn corrupt(&self, lane: usize) -> u64 {
+        self.corrupt[lane]
+    }
+
+    /// Corruption still latent in lane `lane`: a poisoned register or a
+    /// tainted in-flight instruction (the scalar `residual_corruption`;
+    /// memory poison is impossible for a riding lane — stores carry no
+    /// taint into the hierarchy).
+    pub fn residual(&self, lane: usize) -> bool {
+        let bit = 1u64 << lane;
+        self.int_poison
+            .iter()
+            .chain(&self.fp_poison)
+            .any(|&m| m & bit != 0)
+            || self.taint.iter().any(|tm| tm.iter().any(|&m| m & bit != 0))
+    }
+
+    /// Lane `lane` has fully converged back onto the golden run: nothing
+    /// corrupt retired and nothing corrupt remains in flight. Because a
+    /// riding lane's retired stream is the golden stream whenever its
+    /// corrupt count is zero, this is exactly the scalar convergence
+    /// predicate (`converged_back_to_golden`).
+    pub fn lane_clean(&self, lane: usize) -> bool {
+        self.corrupt[lane] == 0 && !self.residual(lane)
+    }
+}

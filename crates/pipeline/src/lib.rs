@@ -37,6 +37,7 @@
 
 pub mod core;
 pub mod inject;
+pub mod lanes;
 pub mod resources;
 pub mod result;
 pub mod slot;
@@ -45,7 +46,8 @@ pub mod thread;
 pub mod tracer;
 
 pub use crate::core::{SimBudget, SmtCore};
-pub use inject::{Fault, FaultTarget, Landing, RetiredInst};
+pub use inject::{Fault, FaultProbe, FaultTarget, Landing, RetiredInst};
+pub use lanes::LaneBatch;
 pub use result::SimResult;
 #[cfg(feature = "trace")]
 pub use tracer::{TraceConfig, Tracer};

@@ -1,0 +1,134 @@
+//! The fork-correctness invariant of the lane-batch engine, separate
+//! from the end-to-end campaign equivalence suite: a core forked out of a
+//! `LaneBatch` at an arbitrary cycle must be byte-equal to a never-batched
+//! scalar core cloned from the same checkpoint and stepped to the same
+//! cycle — even when the batch carries armed lanes, and regardless of the
+//! bound sequences either side stepped with. This is what makes lazy
+//! divergence forking exact: the fork inherits nothing from the batching.
+
+use sim_model::rng::splitmix64;
+use sim_model::{FetchPolicyKind, MachineConfig};
+use sim_pipeline::{Fault, FaultProbe, FaultTarget, LaneBatch, SmtCore};
+use sim_workload::{profile, TraceGenerator};
+
+fn smt2() -> SmtCore {
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(2)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let gens = ["bzip2", "mcf"]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TraceGenerator::new(profile(p).expect("known benchmark"), i as u64 + 1))
+        .collect();
+    SmtCore::new(cfg, gens)
+}
+
+/// Step a scalar core to `target` the way the trial runner does.
+fn step_to(core: &mut SmtCore, target: u64) {
+    while core.cycle() < target {
+        core.step_fast_bounded(target);
+    }
+}
+
+/// Find a metadata probe (taint or poison) on the checkpoint so the batch
+/// has a genuinely armed lane when it forks.
+fn find_metadata_probe(core: &SmtCore) -> FaultProbe {
+    for target in [FaultTarget::RegFile, FaultTarget::Rob, FaultTarget::Iq] {
+        for entry in 0..64u64 {
+            for bit in [0u64, 20, 40] {
+                let probe = core.probe_fault(&Fault { target, entry, bit });
+                if matches!(
+                    probe,
+                    FaultProbe::TaintSlot { .. } | FaultProbe::PoisonReg { .. }
+                ) {
+                    return probe;
+                }
+            }
+        }
+    }
+    panic!("no metadata strike found on a warm machine");
+}
+
+#[test]
+fn forked_core_is_byte_equal_to_a_never_batched_scalar_run() {
+    // Checkpoint a messy mid-flight machine, then fork lanes at
+    // pseudo-random cycles and hold each fork to a scalar clone of the
+    // same checkpoint stepped to the same cycle.
+    let mut golden = smt2();
+    step_to(&mut golden, 4_000);
+    let checkpoint = golden.clone();
+
+    let mut seed = 0x1A7EF0_u64;
+    for trial in 0..6 {
+        let fork_at = checkpoint.cycle() + 1 + splitmix64(&mut seed) % 5_000;
+
+        // Batched side: two lanes ride the follower (one armed with a real
+        // metadata strike so the event feed is on), then lane 1 "diverges"
+        // at fork_at.
+        let mut batch = LaneBatch::new(checkpoint.clone(), 2);
+        batch.activate(0, find_metadata_probe(batch.follower()));
+        batch.step_bounded(fork_at, u64::MAX);
+        assert_eq!(batch.cycle(), fork_at, "trial {trial}");
+        let mut forked = batch.fork();
+
+        // Scalar side: never batched, never instrumented.
+        let mut scalar = checkpoint.clone();
+        step_to(&mut scalar, fork_at);
+
+        assert_eq!(
+            forked.state_digest(),
+            scalar.state_digest(),
+            "fork at cycle {fork_at} diverged from the scalar clone (trial {trial})"
+        );
+        assert_eq!(forked.dump_state(), scalar.dump_state(), "trial {trial}");
+
+        // And the fork keeps stepping bit-identically afterwards — with
+        // *different* bound sequences, per the fast-forward invariant.
+        let further = fork_at + 3_000;
+        step_to(&mut forked, further);
+        while scalar.cycle() < further {
+            let bound = (scalar.cycle() + 1 + splitmix64(&mut seed) % 700).min(further);
+            scalar.step_fast_bounded(bound);
+        }
+        assert_eq!(forked.cycle(), scalar.cycle(), "trial {trial}");
+        assert_eq!(
+            forked.total_committed(),
+            scalar.total_committed(),
+            "trial {trial}"
+        );
+        assert_eq!(
+            forked.state_digest(),
+            scalar.state_digest(),
+            "post-fork stepping diverged (trial {trial})"
+        );
+    }
+}
+
+#[test]
+fn armed_event_feed_never_perturbs_the_follower() {
+    // Instrumentation neutrality: a follower with every lane armed must
+    // trace the exact same history as an untouched clone.
+    let mut golden = smt2();
+    step_to(&mut golden, 4_000);
+
+    let mut batch = LaneBatch::new(golden.clone(), 8);
+    let probe = find_metadata_probe(batch.follower());
+    for lane in 0..8 {
+        batch.activate(lane, probe);
+    }
+    let mut plain = golden.clone();
+
+    let mut seed = 0xBEEF_u64;
+    for _ in 0..5 {
+        let target = batch.cycle() + 500 + splitmix64(&mut seed) % 2_000;
+        batch.step_bounded(target, u64::MAX);
+        step_to(&mut plain, target);
+        assert_eq!(batch.cycle(), plain.cycle());
+        assert_eq!(batch.total_committed(), plain.total_committed());
+        assert_eq!(
+            batch.follower().state_digest(),
+            plain.state_digest(),
+            "armed feed perturbed the follower at cycle {target}"
+        );
+    }
+}

@@ -456,7 +456,12 @@ where
 }
 
 /// Execute one chunk's trials on `workers` threads; records come back in
-/// trial-index order regardless of scheduling.
+/// trial-index order regardless of scheduling. Honors the prepared
+/// campaign's [`CampaignConfig::lanes`] knob — lane batching changes only
+/// wall clock, never the records, so stored chunks (and the object ids
+/// derived from them) are byte-identical for any lane count.
+///
+/// [`CampaignConfig::lanes`]: sim_inject::CampaignConfig::lanes
 pub fn run_chunk<S, F>(
     prepared: &PreparedCampaign<S>,
     factory: &F,
@@ -467,9 +472,10 @@ where
     S: InstSource + Clone + Sync,
     F: Fn() -> SmtCore<S> + Sync,
 {
-    sim_exec::run_indexed(plan.len, workers, |i| {
-        prepared.run_index(factory, plan.start + i).record
-    })
+    sim_inject::run_trials_batched(prepared, factory, plan.start, plan.len, workers)
+        .into_iter()
+        .map(|exec| exec.record)
+        .collect()
 }
 
 /// Assemble validated `chunks` into the job's final record, attach the

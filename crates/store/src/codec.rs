@@ -307,6 +307,12 @@ impl Codec for CampaignConfig {
             replay_from_zero,
             progress,
             fast_forward,
+            // Deliberately not on the wire: lane batching is an execution
+            // knob with no effect on the records, and keeping it out of
+            // the encoding keeps a job's identity (and its stored bytes)
+            // lane-count-independent. Decoded specs run the scalar path;
+            // in-process callers set `lanes` on the config they pass in.
+            lanes: 0,
             targets,
         })
     }

@@ -137,6 +137,7 @@ fn campaign_config_full_and_empty() {
         replay_from_zero: true,
         progress: false,
         fast_forward: true,
+        lanes: 0,
         targets: ALL_TARGETS.to_vec(),
     };
     assert_roundtrip(&full);
@@ -278,6 +279,7 @@ fn spec(targets: Vec<FaultTarget>, trials: usize) -> JobSpec {
             replay_from_zero: false,
             progress: false,
             fast_forward: true,
+            lanes: 0,
             targets,
         },
         chunk_trials: 32,

@@ -13,7 +13,10 @@
 #   5. validate_avf --store must agree with the plain serial
 #      validate_avf on the rendered comparison table, and --resume must
 #      reuse the store.
-#   6. Corrupt one object in B; fsck must fail closed.
+#   6. validate_avf --lanes 8 --store must produce a store byte-identical
+#      to the scalar one: the lane-batched engine changes wall clock,
+#      never bytes, and lane count is not part of job identity.
+#   7. Corrupt one object in B; fsck must fail closed.
 #
 # Usage: scripts/service_smoke.sh
 set -euo pipefail
@@ -27,7 +30,7 @@ VALIDATE=(cargo run --release -q --bin validate_avf --
 
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
-A="$work/store-a" B="$work/store-b" C="$work/store-c"
+A="$work/store-a" B="$work/store-b" C="$work/store-c" D="$work/store-d"
 
 echo "==> service smoke: clean reference submit"
 "${SERVE[@]}" "${SUBMIT[@]}" --store "$A"
@@ -58,6 +61,11 @@ grep -E "$rows" "$work/stored.txt" > "$work/stored-rows.txt"
 diff -u "$work/serial-rows.txt" "$work/stored-rows.txt"
 echo "==> service smoke: validate_avf --resume reuses the store"
 "${VALIDATE[@]}" --store "$C" --resume > /dev/null
+
+echo "==> service smoke: lane-batched store is byte-identical to scalar"
+"${VALIDATE[@]}" --lanes 8 --store "$D" > /dev/null
+diff -r "$C/objects" "$D/objects"
+diff -r "$C/refs" "$D/refs"
 
 echo "==> service smoke: fsck passes clean, fails closed on corruption"
 "${SERVE[@]}" fsck --store "$B"

@@ -7,13 +7,15 @@
 //! ```text
 //! cargo run --release --bin validate_avf -- [--workload 2T-MIX-A]
 //!     [--trials 200] [--seed 12] [--workers N] [--scale quick|default]
-//!     [--checkpoints K] [--replay-from-zero]
+//!     [--checkpoints K] [--replay-from-zero] [--lanes N]
 //!     [--trace-out trace.json] [--telemetry-window N]
 //! ```
 //!
 //! Trials restore from K golden-run checkpoints by default;
 //! `--replay-from-zero` forces the slow oracle path (identical results,
-//! useful for timing comparisons and distrust).
+//! useful for timing comparisons and distrust). `--lanes N` runs up to N
+//! trials per batch on the lane-parallel lockstep engine (bit-identical
+//! to the scalar path; see DESIGN.md §5i); 0 keeps the scalar oracle.
 //!
 //! `--trace-out PATH` re-runs the ACE reference with pipeline tracing and
 //! writes Chrome Trace Event JSON (open in Perfetto or `chrome://tracing`).
@@ -35,6 +37,7 @@ struct Options {
     scale: ExperimentScale,
     checkpoints: usize,
     replay_from_zero: bool,
+    lanes: usize,
     trace_out: Option<String>,
     telemetry_window: Option<u64>,
     store: Option<String>,
@@ -51,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         scale: ExperimentScale::quick(),
         checkpoints: sim_inject::DEFAULT_CHECKPOINTS,
         replay_from_zero: false,
+        lanes: 0,
         trace_out: None,
         telemetry_window: None,
         store: None,
@@ -93,6 +97,11 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--checkpoints: {e}"))?
             }
             "--replay-from-zero" => opts.replay_from_zero = true,
+            "--lanes" => {
+                opts.lanes = value("--lanes")?
+                    .parse()
+                    .map_err(|e| format!("--lanes: {e}"))?
+            }
             "--store" => opts.store = Some(value("--store")?),
             "--resume" => opts.resume = true,
             "--chunk" => {
@@ -113,7 +122,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: validate_avf [--workload NAME] [--trials N] \
                      [--seed S] [--workers W] [--scale quick|default] \
-                     [--checkpoints K] [--replay-from-zero] \
+                     [--checkpoints K] [--replay-from-zero] [--lanes N] \
                      [--store DIR] [--resume] [--chunk N] \
                      [--trace-out PATH] [--telemetry-window N]"
                     .to_string())
@@ -226,9 +235,10 @@ fn main() -> ExitCode {
     }
     campaign.checkpoints = opts.checkpoints.max(1);
     campaign.replay_from_zero = opts.replay_from_zero;
+    campaign.lanes = opts.lanes;
     campaign.progress = true;
     println!(
-        "SFI campaign: workload {}, {} trials/structure over {} structures, seed {}, {} workers, {}",
+        "SFI campaign: workload {}, {} trials/structure over {} structures, seed {}, {} workers, {}{}",
         workload.name,
         campaign.trials_per_structure,
         campaign.targets.len(),
@@ -238,6 +248,11 @@ fn main() -> ExitCode {
             "replay-from-zero (oracle)".to_string()
         } else {
             format!("{} checkpoints", campaign.checkpoints)
+        },
+        if campaign.lanes > 0 && !campaign.replay_from_zero {
+            format!(", {} lanes (batched)", campaign.lanes.min(64))
+        } else {
+            String::new()
         },
     );
 
