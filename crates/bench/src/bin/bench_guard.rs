@@ -21,7 +21,10 @@
 //! fixed golden-prep cost dominates both paths and the ratio sits near
 //! 1.0, so the floor only trips when batching becomes a loss far outside
 //! that noise; the ≥1.5x claim is asserted by full perfbench runs where
-//! timing noise can't fake a regression).
+//! timing noise can't fake a regression). With `BENCH_GUARD_MAX_FORK_RATE`
+//! set, the guard also fails when `lanes.fork_rate` — the deterministic
+//! fraction of trials the lane engine had to run as scalar forks — rises
+//! above the ceiling.
 
 use std::process::ExitCode;
 
@@ -89,6 +92,25 @@ fn check_lanes(json: &str, path: &str) -> Result<(), String> {
         return Err(format!(
             "{path}: lane-batch speedup {speedup:.3} fell below the {min_speedup} floor"
         ));
+    }
+    // Optional ceiling on the lane engine's fork rate: set
+    // BENCH_GUARD_MAX_FORK_RATE to fail when the fraction of trials that
+    // needed a scalar run creeps above it (a probe-classification
+    // regression shows up here long before wall clock does). Unset, no
+    // check — older baselines lack the key.
+    if let Some(max_rate) = std::env::var("BENCH_GUARD_MAX_FORK_RATE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+    {
+        let rate = section_value(json, "lanes", "fork_rate", path).unwrap_or_else(|| {
+            panic!("{path}: BENCH_GUARD_MAX_FORK_RATE set but lanes section has no fork_rate")
+        });
+        println!("bench_guard: lanes.fork_rate {rate:.4} (ceiling {max_rate})");
+        if rate > max_rate {
+            return Err(format!(
+                "{path}: lane-batch fork rate {rate:.4} exceeds the {max_rate} ceiling"
+            ));
+        }
     }
     Ok(())
 }

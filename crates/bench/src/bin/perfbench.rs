@@ -26,7 +26,7 @@
 //!    multiple; full runs assert ≥1.5x on `4T-MEM-A`.
 //! 6. **Lane-parallel batched SFI** — the same checkpointed campaign
 //!    timed scalar (`lanes = 0`, one core per trial) and batched
-//!    (`lanes = 32`, trials riding a shared follower with lazy forking),
+//!    (`lanes = 64`, trials riding a shared follower with lazy forking),
 //!    asserting record-for-record identical results first. Both runs use
 //!    one worker so the ratio isolates the lane engine from pool scaling;
 //!    full runs assert ≥1.5x.
@@ -58,7 +58,7 @@
 //!   scale, where timing noise cannot fake a regression)
 //! * `PERFBENCH_OUT` — output path (default `BENCH_pipeline.json`)
 
-use sim_inject::run_campaign;
+use sim_inject::{run_campaign, LaneStats};
 use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::SmtCore;
 use sim_workload::{table2, SmtWorkload};
@@ -216,13 +216,18 @@ fn sfi_wallclock(trials: usize) -> (f64, f64, usize) {
 
 /// Time the checkpointed SFI campaign scalar (`lanes = 0`) and batched
 /// (`lanes = LANE_WIDTH`) and prove the records identical before returning
-/// `(scalar_secs, batched_secs)`.
+/// `(scalar_secs, batched_secs, lane_stats)` — the stats carry the
+/// per-target fork rates the benchmark JSON records.
 ///
 /// One worker on both sides: the ratio measures the lane engine alone, not
 /// pool scaling. The two dimensions compose — `run_trials_batched` hands
 /// whole batches to the same `sim_exec` pool the scalar path uses.
-fn lanes_wallclock(trials: usize) -> (f64, f64) {
-    const LANE_WIDTH: usize = 32;
+/// Lane width the batched side of [`lanes_wallclock`] runs at: the full
+/// 64-bit mask width, so a 400-trial quick campaign needs only 7 batch
+/// windows (follower stepping amortizes across more riders per window).
+const LANE_WIDTH: usize = 64;
+
+fn lanes_wallclock(trials: usize) -> (f64, f64, LaneStats) {
     let w = table2()
         .into_iter()
         .find(|w| w.name == "2T-MIX-A")
@@ -258,7 +263,12 @@ fn lanes_wallclock(trials: usize) -> (f64, f64) {
         "lane-batched campaign diverged from the scalar oracle"
     );
     assert_eq!(scalar.per_target, batched.per_target);
-    (scalar_secs, batched_secs)
+    let stats = batched
+        .metrics
+        .lane_stats
+        .clone()
+        .expect("batched campaigns report lane stats");
+    (scalar_secs, batched_secs, stats)
 }
 
 fn main() {
@@ -473,11 +483,17 @@ fn main() {
     // noisy for a wall-clock assertion to mean anything).
     let mut lanes_json = String::from("null");
     if env_u64("PERFBENCH_LANES", 1) != 0 && sfi_trials > 0 {
-        let (scalar_secs, batched_secs) = lanes_wallclock(sfi_trials);
+        let (scalar_secs, batched_secs, lane_stats) = lanes_wallclock(sfi_trials);
         let lanes_speedup = scalar_secs / batched_secs;
+        let totals = lane_stats.totals();
         println!(
             "lanes: {sfi_trials} trials/structure — scalar {scalar_secs:.2}s, \
-             32-lane batched {batched_secs:.2}s ({lanes_speedup:.2}x, bit-identical)"
+             {LANE_WIDTH}-lane batched {batched_secs:.2}s ({lanes_speedup:.2}x, bit-identical, \
+             fork rate {:.3}, reconverged {} of {} forks, {} deduped)",
+            totals.fork_rate(),
+            totals.reconverged,
+            totals.forked,
+            totals.deduped,
         );
         if sfi_trials >= 50 {
             assert!(
@@ -485,14 +501,37 @@ fn main() {
                 "lane-batch speedup {lanes_speedup:.2}x fell below the 1.5x floor"
             );
         }
+        // Per-target fork rates ride as flat keys (`bench_guard`'s section
+        // parser stops at the first closing brace, so the section must
+        // stay one level deep).
+        let mut per_target_keys = String::new();
+        for (target, c) in &lane_stats.per_target {
+            per_target_keys.push_str(&format!(
+                "    \"fork_rate_{}\": {:.4},\n    \"batched_fraction_{}\": {:.4},\n",
+                target.label(),
+                c.fork_rate(),
+                target.label(),
+                c.batched_fraction(),
+            ));
+        }
         lanes_json = format!(
             "{{\n    \"workload\": \"2T-MIX-A\",\n    \"scale\": \"quick\",\n    \
              \"trials_per_structure\": {sfi_trials},\n    \
-             \"lane_width\": 32,\n    \
+             \"lane_width\": {LANE_WIDTH},\n    \
              \"scalar_secs\": {scalar_secs:.3},\n    \
              \"batched_secs\": {batched_secs:.3},\n    \
              \"speedup\": {lanes_speedup:.3},\n    \
-             \"bit_identical_to_oracle\": true\n  }}"
+             \"fork_rate\": {:.4},\n    \
+             \"batched_fraction\": {:.4},\n    \
+             \"forked\": {},\n    \
+             \"reconverged\": {},\n    \
+             \"deduped\": {},\n{per_target_keys}    \
+             \"bit_identical_to_oracle\": true\n  }}",
+            totals.fork_rate(),
+            totals.batched_fraction(),
+            totals.forked,
+            totals.reconverged,
+            totals.deduped,
         );
     }
 

@@ -342,6 +342,116 @@ impl RestoreStats {
     }
 }
 
+/// How the lane-batch engine classified one target's trials: every trial
+/// resolves through exactly one of `prechecked`, `batched`, `resident`,
+/// `forked`, or `deduped`. Deterministic for a given campaign (a pure
+/// function of the batch plan, which is worker-count-independent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneClassCounts {
+    /// Resolved at the injection probe without occupying a lane
+    /// (`Empty`/`Benign`/`Detected`).
+    pub prechecked: u64,
+    /// Taint/poison strikes that rode the shared follower to a verdict.
+    pub batched: u64,
+    /// Resident cache/TLB strikes that rode the shared follower without
+    /// forking: timing-only invalidations (clean DL1 tag, TLB entries)
+    /// riding bare, poisoned DL1 words (and their escaped stale
+    /// addresses) under a consumption watch, and untouched lost dirty
+    /// lines.
+    pub resident: u64,
+    /// Scalar runs actually executed: immediate `Diverges` forks plus
+    /// watched lanes whose lost dirty line was touched (doomed
+    /// fallbacks).
+    pub forked: u64,
+    /// Of `forked`, runs the convergence check cut short — the machine
+    /// provably re-merged with the golden run before the commit target.
+    pub reconverged: u64,
+    /// Trials that shared an already-executed fork with the identical
+    /// `(fault, cycle)` key instead of running (disjoint from `forked`).
+    pub deduped: u64,
+}
+
+impl LaneClassCounts {
+    fn add(&mut self, o: &LaneClassCounts) {
+        self.prechecked += o.prechecked;
+        self.batched += o.batched;
+        self.resident += o.resident;
+        self.forked += o.forked;
+        self.reconverged += o.reconverged;
+        self.deduped += o.deduped;
+    }
+
+    /// Trials this tally covers.
+    pub fn trials(&self) -> u64 {
+        self.prechecked + self.batched + self.resident + self.forked + self.deduped
+    }
+
+    /// Fraction of trials that needed a scalar run (`forked / trials`);
+    /// 0 when empty.
+    pub fn fork_rate(&self) -> f64 {
+        let t = self.trials();
+        if t == 0 {
+            0.0
+        } else {
+            self.forked as f64 / t as f64
+        }
+    }
+
+    /// Fraction of trials resolved without a scalar run
+    /// (`1 - (forked / trials)`; deduped trials count as avoided runs).
+    pub fn batched_fraction(&self) -> f64 {
+        let t = self.trials();
+        if t == 0 {
+            1.0
+        } else {
+            1.0 - self.forked as f64 / t as f64
+        }
+    }
+}
+
+/// Per-target [`LaneClassCounts`] for a batched campaign, keyed in order
+/// of first appearance in the (deterministic) batch plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneStats {
+    /// `(target, counts)` pairs; every executed target appears once.
+    pub per_target: Vec<(FaultTarget, LaneClassCounts)>,
+}
+
+impl LaneStats {
+    fn counts_mut(&mut self, target: FaultTarget) -> &mut LaneClassCounts {
+        if let Some(i) = self.per_target.iter().position(|(t, _)| *t == target) {
+            return &mut self.per_target[i].1;
+        }
+        self.per_target.push((target, LaneClassCounts::default()));
+        &mut self.per_target.last_mut().expect("just pushed").1
+    }
+
+    /// Fold another tally into this one (batch-order merges keep the
+    /// key order deterministic).
+    pub fn merge(&mut self, other: &LaneStats) {
+        for (t, c) in &other.per_target {
+            self.counts_mut(*t).add(c);
+        }
+    }
+
+    /// Counts summed over all targets.
+    pub fn totals(&self) -> LaneClassCounts {
+        let mut all = LaneClassCounts::default();
+        for (_, c) in &self.per_target {
+            all.add(c);
+        }
+        all
+    }
+
+    /// The tally for one target, if it executed any trials.
+    pub fn for_target(&self, target: FaultTarget) -> Option<&LaneClassCounts> {
+        self.per_target
+            .iter()
+            .find(|(t, _)| *t == target)
+            .map(|(_, c)| c)
+    }
+}
+
 /// Execution metrics for one campaign run. Wall-clock fields vary run to
 /// run; the counters (early exits, injected trials, restore distances) are
 /// deterministic. Metrics are diagnostics only — they are deliberately
@@ -370,6 +480,9 @@ pub struct CampaignMetrics {
     pub early_exits: u64,
     /// Restore-distance stats; `None` on the replay-from-zero oracle path.
     pub restore: Option<RestoreStats>,
+    /// Per-target lane-batch classification; `None` when the campaign ran
+    /// the scalar per-trial path.
+    pub lane_stats: Option<LaneStats>,
 }
 
 /// A completed campaign.
@@ -596,6 +709,7 @@ fn check_window(golden: &GoldenRun, inject_cycle: u64) -> Result<(), InjectError
 /// convergence check schedule starts at the injection cycle in both
 /// paths); it lives here rather than in `Outcome` because it describes how
 /// the verdict was reached, not what it is.
+#[derive(Clone, Copy)]
 struct TrialRun {
     landing: Landing,
     outcome: Outcome,
@@ -634,8 +748,21 @@ fn finish_trial<S: InstSource>(
             // masked again.
             let cycle_cap = golden.end * 2 + hang_cycles;
             let mut hung = false;
+            // The convergence-check schedule is anchored at the injection
+            // cycle: checks fire at inject + 256, then geometrically
+            // backed off, clamped so the clock lands on each check cycle
+            // exactly. A caller may hand in a core already *past* the
+            // injection cycle (a lane-doomed fork resuming from a later
+            // snapshot, valid only when every skipped check provably saw
+            // residual corruption and declined to exit); replaying the
+            // deterministic schedule to the core's cycle re-seeds the
+            // state those fired checks would have left behind.
             let mut check_step = CONVERGENCE_CHECK_START;
-            let mut next_check = core.cycle() + check_step;
+            let mut next_check = inject_cycle + check_step;
+            while next_check <= core.cycle() {
+                check_step = (check_step * 2).min(CONVERGENCE_CHECK_MAX);
+                next_check += check_step;
+            }
             while core.total_committed() < golden.target_committed {
                 if core.cycle() >= cycle_cap || core.cycles_since_last_commit() > hang_cycles {
                     hung = true;
@@ -957,25 +1084,26 @@ fn plan_batches<S: InstSource + Clone>(
     len: usize,
     lanes: usize,
 ) -> Vec<Vec<usize>> {
-    let ckpt = prepared
-        .checkpointed
-        .as_ref()
-        .expect("batched planning requires the checkpointed golden path");
-    let mut by_ckpt: Vec<Vec<(u64, usize)>> = vec![Vec::new(); ckpt.checkpoints.len()];
-    for i in start..start + len {
-        let cycle = prepared.sample(i).cycle;
-        let k = ckpt.checkpoints.partition_point(|(at, _)| *at <= cycle);
-        debug_assert!(k > 0, "sampled cycle precedes the first snapshot");
-        by_ckpt[k - 1].push((cycle, i));
-    }
-    let mut batches = Vec::new();
-    for mut group in by_ckpt {
-        group.sort_unstable();
-        for chunk in group.chunks(lanes) {
-            batches.push(chunk.iter().map(|&(_, i)| i).collect());
-        }
-    }
-    batches
+    // One global cycle order, chunked to the lane width. Batches
+    // deliberately span snapshot intervals: the follower restores at its
+    // first trial's snapshot and injects each later trial when the clock
+    // arrives, so a single shared replay serves every interval it passes
+    // through. Splitting at interval boundaries (the previous plan) made
+    // each group replay its own tail to the commit target — latent
+    // riders hold the follower there — which multiplied the shared
+    // stepping bill by the number of occupied intervals.
+    debug_assert!(
+        prepared.checkpointed.is_some(),
+        "batched planning requires the checkpointed golden path"
+    );
+    let mut order: Vec<(u64, usize)> = (start..start + len)
+        .map(|i| (prepared.sample(i).cycle, i))
+        .collect();
+    order.sort_unstable();
+    order
+        .chunks(lanes)
+        .map(|chunk| chunk.iter().map(|&(_, i)| i).collect())
+        .collect()
 }
 
 /// A trial riding the shared follower: its lane plus the scalar trial
@@ -987,10 +1115,38 @@ struct Rider {
     next_check: u64,
 }
 
+/// Run (or reuse) the scalar tail for a forking trial. Two trials with
+/// the same `(fault, cycle)` key restore the same snapshot, step the same
+/// delta, flip the same bit and diff against the same golden streams —
+/// their `TrialRun`s are equal by construction (everything downstream of
+/// the key is deterministic), so the batch executes the first and shares
+/// it with any duplicate sampled later in the same batch.
+fn forked_run(
+    cache: &mut Vec<(Fault, u64, TrialRun)>,
+    counts: &mut LaneClassCounts,
+    fault: Fault,
+    cycle: u64,
+    run: impl FnOnce() -> TrialRun,
+) -> TrialRun {
+    if let Some((_, _, hit)) = cache.iter().find(|(f, c, _)| *f == fault && *c == cycle) {
+        counts.deduped += 1;
+        return *hit;
+    }
+    let r = run();
+    counts.forked += 1;
+    if r.early_exit {
+        counts.reconverged += 1;
+    }
+    cache.push((fault, cycle, r));
+    r
+}
+
 /// Execute one lane batch: restore the shared snapshot once, step the
 /// follower through the golden timing, and resolve every lane — metadata
-/// strikes ride the follower's lane masks, everything else forks to the
-/// scalar [`finish_trial`] path.
+/// strikes ride the follower's lane masks, resident cache/TLB strikes
+/// ride bare (timing-only) or under a DL1 watch (poisoned word, its
+/// escaped stale address, or a lost dirty line), everything else forks
+/// to the scalar [`finish_trial`] path.
 ///
 /// Equivalence with the scalar path, lane by lane:
 /// * the follower's clock is bounded by every rider's externally
@@ -1004,13 +1160,33 @@ struct Rider {
 ///   its corrupt count is zero — the scalar per-thread prefix diff can
 ///   never fire for it, and the scalar convergence predicate reduces to
 ///   [`LaneBatch::lane_clean`];
+/// * a timing-only resident lane (clean DL1 tag, any TLB entry) retires
+///   the golden stream from cycle zero — identity-mapped translation and
+///   clean-line refills leave no architectural residue and the scalar
+///   trial records no fault state for them — so its scalar run passes
+///   the first convergence check unconditionally, exactly as the bare
+///   lane (all-zero masks, no watch) does;
+/// * a word-watched lane converts each demand read of the poisoned word
+///   into slot taint — the scalar machine's only response — and stays on
+///   the golden timing throughout; [`LaneBatch::residual`] carries the
+///   still-poisoned word into the same convergence/latent classification
+///   the scalar path uses. A dirty eviction moves the watch to the
+///   word's *address* (mirroring the scalar `stale_words` set, including
+///   re-poisoning refills), so even escaped poison keeps riding;
+/// * a lost-dirty-line lane (tag strike on a dirty line) rides while the
+///   golden run leaves the line and its set untouched — the struck
+///   machine's timing is identical until then, and its stale words make
+///   it permanently residual (Latent, no early exit), exactly like the
+///   scalar trial. The first touch dooms the lane, which re-runs as a
+///   full scalar trial from its snapshot — exact by construction, merely
+///   slower;
 /// * a forked lane starts from a clone of the follower, which is
 ///   bit-identical to a scalar restore of the same snapshot stepped to
 ///   the same cycle.
 fn run_one_batch<S: InstSource + Clone>(
     prepared: &PreparedCampaign<S>,
     indices: &[usize],
-) -> Vec<TrialExec> {
+) -> (Vec<TrialExec>, LaneStats) {
     let ckpt = prepared
         .checkpointed
         .as_ref()
@@ -1025,6 +1201,14 @@ fn run_one_batch<S: InstSource + Clone>(
     let mut out: Vec<Option<TrialExec>> = vec![None; indices.len()];
     let mut riders: Vec<Rider> = Vec::new();
     let mut pending = 0usize;
+    let mut stats = LaneStats::default();
+    // Lane k rides under a consumption-feed watch (vs. taint/poison masks).
+    let mut was_resident = vec![false; indices.len()];
+    // Lane k rides a lost dirty line: if doomed, its fork may restore a
+    // snapshot *past* the injection cycle (see the take_doomed loop).
+    let mut dirty_line = vec![false; indices.len()];
+    // Executed scalar tails, keyed for duplicate-fork sharing.
+    let mut fork_cache: Vec<(Fault, u64, TrialRun)> = Vec::new();
 
     let make_exec = |k: usize, landing: Landing, outcome: Outcome, early_exit: bool| TrialExec {
         record: TrialRecord {
@@ -1052,15 +1236,29 @@ fn run_one_batch<S: InstSource + Clone>(
             pending += 1;
             match batch.probe(&samples[k].fault) {
                 FaultProbe::Empty => {
+                    stats.counts_mut(samples[k].target).prechecked += 1;
                     out[k] = Some(make_exec(k, Landing::Empty, Outcome::Masked, false));
                 }
                 FaultProbe::Benign => {
+                    stats.counts_mut(samples[k].target).prechecked += 1;
                     out[k] = Some(make_exec(k, Landing::Benign, Outcome::Masked, false));
                 }
                 FaultProbe::Detected => {
+                    stats.counts_mut(samples[k].target).prechecked += 1;
                     out[k] = Some(make_exec(k, Landing::Detected, Outcome::Detected, false));
                 }
-                probe @ (FaultProbe::TaintSlot { .. } | FaultProbe::PoisonReg { .. }) => {
+                probe @ (FaultProbe::TaintSlot { .. }
+                | FaultProbe::PoisonReg { .. }
+                | FaultProbe::CacheResident { .. }
+                | FaultProbe::CacheDirtyLine { .. }
+                | FaultProbe::TlbResident { .. }) => {
+                    was_resident[k] = matches!(
+                        probe,
+                        FaultProbe::CacheResident { .. }
+                            | FaultProbe::CacheDirtyLine { .. }
+                            | FaultProbe::TlbResident { .. }
+                    );
+                    dirty_line[k] = matches!(probe, FaultProbe::CacheDirtyLine { .. });
                     batch.activate(k, probe);
                     riders.push(Rider {
                         lane: k,
@@ -1072,12 +1270,20 @@ fn run_one_batch<S: InstSource + Clone>(
                     // Fork: clone the follower and run the existing scalar
                     // trial tail (which re-steps zero cycles and injects
                     // for real).
-                    let run = finish_trial(
-                        batch.fork(),
-                        golden,
+                    let run = forked_run(
+                        &mut fork_cache,
+                        stats.counts_mut(samples[k].target),
                         samples[k].fault,
                         samples[k].cycle,
-                        hang_cycles,
+                        || {
+                            finish_trial(
+                                batch.fork(),
+                                golden,
+                                samples[k].fault,
+                                samples[k].cycle,
+                                hang_cycles,
+                            )
+                        },
                     );
                     out[k] = Some(make_exec(k, run.landing, run.outcome, run.early_exit));
                 }
@@ -1096,6 +1302,12 @@ fn run_one_batch<S: InstSource + Clone>(
                 } else {
                     Outcome::Masked
                 };
+                let c = stats.counts_mut(samples[r.lane].target);
+                if was_resident[r.lane] {
+                    c.resident += 1;
+                } else {
+                    c.batched += 1;
+                }
                 out[r.lane] = Some(make_exec(r.lane, Landing::Injected, outcome, false));
             }
             break;
@@ -1107,7 +1319,17 @@ fn run_one_batch<S: InstSource + Clone>(
         let now = batch.cycle();
         let gap = batch.cycles_since_last_commit();
         riders.retain_mut(|r| {
+            let resolve = |batch: &mut LaneBatch<S>, stats: &mut LaneStats| {
+                batch.clear_watch(r.lane);
+                let c = stats.counts_mut(samples[r.lane].target);
+                if was_resident[r.lane] {
+                    c.resident += 1;
+                } else {
+                    c.batched += 1;
+                }
+            };
             if now >= cycle_cap || gap > hang_cycles {
+                resolve(&mut batch, &mut stats);
                 out[r.lane] = Some(make_exec(
                     r.lane,
                     Landing::Injected,
@@ -1120,6 +1342,7 @@ fn run_one_batch<S: InstSource + Clone>(
                 r.check_step = (r.check_step * 2).min(CONVERGENCE_CHECK_MAX);
                 r.next_check = now + r.check_step;
                 if batch.lane_clean(r.lane) {
+                    resolve(&mut batch, &mut stats);
                     out[r.lane] = Some(make_exec(r.lane, Landing::Injected, Outcome::Masked, true));
                     return false;
                 }
@@ -1147,11 +1370,60 @@ fn run_one_batch<S: InstSource + Clone>(
             bound = bound.min(r.next_check);
         }
         batch.step_bounded(bound, golden.target_committed);
+
+        // Resolve consumed watches *before* the loop head can classify
+        // their lanes as completed riders: an event inside the step that
+        // reached the commit target still belongs to both histories, and
+        // a doomed lane's verdict must come from its own scalar run.
+        //
+        // A doomed *lost-dirty-line* lane forks from the snapshot nearest
+        // the pre-step cycle `now` instead of the injection cycle: until
+        // its first touch (the doom, strictly after `now`) the struck
+        // machine is the golden machine minus one valid line, and
+        // injecting the same fault into the golden snapshot re-creates
+        // that exact delta — the line is untouched, so its tag, dirty bit
+        // and spilled stale words are the ones the original strike took,
+        // and no stale word can have healed (the healing store would have
+        // hit the line and doomed first). Every convergence check between
+        // the injection cycle and `now` saw those residual stale words
+        // and declined to exit, which is what lets `finish_trial` re-seed
+        // the check schedule past them. Other doom sources (none today)
+        // must keep restoring at the injection cycle unless they prove
+        // the same re-injection property.
+        let mut doomed = batch.take_doomed();
+        while doomed != 0 {
+            let lane = doomed.trailing_zeros() as usize;
+            doomed &= doomed - 1;
+            riders.retain(|r| r.lane != lane);
+            let restore_at = if dirty_line[lane] {
+                now
+            } else {
+                samples[lane].cycle
+            };
+            let run = forked_run(
+                &mut fork_cache,
+                stats.counts_mut(samples[lane].target),
+                samples[lane].fault,
+                samples[lane].cycle,
+                || {
+                    finish_trial(
+                        ckpt.nearest_at_or_before(restore_at).clone(),
+                        golden,
+                        samples[lane].fault,
+                        samples[lane].cycle,
+                        hang_cycles,
+                    )
+                },
+            );
+            out[lane] = Some(make_exec(lane, run.landing, run.outcome, run.early_exit));
+        }
     }
 
-    out.into_iter()
+    let execs = out
+        .into_iter()
         .map(|o| o.expect("every lane resolved"))
-        .collect()
+        .collect();
+    (execs, stats)
 }
 
 /// Execute the trial range `[start, start + len)` with
@@ -1186,11 +1458,31 @@ where
     S: InstSource + Clone + Sync,
     F: Fn() -> SmtCore<S> + Sync,
 {
+    let (execs, pool, _) = run_trials_batched_full(prepared, factory, start, len, workers);
+    (execs, pool)
+}
+
+/// [`run_trials_batched`] plus the worker pool's scheduling stats and the
+/// lane engine's per-target classification tally. The tally is `None`
+/// when the range fell back to the scalar per-trial path (`lanes == 0`,
+/// no checkpoints, or an empty range); otherwise it is deterministic —
+/// batches merge in plan order, which no worker count can reshuffle.
+pub fn run_trials_batched_full<S, F>(
+    prepared: &PreparedCampaign<S>,
+    factory: &F,
+    start: usize,
+    len: usize,
+    workers: usize,
+) -> (Vec<TrialExec>, sim_exec::PoolStats, Option<LaneStats>)
+where
+    S: InstSource + Clone + Sync,
+    F: Fn() -> SmtCore<S> + Sync,
+{
     let lanes = prepared.cfg.lanes.min(64);
     if lanes == 0 || prepared.checkpointed.is_none() || len == 0 {
-        return sim_exec::run_indexed_stats(len, workers, |i| {
-            prepared.run_index(factory, start + i)
-        });
+        let (execs, pool) =
+            sim_exec::run_indexed_stats(len, workers, |i| prepared.run_index(factory, start + i));
+        return (execs, pool, None);
     }
     let batches = plan_batches(prepared, start, len, lanes);
 
@@ -1200,7 +1492,7 @@ where
     let heartbeat_stride = (len as u64 / 20).max(1);
 
     let (per_batch, stats) = sim_exec::run_indexed_stats(batches.len(), workers, |b| {
-        let execs = run_one_batch(prepared, &batches[b]);
+        let (execs, batch_stats) = run_one_batch(prepared, &batches[b]);
         if prepared.cfg.progress {
             let done = completed
                 .fetch_add(execs.len() as u64, std::sync::atomic::Ordering::Relaxed)
@@ -1213,10 +1505,12 @@ where
                 eprintln!("[sfi] {done}/{len} trials ({rate:.1}/s, {lanes} lanes)");
             }
         }
-        execs
+        (execs, batch_stats)
     });
     let mut out: Vec<Option<TrialExec>> = vec![None; len];
-    for (b, execs) in per_batch.into_iter().enumerate() {
+    let mut lane_stats = LaneStats::default();
+    for (b, (execs, batch_stats)) in per_batch.into_iter().enumerate() {
+        lane_stats.merge(&batch_stats);
         for (k, exec) in execs.into_iter().enumerate() {
             out[batches[b][k] - start] = Some(exec);
         }
@@ -1225,7 +1519,7 @@ where
         .into_iter()
         .map(|o| o.expect("batches tile the trial range"))
         .collect();
-    (out, stats)
+    (out, stats, Some(lane_stats))
 }
 
 /// Per-structure tallies over `records`, which must hold
@@ -1295,10 +1589,10 @@ where
     // (early exit, restore distance) ride alongside each record. With
     // `lanes > 0` the batched engine groups trials onto shared follower
     // cores — same records, proven by the lane-equivalence tests.
-    let (trials, pool_stats) = if cfg.lanes > 0 && !cfg.replay_from_zero {
-        run_trials_batched_stats(&prepared, &factory, 0, total, cfg.workers)
+    let (trials, pool_stats, lane_stats) = if cfg.lanes > 0 && !cfg.replay_from_zero {
+        run_trials_batched_full(&prepared, &factory, 0, total, cfg.workers)
     } else {
-        sim_exec::run_indexed_stats(total, cfg.workers, |i| {
+        let (trials, pool_stats) = sim_exec::run_indexed_stats(total, cfg.workers, |i| {
             let exec = prepared.run_index(&factory, i);
             if cfg.progress {
                 let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
@@ -1309,7 +1603,8 @@ where
                 }
             }
             exec
-        })
+        });
+        (trials, pool_stats, None)
     };
     let trial_secs = trials_t0.elapsed().as_secs_f64();
 
@@ -1343,6 +1638,7 @@ where
         injected_trials,
         early_exits,
         restore: RestoreStats::from_distances(&distances),
+        lane_stats,
     };
 
     let golden = prepared.golden();

@@ -1,5 +1,5 @@
 //! The lane-parallel batched trial engine must be bit-identical to the
-//! scalar per-trial oracle — record for record, at lanes = 1/4/8 and
+//! scalar per-trial oracle — record for record, at lanes = 1/4/8/64 and
 //! workers = 1/2/4, and the read-only fault probe must agree with the
 //! real injection's landing on every sampled strike.
 //!
@@ -36,7 +36,7 @@ fn campaign(workers: usize, lanes: usize) -> CampaignConfig {
 #[test]
 fn batched_campaign_matches_scalar_oracle_at_every_lane_and_worker_count() {
     let oracle = run_campaign(factory, &campaign(1, 0)).expect("scalar campaign runs");
-    for lanes in [1usize, 4, 8] {
+    for lanes in [1usize, 4, 8, 64] {
         for workers in [1usize, 2, 4] {
             let batched =
                 run_campaign(factory, &campaign(workers, lanes)).expect("batched campaign runs");
@@ -127,6 +127,14 @@ fn probe_agrees_with_injection_on_every_sampled_strike() {
             FaultProbe::Benign => assert_eq!(landing, Landing::Benign, "{:?}", s.fault),
             FaultProbe::Detected => assert_eq!(landing, Landing::Detected, "{:?}", s.fault),
             FaultProbe::TaintSlot { .. } | FaultProbe::PoisonReg { .. } => {
+                assert_eq!(landing, Landing::Injected, "{:?}", s.fault);
+            }
+            // The resident classes claim a strike on *valid* cache/TLB
+            // state: injection must land (Injected), never find the slot
+            // empty or the field idle.
+            FaultProbe::CacheResident { .. }
+            | FaultProbe::CacheDirtyLine { .. }
+            | FaultProbe::TlbResident { .. } => {
                 assert_eq!(landing, Landing::Injected, "{:?}", s.fault);
             }
             // Conservative class: the only claim is that the scalar fork

@@ -69,6 +69,57 @@ impl Line {
     }
 }
 
+/// One entry of the lazily-armed consumption feed (see
+/// [`Cache::events_enable`]): everything the lane-batched fault engine
+/// needs to decide whether a resident strike was consumed, overwritten,
+/// or evicted. Emitted for *every* access while armed — wrong-path reads
+/// included, because the scalar fault model taints the consuming slot
+/// regardless of path (the squash machinery cleans it up later, so a
+/// conservative consumer must see those reads too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A demand read consumed words `w0..=w1` of physical line `line`.
+    /// Emitted on hits *and* after miss fills (the refilled line), so a
+    /// consumer tracking an address sees every read that touches it; the
+    /// preceding [`CacheEvent::Fill`] distinguishes the miss case.
+    Read {
+        /// Flat physical line index (`set * assoc + way`).
+        line: u32,
+        /// Line-aligned base address of the accessed line.
+        base: u64,
+        /// First word covered by the access.
+        w0: u8,
+        /// Last word covered by the access.
+        w1: u8,
+    },
+    /// A demand write overwrote words `w0..=w1` of physical line `line`
+    /// (overwriting heals any poison on those words). Emitted on hits and
+    /// after write-allocate miss fills, like [`CacheEvent::Read`].
+    Write {
+        /// Flat physical line index.
+        line: u32,
+        /// Line-aligned base address of the accessed line.
+        base: u64,
+        /// First word overwritten.
+        w0: u8,
+        /// Last word overwritten.
+        w1: u8,
+    },
+    /// A miss fill replaced physical line `line` (the chosen victim).
+    Fill {
+        /// Flat physical line index of the victim way.
+        line: u32,
+        /// Base address of the line the victim held before the fill
+        /// (0 when the way was invalid).
+        base: u64,
+        /// The victim held a valid line before the fill.
+        was_valid: bool,
+        /// The victim was dirty and written back (its words — poisoned or
+        /// not — propagated to the next level).
+        was_dirty: bool,
+    },
+}
+
 /// Effect of an injected tag-array fault (see [`Cache::inject_tag`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TagInject {
@@ -112,6 +163,10 @@ pub struct Cache {
     /// written back, or dirty lines dropped by an injected tag fault); the
     /// hierarchy drains these into its stale-memory set.
     poison_spill: Vec<u64>,
+    /// Consumption feed, armed only while a lane batch holds a resident
+    /// cache watch (`None` costs one branch per access). Excluded from
+    /// digests and stats; never observed by the simulation itself.
+    events: Option<Vec<CacheEvent>>,
 }
 
 /// Result of a single cache lookup.
@@ -165,6 +220,32 @@ impl Cache {
             data_target,
             tag_target,
             poison_spill: Vec::new(),
+            events: None,
+        }
+    }
+
+    /// Arm the consumption feed: subsequent accesses push [`CacheEvent`]s
+    /// until [`Cache::events_disable`]. Idempotent; keeps any undrained
+    /// events.
+    pub fn events_enable(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    /// Disarm the consumption feed and drop any undrained events.
+    pub fn events_disable(&mut self) {
+        self.events = None;
+    }
+
+    /// Drain pending consumption events through `f`, in emission order,
+    /// keeping the feed armed (and the buffer's capacity). A no-op while
+    /// the feed is disarmed.
+    pub fn for_each_event(&mut self, mut f: impl FnMut(CacheEvent)) {
+        if let Some(ev) = &mut self.events {
+            for e in ev.drain(..) {
+                f(e);
+            }
         }
     }
 
@@ -283,7 +364,24 @@ impl Cache {
         let tag = self.tag_of(addr);
         let (w0, w1) = self.word_range(addr, size);
 
+        let acc_base = (addr >> self.offset_bits) << self.offset_bits;
         if let Some(li) = self.find_line(set, tag) {
+            if let Some(ev) = &mut self.events {
+                ev.push(match kind {
+                    AccessKind::Read => CacheEvent::Read {
+                        line: li as u32,
+                        base: acc_base,
+                        w0: w0 as u8,
+                        w1: w1 as u8,
+                    },
+                    AccessKind::Write => CacheEvent::Write {
+                        line: li as u32,
+                        base: acc_base,
+                        w0: w0 as u8,
+                        w1: w1 as u8,
+                    },
+                });
+            }
             let data_target = self.data_target;
             let tag_target = self.tag_target;
             let wbase = self.word_base(li);
@@ -359,11 +457,20 @@ impl Cache {
             let wpl = self.words_per_line;
             let line = &mut self.lines[victim];
             let wb = line.valid && line.dirty;
-            let wb_addr = if wb {
-                Some(((line.tag << index_bits) | set as u64) << offset_bits)
+            let old_base = if line.valid {
+                ((line.tag << index_bits) | set as u64) << offset_bits
             } else {
-                None
+                0
             };
+            if let Some(ev) = &mut self.events {
+                ev.push(CacheEvent::Fill {
+                    line: victim as u32,
+                    base: old_base,
+                    was_valid: line.valid,
+                    was_dirty: wb,
+                });
+            }
+            let wb_addr = if wb { Some(old_base) } else { None };
             let wb_owner = if wb { Some(line.owner) } else { None };
             if wb {
                 self.stats.writebacks += 1;
@@ -411,6 +518,24 @@ impl Cache {
             }
             (wb, wb_addr, wb_owner)
         };
+        // The demand access lands on the freshly filled line: emit it after
+        // the fill so a consumer sees the victim replacement first.
+        if let Some(ev) = &mut self.events {
+            ev.push(match kind {
+                AccessKind::Read => CacheEvent::Read {
+                    line: victim as u32,
+                    base: acc_base,
+                    w0: w0 as u8,
+                    w1: w1 as u8,
+                },
+                AccessKind::Write => CacheEvent::Write {
+                    line: victim as u32,
+                    base: acc_base,
+                    w0: w0 as u8,
+                    w1: w1 as u8,
+                },
+            });
+        }
         LookupResult {
             hit: false,
             writeback,
@@ -500,6 +625,42 @@ impl Cache {
         } else {
             TagInject::CleanInvalidate
         }
+    }
+
+    /// Read-only mirror of [`Cache::inject_data_word`]: the clamped word
+    /// index the strike would poison, or `None` when the line is invalid.
+    pub fn probe_data_word(&self, line_idx: u64, word: usize) -> Option<usize> {
+        if !self.lines[line_idx as usize].valid {
+            return None;
+        }
+        Some(word.min(self.words_per_line - 1))
+    }
+
+    /// Read-only mirror of [`Cache::inject_tag`], branch for branch.
+    ///
+    /// The one mutation it elides — bit 21 on a clean line sets the dirty
+    /// bit before returning `Benign` — ends the scalar trial immediately
+    /// (a `Benign` landing is classified without running the machine), so
+    /// skipping it cannot change any observable trial result.
+    pub fn probe_tag(&self, line_idx: u64, bit: u64) -> TagInject {
+        let line = &self.lines[line_idx as usize];
+        if !line.valid {
+            return TagInject::Empty;
+        }
+        if bit >= 22 || (bit == 21 && !line.dirty) {
+            return TagInject::Benign;
+        }
+        if line.dirty {
+            TagInject::DirtyLost
+        } else {
+            TagInject::CleanInvalidate
+        }
+    }
+
+    /// The cache's associativity (for mapping a flat line index to its
+    /// set: `set = line / assoc`).
+    pub fn assoc(&self) -> u32 {
+        self.cfg.assoc
     }
 
     /// Drain the word addresses whose good copy was lost (see

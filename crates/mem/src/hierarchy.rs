@@ -14,7 +14,7 @@
 //! absolute cycle stamps at eviction/finalize time, which makes them
 //! skip-invariant by construction.
 
-use crate::cache::{AccessKind, Cache, CacheStats, TagInject};
+use crate::cache::{AccessKind, Cache, CacheEvent, CacheStats, TagInject};
 use crate::tlb::{Tlb, TlbStats};
 use avf_core::{AvfEngine, StructureId};
 use sim_model::{MachineConfig, ThreadId};
@@ -298,6 +298,51 @@ impl MemoryHierarchy {
     /// Invalidate an ITLB entry; `false` if it was already invalid.
     pub fn inject_itlb(&mut self, entry_idx: u64) -> bool {
         self.itlb.inject_entry(entry_idx)
+    }
+
+    /// Read-only mirror of [`MemoryHierarchy::inject_dl1_data`]: the
+    /// clamped word the strike would poison, or `None` if the line is
+    /// invalid.
+    pub fn probe_dl1_data(&self, line_idx: u64, word: usize) -> Option<usize> {
+        self.dl1.probe_data_word(line_idx, word)
+    }
+
+    /// Read-only mirror of [`MemoryHierarchy::inject_dl1_tag`].
+    pub fn probe_dl1_tag(&self, line_idx: u64, bit: u64) -> TagInject {
+        self.dl1.probe_tag(line_idx, bit)
+    }
+
+    /// Read-only mirror of [`MemoryHierarchy::inject_dtlb`]: the flat
+    /// entry the strike would invalidate, or `None` if already invalid.
+    pub fn probe_dtlb(&self, entry_idx: u64) -> Option<u32> {
+        self.dtlb.probe_entry(entry_idx)
+    }
+
+    /// Read-only mirror of [`MemoryHierarchy::inject_itlb`].
+    pub fn probe_itlb(&self, entry_idx: u64) -> Option<u32> {
+        self.itlb.probe_entry(entry_idx)
+    }
+
+    /// Arm the DL1 consumption feed. This is the only feed the
+    /// lane-batched fault engine consumes: a DL1 *data* strike leaves
+    /// residue (a poisoned word) whose consumption must be tracked, while
+    /// TLB and clean-tag strikes are pure invalidations whose loss is
+    /// timing-only — nothing needs watching (the [`Tlb`] feed still
+    /// exists at the structure level for direct use). IL1/L2 are not
+    /// injection targets, so they never feed.
+    pub fn consumption_enable(&mut self) {
+        self.dl1.events_enable();
+    }
+
+    /// Disarm the DL1 consumption feed, dropping undrained events.
+    pub fn consumption_disable(&mut self) {
+        self.dl1.events_disable();
+    }
+
+    /// Drain pending DL1 consumption events through `f`, in emission
+    /// order. A no-op while the feed is disarmed.
+    pub fn for_each_dl1_event(&mut self, f: impl FnMut(CacheEvent)) {
+        self.dl1.for_each_event(f);
     }
 
     /// Residual-corruption check: any poisoned resident DL1 word, or any

@@ -35,6 +35,28 @@ struct Entry {
     last_use: u64,
 }
 
+/// One entry of the lazily-armed consumption feed (see
+/// [`Tlb::events_enable`]): what the lane-batched fault engine needs to
+/// decide whether an invalidated entry was consumed (hit again) or
+/// replaced before its next use. Emitted for wrong-path translations too
+/// — they move LRU state and timing exactly like architectural ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbEvent {
+    /// A translation hit flat entry `set * assoc + way`.
+    Hit {
+        /// Flat entry index of the hit way.
+        entry: u32,
+    },
+    /// A miss filled flat entry `set * assoc + way`, replacing whatever
+    /// was there.
+    Fill {
+        /// Flat entry index of the victim way.
+        entry: u32,
+        /// The victim held a valid translation before the fill.
+        was_valid: bool,
+    },
+}
+
 /// A set-associative TLB.
 ///
 /// An entry's ACE interval runs from one use to the next: a strike between
@@ -50,6 +72,10 @@ pub struct Tlb {
     lru_clock: u64,
     stats: TlbStats,
     target: Option<StructureId>,
+    /// Consumption feed, armed only while a lane batch holds a resident
+    /// TLB watch (`None` costs one branch per translation). Excluded from
+    /// digests and stats; never observed by the simulation itself.
+    events: Option<Vec<TlbEvent>>,
 }
 
 impl Tlb {
@@ -77,7 +103,34 @@ impl Tlb {
             lru_clock: 0,
             stats: TlbStats::default(),
             target,
+            events: None,
         }
+    }
+
+    /// Arm the consumption feed: subsequent translations push
+    /// [`TlbEvent`]s until [`Tlb::events_disable`]. Idempotent.
+    pub fn events_enable(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    /// Disarm the consumption feed and drop any undrained events.
+    pub fn events_disable(&mut self) {
+        self.events = None;
+    }
+
+    /// Move all pending consumption events into `out` (in emission order).
+    pub fn drain_events(&mut self, out: &mut Vec<TlbEvent>) {
+        if let Some(ev) = &mut self.events {
+            out.append(ev);
+        }
+    }
+
+    /// The TLB's associativity (for mapping a flat entry index to its
+    /// set: `set = entry / assoc`).
+    pub fn assoc(&self) -> u32 {
+        self.cfg.assoc
     }
 
     /// The TLB's configuration.
@@ -125,6 +178,19 @@ impl Tlb {
         true
     }
 
+    /// Read-only mirror of [`Tlb::inject_entry`]: the flat
+    /// `set * assoc + way` index the strike would invalidate, or `None`
+    /// when that slot is already invalid (nothing to corrupt).
+    pub fn probe_entry(&self, entry_idx: u64) -> Option<u32> {
+        let assoc = self.cfg.assoc as u64;
+        let set = (entry_idx / assoc) as usize % self.sets.len();
+        let way = (entry_idx % assoc) as usize;
+        if !self.sets[set][way].valid {
+            return None;
+        }
+        Some((set * assoc as usize + way) as u32)
+    }
+
     /// Translate `addr` for `thread` at cycle `now` (architecturally live).
     /// See [`Tlb::translate_with`].
     pub fn translate(
@@ -157,10 +223,16 @@ impl Tlb {
         let tag = vpn >> self.index_mask.count_ones();
         let target = self.target;
 
-        if let Some(e) = self.sets[set]
-            .iter_mut()
-            .find(|e| e.valid && e.vpn_tag == tag)
+        if let Some(way) = self.sets[set]
+            .iter()
+            .position(|e| e.valid && e.vpn_tag == tag)
         {
+            if let Some(ev) = &mut self.events {
+                ev.push(TlbEvent::Hit {
+                    entry: (set * self.cfg.assoc as usize + way) as u32,
+                });
+            }
+            let e = &mut self.sets[set][way];
             // The translation had to survive since its previous use; a
             // wrong-path use does not count as a use.
             if ace {
@@ -182,6 +254,12 @@ impl Tlb {
             .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
             .map(|(i, _)| i)
             .expect("TLB sets are never empty");
+        if let Some(ev) = &mut self.events {
+            ev.push(TlbEvent::Fill {
+                entry: (set * self.cfg.assoc as usize + victim) as u32,
+                was_valid: self.sets[set][victim].valid,
+            });
+        }
         self.sets[set][victim] = Entry {
             valid: true,
             vpn_tag: tag,

@@ -814,6 +814,8 @@ impl<S: InstSource> SmtCore<S> {
             if inst.op == OpClass::Store {
                 let m = inst.mem.expect("store without address");
                 self.mem.data_write(id, m.addr, m.size, now, &mut self.avf);
+                // Stores emit no Read events, so the attribution is unused.
+                self.pump_dl1_events(t as u8, 0);
             }
         }
         // Free the previous mapping of the destination register.
@@ -1045,6 +1047,7 @@ impl<S: InstSource> SmtCore<S> {
                             ace,
                             &mut self.avf,
                         );
+                        self.pump_dl1_events(t as u8, e.slot);
                         let th = &mut self.threads[t];
                         th.miss_pred.update(inst.pc, access.is_l1_miss());
                         th.l2_miss_pred.update(inst.pc, access.is_l2_miss());
@@ -1973,10 +1976,16 @@ impl<S: InstSource> SmtCore<S> {
         if b < budgets::rob::PC {
             // The architectural PC record changes: visible in the retired
             // stream unless the instruction's execution is dead anyway.
+            // The slot is also marked tainted — the record it will retire
+            // is corrupt, and the taint keeps the in-flight corruption
+            // visible to `residual_corruption` (without it, a convergence
+            // check landing while the slot is still in flight would see a
+            // clean machine and exit early as masked).
             if slot.inst.dyn_dead {
                 return Landing::Benign;
             }
             slot.inst.pc ^= 1 << (b % 32);
+            slot.tainted = true;
             Landing::Injected
         } else if b < old_end {
             // Destination arch/phys or previous-mapping tag: the value ends
@@ -2112,12 +2121,44 @@ impl<S: InstSource> SmtCore<S> {
             FaultTarget::LsqTag => self.probe_lsq(fault.entry, fault.bit),
             FaultTarget::RegFile => self.probe_regfile(fault.entry),
             FaultTarget::Fu => self.probe_fu(fault.entry, fault.bit),
-            // Cache and TLB strikes mutate hierarchy contents (or perturb
-            // timing through refills): never maskable per-lane, even when
-            // the strike would land on an empty entry — the fork decides.
-            FaultTarget::Dl1Data | FaultTarget::Dl1Tag | FaultTarget::Dtlb | FaultTarget::Itlb => {
-                FaultProbe::Diverges
+            // Cache/TLB strikes on resident state are watchable through the
+            // memory consumption feed: data poison is pure metadata until a
+            // load reads it, and clean-tag / TLB invalidations perturb
+            // timing only (identity-mapped translation, refills restore
+            // clean lines). Even a dirty-line tag strike rides — the
+            // struck machine is golden minus one valid line, timing-
+            // identical until the line or its set is touched — so no cache
+            // or TLB strike forks up front; the lane engine forks late,
+            // on first touch, via its doom path.
+            FaultTarget::Dl1Data => {
+                let word = (fault.bit / 64) as usize % self.mem.dl1_words_per_line();
+                match self.mem.probe_dl1_data(fault.entry, word) {
+                    Some(w) => FaultProbe::CacheResident {
+                        line: fault.entry as u32,
+                        word: Some(w as u8),
+                    },
+                    None => FaultProbe::Empty,
+                }
             }
+            FaultTarget::Dl1Tag => match self.mem.probe_dl1_tag(fault.entry, fault.bit % 24) {
+                sim_mem::TagInject::Empty => FaultProbe::Empty,
+                sim_mem::TagInject::Benign => FaultProbe::Benign,
+                sim_mem::TagInject::CleanInvalidate => FaultProbe::CacheResident {
+                    line: fault.entry as u32,
+                    word: None,
+                },
+                sim_mem::TagInject::DirtyLost => FaultProbe::CacheDirtyLine {
+                    line: fault.entry as u32,
+                },
+            },
+            FaultTarget::Dtlb => match self.mem.probe_dtlb(fault.entry) {
+                Some(entry) => FaultProbe::TlbResident { itlb: false, entry },
+                None => FaultProbe::Empty,
+            },
+            FaultTarget::Itlb => match self.mem.probe_itlb(fault.entry) {
+                Some(entry) => FaultProbe::TlbResident { itlb: true, entry },
+                None => FaultProbe::Empty,
+            },
         }
     }
 
@@ -2202,10 +2243,23 @@ impl<S: InstSource> SmtCore<S> {
         let status_end = old_end + budgets::rob::STATUS;
         let opcode_end = status_end + budgets::rob::OPCODE;
         if b < budgets::rob::PC {
+            // After dispatch the recorded PC feeds nothing but the commit
+            // log (and the slot's taint, which injection sets alongside
+            // the flip), with two exceptions that make timing consult it
+            // again: a not-yet-issued load trains the miss predictors
+            // with its PC at issue, and FLUSH's L2-miss squash replays
+            // slots by refetching from their recorded PCs.
             if slot.inst.dyn_dead {
                 FaultProbe::Benign
+            } else if self.cfg.fetch_policy != FetchPolicyKind::Flush
+                && !(slot.inst.op == OpClass::Load && slot.state == SlotState::Waiting)
+            {
+                FaultProbe::TaintSlot {
+                    thread: t as u8,
+                    slab: slab_i,
+                }
             } else {
-                FaultProbe::Diverges // the recorded PC is rewritten
+                FaultProbe::Diverges // the rewritten PC feeds timing back
             }
         } else if b < old_end {
             if slot.dest_phys.is_none() {
@@ -2249,6 +2303,22 @@ impl<S: InstSource> SmtCore<S> {
         if bit % budgets::lsq::TAG_ENTRY < budgets::lsq::ADDR {
             if slot.inst.dyn_dead {
                 FaultProbe::Benign
+            } else if slot.inst.op == OpClass::Load
+                && slot.state != SlotState::Waiting
+                && self.cfg.fetch_policy != FetchPolicyKind::Flush
+            {
+                // A load's address is consumed exactly once, at issue
+                // (`data_read` plus the store-address scan); dependence
+                // checks by other ops scan store addresses only, and the
+                // classifier short-circuits on the taint before diffing
+                // logged addresses. Past issue the flip is dead state —
+                // only the taint the injection also sets is observable.
+                // FLUSH is excluded: its L2-miss squash replays the slot
+                // and would re-issue at the rewritten address.
+                FaultProbe::TaintSlot {
+                    thread: t as u8,
+                    slab: slab_i,
+                }
             } else {
                 FaultProbe::Diverges // the access address is rewritten
             }
@@ -2331,6 +2401,61 @@ impl<S: InstSource> SmtCore<S> {
         if let Some(buf) = &mut self.lane_events {
             std::mem::swap(buf, out);
         }
+    }
+
+    /// Arm the DL1 consumption feed; see
+    /// [`sim_mem::MemoryHierarchy::consumption_enable`]. Idempotent. While
+    /// both this feed and the lane feed are armed, every data-cache access
+    /// forwards its [`sim_mem::CacheEvent`]s into the lane event stream
+    /// (see [`SmtCore::pump_dl1_events`]), so the lane engine sees cache
+    /// consumption *in order* with the taint/poison events around it.
+    pub(crate) fn consumption_enable(&mut self) {
+        self.mem.consumption_enable();
+    }
+
+    /// Disarm the consumption feed and drop pending events.
+    pub(crate) fn consumption_disable(&mut self) {
+        self.mem.consumption_disable();
+    }
+
+    /// Forward the DL1 consumption events emitted by the data access that
+    /// just returned into the lane event stream, attributed to the
+    /// consuming `(thread, slab)` — only `Read` events use the
+    /// attribution (a poisoned demand read taints exactly that in-flight
+    /// load); writes and fills carry their own identity. Forwarding
+    /// inline at the access site is what gives the combined stream one
+    /// total order: a read-taint, the consumer's own writeback, and an
+    /// eviction of the watched line land in the buffer in true machine
+    /// order, which the lane engine's heal/taint/doom rules depend on.
+    fn pump_dl1_events(&mut self, thread: u8, slab: u32) {
+        let Some(buf) = self.lane_events.as_mut() else {
+            return;
+        };
+        self.mem.for_each_dl1_event(|ev| {
+            buf.push(match ev {
+                sim_mem::CacheEvent::Read { line, base, w0, w1 } => LaneEvent::DlRead {
+                    thread,
+                    slab,
+                    line,
+                    base,
+                    w0,
+                    w1,
+                },
+                sim_mem::CacheEvent::Write { line, base, w0, w1 } => {
+                    LaneEvent::DlWrite { line, base, w0, w1 }
+                }
+                sim_mem::CacheEvent::Fill {
+                    line,
+                    base,
+                    was_dirty,
+                    ..
+                } => LaneEvent::DlFill {
+                    line,
+                    base,
+                    was_dirty,
+                },
+            })
+        });
     }
 }
 

@@ -103,11 +103,12 @@ pub enum Landing {
 /// else out to the scalar path.
 ///
 /// The classification is conservative by construction: any strike whose
-/// injection mutates state beyond the taint/poison metadata — renamed
-/// source tags, effective addresses, recorded PCs, cache/TLB contents —
-/// probes as [`FaultProbe::Diverges`] even when the mutation would turn
-/// out to be timing-neutral, because the fork (a scalar trial) is always
-/// correct and only the *cheap* cases must be predicted exactly.
+/// injection mutates state the lane engine cannot track exactly against
+/// the shared follower — renamed source tags, pre-issue effective
+/// addresses, pre-issue load PCs — probes as [`FaultProbe::Diverges`]
+/// even when the mutation would turn out to be timing-neutral, because
+/// the fork (a scalar trial) is always correct and only the *cheap*
+/// cases must be predicted exactly.
 ///
 /// [`inject_fault`]: crate::SmtCore::inject_fault
 /// [`probe_fault`]: crate::SmtCore::probe_fault
@@ -137,9 +138,48 @@ pub enum FaultProbe {
         /// Register index within its pool.
         reg: u16,
     },
+    /// The strike would land [`Landing::Injected`] on resident DL1 state
+    /// the lane engine can track without ever forking. `Some(w)`: word
+    /// `w` is poisoned — demand reads taint their consumers, overwrites
+    /// heal, and a dirty eviction moves the watch to the word's memory
+    /// address (the scalar's `stale_words` mirror). `None`: a clean-tag
+    /// strike that merely invalidates the line — timing-only, no
+    /// architectural residue, so the lane rides bare and resolves Masked
+    /// at its first convergence check.
+    CacheResident {
+        /// Flat physical DL1 line index (`set * assoc + way`).
+        line: u32,
+        /// `Some(w)`: a data strike poisoning word `w` (residual
+        /// corruption until healed). `None`: a clean-tag strike that
+        /// invalidates the line (timing-only — no architectural residue).
+        word: Option<u8>,
+    },
+    /// The strike would land [`Landing::Injected`] by invalidating a
+    /// *dirty* DL1 line, silently discarding its only good copy (every
+    /// word becomes a stale memory address). The struck machine is golden
+    /// minus one valid line: its timing stays identical exactly until
+    /// something touches the line or fills into its set, so the lane
+    /// engine rides it as permanently-residual (Latent) and forks on the
+    /// first touch.
+    CacheDirtyLine {
+        /// Flat physical DL1 line index of the lost line.
+        line: u32,
+    },
+    /// The strike would land [`Landing::Injected`] by invalidating one
+    /// valid TLB entry — timing-only (translation is identity-mapped and
+    /// a refill restores the entry exactly), so the lane rides bare and
+    /// resolves Masked at its first convergence check without watching
+    /// anything.
+    TlbResident {
+        /// Instruction TLB (`false` = data TLB).
+        itlb: bool,
+        /// Flat entry index (`set * assoc + way`).
+        entry: u32,
+    },
     /// The strike would mutate state the lane engine cannot mask
-    /// per-lane (addresses, tags, cache/TLB contents, recorded PCs): the
-    /// lane must fork to a scalar core and inject for real.
+    /// per-lane (renamed source tags, pre-issue effective addresses,
+    /// pre-issue load PCs, anything under FLUSH replay): the lane must
+    /// fork to a scalar core and inject for real.
     Diverges,
 }
 

@@ -3,7 +3,8 @@
 //! ```text
 //! sim-serve submit --store DIR --workload NAME [--trials N] [--seed S]
 //!                  [--worker-procs P] [--chunk N] [--scale quick|default]
-//!                  [--workers W] [--checkpoints K] [--name LABEL]
+//!                  [--workers W] [--checkpoints K] [--lanes L]
+//!                  [--targets a,b,...] [--name LABEL]
 //!                  [--enqueue QUEUE_DIR]
 //! sim-serve serve  --store DIR --queue DIR [--worker-procs P] [--once]
 //! sim-serve status --store DIR
@@ -32,7 +33,8 @@ fn usage() -> String {
      \n\
      submit --store DIR --workload NAME [--trials N] [--seed S] [--workers W]\n\
      \x20      [--worker-procs P] [--chunk N] [--scale quick|default]\n\
-     \x20      [--checkpoints K] [--name LABEL] [--enqueue QUEUE_DIR]\n\
+     \x20      [--checkpoints K] [--lanes L] [--targets a,b,...]\n\
+     \x20      [--name LABEL] [--enqueue QUEUE_DIR]\n\
      serve  --store DIR --queue DIR [--worker-procs P] [--poll-ms N] [--once]\n\
      status --store DIR\n\
      result --store DIR --job ID_PREFIX\n\
@@ -146,6 +148,10 @@ fn spec_from_flags(flags: &Flags) -> Result<JobSpec, String> {
         cfg.workers = workers;
     }
     cfg.checkpoints = flags.parse_num("--checkpoints", cfg.checkpoints)?.max(1);
+    // Execution knob only: lanes is deliberately outside the job identity
+    // (the spec hashes and resumes the same for any lane count, because
+    // the batched engine is proven bit-identical to the scalar path).
+    cfg.lanes = flags.parse_num("--lanes", cfg.lanes)?;
     if let Some(list) = flags.get("--targets") {
         cfg.targets = list
             .split(',')
@@ -187,6 +193,7 @@ fn cmd_submit(flags: &Flags) -> Result<(), String> {
         "--chunk",
         "--scale",
         "--checkpoints",
+        "--lanes",
         "--targets",
         "--name",
         "--enqueue",

@@ -121,6 +121,7 @@ pub fn run_job(store_dir: &Path, spec: &JobSpec, worker_procs: usize) -> Result<
         injected_trials: injected,
         early_exits: 0,
         restore: None,
+        lane_stats: None,
     };
     Ok(JobReport {
         job: spec.id(),

@@ -16,7 +16,11 @@
 #   6. validate_avf --lanes 8 --store must produce a store byte-identical
 #      to the scalar one: the lane-batched engine changes wall clock,
 #      never bytes, and lane count is not part of job identity.
-#   7. Corrupt one object in B; fsck must fail closed.
+#   7. Same byte-identity through sim-serve end to end on a cache-heavy
+#      target mix (dl1data,dl1tag,dtlb,itlb) — the strikes that resolve
+#      through the consumption-feed watches — submitted scalar and with
+#      --lanes 8 into separate stores.
+#   8. Corrupt one object in B; fsck must fail closed.
 #
 # Usage: scripts/service_smoke.sh
 set -euo pipefail
@@ -31,6 +35,7 @@ VALIDATE=(cargo run --release -q --bin validate_avf --
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 A="$work/store-a" B="$work/store-b" C="$work/store-c" D="$work/store-d"
+E="$work/store-e" F="$work/store-f"
 
 echo "==> service smoke: clean reference submit"
 "${SERVE[@]}" "${SUBMIT[@]}" --store "$A"
@@ -66,6 +71,14 @@ echo "==> service smoke: lane-batched store is byte-identical to scalar"
 "${VALIDATE[@]}" --lanes 8 --store "$D" > /dev/null
 diff -r "$C/objects" "$D/objects"
 diff -r "$C/refs" "$D/refs"
+
+echo "==> service smoke: cache-heavy lane-batched submit is byte-identical"
+MEMSUBMIT=(submit --workload 2T-MIX-A --trials 4 --seed 9
+  --targets dl1data,dl1tag,dtlb,itlb --chunk 3 --workers 1)
+"${SERVE[@]}" "${MEMSUBMIT[@]}" --store "$E"
+"${SERVE[@]}" "${MEMSUBMIT[@]}" --lanes 8 --store "$F"
+diff -r "$E/objects" "$F/objects"
+diff -r "$E/refs" "$F/refs"
 
 echo "==> service smoke: fsck passes clean, fails closed on corruption"
 "${SERVE[@]}" fsck --store "$B"

@@ -304,6 +304,33 @@ fn main() -> ExitCode {
             r.restores, r.min_cycles, r.max_cycles, r.mean_cycles
         );
     }
+    if let Some(ls) = &m.lane_stats {
+        let t = ls.totals();
+        println!(
+            "lane probe classes: {} prechecked, {} batched, {} resident-resolved, \
+             {} forked ({} reconverged early), {} deduped — fork rate {:.3}",
+            t.prechecked,
+            t.batched,
+            t.resident,
+            t.forked,
+            t.reconverged,
+            t.deduped,
+            t.fork_rate()
+        );
+        for (target, c) in &ls.per_target {
+            println!(
+                "  {:>8}: {:>4} prechecked {:>4} batched {:>4} resident {:>4} forked \
+                 ({:>3} reconverged) {:>3} deduped",
+                target.label(),
+                c.prechecked,
+                c.batched,
+                c.resident,
+                c.forked,
+                c.reconverged,
+                c.deduped
+            );
+        }
+    }
 
     if let Err(msg) = observe(&opts, &workload, &campaign) {
         eprintln!("{msg}");

@@ -218,6 +218,7 @@ pub fn validate_workload_stored(
             injected_trials: injected,
             early_exits: 0,
             restore: None,
+            lane_stats: None,
         },
         records: outcome.result.records,
     };
