@@ -25,6 +25,11 @@
 //! set, the guard also fails when `lanes.fork_rate` — the deterministic
 //! fraction of trials the lane engine had to run as scalar forks — rises
 //! above the ceiling.
+//!
+//! When the candidate carries a `service` section (the stored-campaign
+//! metrics-overhead timing), the guard requires `"bit_identical": true`
+//! and an `overhead_pct` at or under
+//! `BENCH_GUARD_MAX_SERVICE_OVERHEAD_PCT` (default 5, the service SLO).
 
 use std::process::ExitCode;
 
@@ -115,6 +120,38 @@ fn check_lanes(json: &str, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Gate the candidate's `service` section, if present: the metrics-on
+/// store must have been proven byte-identical to the metrics-off store,
+/// and the measured overhead must stay under
+/// `BENCH_GUARD_MAX_SERVICE_OVERHEAD_PCT` (default 5, the service SLO).
+/// A candidate without the section (PERFBENCH_SERVICE=0) passes.
+fn check_service(json: &str, path: &str) -> Result<(), String> {
+    let Some(overhead) = section_value(json, "service", "overhead_pct", path) else {
+        return Ok(());
+    };
+    let service_at = json.find("\"service\": {").expect("section located above");
+    let body = &json[service_at..];
+    let body = &body[..body.find('}').unwrap_or(body.len())];
+    if !body.contains("\"bit_identical\": true") {
+        return Err(format!(
+            "{path}: service section lacks \"bit_identical\": true"
+        ));
+    }
+    let max_overhead: f64 = std::env::var("BENCH_GUARD_MAX_SERVICE_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(5.0);
+    println!(
+        "bench_guard: service.overhead_pct {overhead:.3} (ceiling {max_overhead}, bit-identical)"
+    );
+    if overhead > max_overhead {
+        return Err(format!(
+            "{path}: metrics overhead {overhead:.3}% exceeds the {max_overhead}% service SLO"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_path, candidate_path] = args.as_slice() else {
@@ -141,7 +178,12 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if let Err(msg) = check_lanes(&read(candidate_path), candidate_path) {
+    let candidate_json = read(candidate_path);
+    if let Err(msg) = check_lanes(&candidate_json, candidate_path) {
+        eprintln!("bench_guard: FAIL — {msg}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(msg) = check_service(&candidate_json, candidate_path) {
         eprintln!("bench_guard: FAIL — {msg}");
         return ExitCode::FAILURE;
     }

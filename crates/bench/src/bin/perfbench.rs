@@ -48,6 +48,8 @@
 //! * `PERFBENCH_SFI` — set to `0` to skip the SFI section entirely
 //! * `PERFBENCH_SFI_TRIALS` — trials per structure for the SFI timing
 //!   (default 50)
+//! * `PERFBENCH_SERVICE` — set to `0` to skip the stored-campaign
+//!   metrics-overhead section (it shares `PERFBENCH_SFI_TRIALS`)
 //! * `PERFBENCH_LANES` — set to `0` to skip the lane-batch section
 //!   (it shares `PERFBENCH_SFI_TRIALS`)
 //! * `PERFBENCH_TRACE_REPS` — repetitions per tracing configuration
@@ -226,6 +228,99 @@ fn sfi_wallclock(trials: usize) -> (f64, f64, usize) {
 /// 64-bit mask width, so a 400-trial quick campaign needs only 7 batch
 /// windows (follower stepping amortizes across more riders per window).
 const LANE_WIDTH: usize = 64;
+
+/// Time the full stored-campaign service path (spec/golden publish,
+/// chunked trials, per-chunk publishes, result assembly, ACE reference)
+/// into fresh stores with the metrics registry off vs on, proving the two
+/// stores byte-identical over `objects/` and `refs/` before returning the
+/// `(off_secs, on_secs, p99_chunk_publish_us)` medians. This is the
+/// metrics-overhead SLO measurement: observability must cost ≤5% of
+/// service throughput and change nothing the store persists.
+fn service_wallclock(trials: usize, reps: usize) -> (f64, f64, u64) {
+    let w = table2()
+        .into_iter()
+        .find(|w| w.name == "2T-MIX-A")
+        .expect("bundled workload");
+    let cfg = MachineConfig::ispass07_baseline()
+        .with_contexts(w.contexts)
+        .with_fetch_policy(FetchPolicyKind::Icount);
+    let factory = || {
+        SmtCore::new(
+            cfg.clone(),
+            workload_generators(&w).expect("bundled workload"),
+        )
+    };
+    let mut cc = default_campaign(&w, trials, 12, ExperimentScale::quick());
+    cc.workers = 1;
+    let spec = sim_store::JobSpec {
+        name: format!("perfbench-service-t{trials}"),
+        workload: w.name.clone(),
+        cfg: cc,
+        chunk_trials: (trials / 2).max(1),
+    };
+
+    let base = std::env::temp_dir().join(format!("perfbench-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let run_one = |dir: &std::path::Path, metrics_on: bool| -> f64 {
+        sim_trace::metrics::set_enabled(metrics_on);
+        let store = sim_store::Store::open(dir).expect("open bench store");
+        let t0 = Instant::now();
+        sim_store::run_campaign_stored(&store, &spec, &factory, || {
+            smt_avf::runner::run_workload_on(&cfg, &w, spec.cfg.budget)
+                .map(|r| r.report)
+                .map_err(|e| e.to_string())
+        })
+        .expect("stored campaign");
+        let secs = t0.elapsed().as_secs_f64();
+        sim_trace::metrics::set_enabled(false);
+        secs
+    };
+
+    // Alternate modes so slow drift (thermal, background load) hits both
+    // sides equally; the median rep is what gets reported.
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for r in 0..reps.max(1) {
+        off.push(run_one(&base.join(format!("off{r}")), false));
+        on.push(run_one(&base.join(format!("on{r}")), true));
+    }
+
+    let tree = |dir: &std::path::Path| -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<std::path::PathBuf> = vec![dir.join("objects"), dir.join("refs")];
+        while let Some(d) = stack.pop() {
+            let Ok(rd) = std::fs::read_dir(&d) else {
+                continue;
+            };
+            for entry in rd.filter_map(|e| e.ok()) {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else {
+                    let rel = p.strip_prefix(dir).unwrap().to_string_lossy().to_string();
+                    out.push((rel, std::fs::read(&p).expect("read store file")));
+                }
+            }
+        }
+        out.sort();
+        out
+    };
+    assert_eq!(
+        tree(&base.join("off0")),
+        tree(&base.join("on0")),
+        "metrics changed persisted store bytes"
+    );
+
+    let p99_chunk_publish_us = sim_trace::metrics::global()
+        .histogram("store.chunk_publish_us")
+        .quantile(0.99);
+    let _ = std::fs::remove_dir_all(&base);
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    (median(off), median(on), p99_chunk_publish_us)
+}
 
 fn lanes_wallclock(trials: usize) -> (f64, f64, LaneStats) {
     let w = table2()
@@ -535,6 +630,45 @@ fn main() {
         );
     }
 
+    // Service: the stored-campaign path with the metrics registry off vs
+    // on. Store bytes are proven identical inside `service_wallclock`;
+    // full runs hold the ≤5% overhead SLO (quick budgets are too noisy).
+    let mut service_json = String::from("null");
+    if env_u64("PERFBENCH_SERVICE", 1) != 0 && sfi_trials > 0 {
+        let reps = 3;
+        let (off_secs, on_secs, p99_chunk_publish_us) = service_wallclock(sfi_trials, reps);
+        let raw_overhead_pct = (on_secs - off_secs) / off_secs * 100.0;
+        let within_noise_floor = raw_overhead_pct <= TRACE_NOISE_FLOOR_PCT;
+        let overhead_pct = if within_noise_floor {
+            0.0
+        } else {
+            raw_overhead_pct
+        };
+        println!(
+            "service: {sfi_trials} trials/structure stored campaign — metrics off \
+             {off_secs:.2}s, on {on_secs:.2}s ({overhead_pct:.2}% overhead, \
+             p99 chunk publish {p99_chunk_publish_us} us, bit-identical stores)"
+        );
+        if sfi_trials >= 50 {
+            assert!(
+                overhead_pct <= 5.0,
+                "metrics overhead {overhead_pct:.2}% exceeds the 5% service SLO"
+            );
+        }
+        service_json = format!(
+            "{{\n    \"workload\": \"2T-MIX-A\",\n    \"scale\": \"quick\",\n    \
+             \"trials_per_structure\": {sfi_trials},\n    \
+             \"reps\": {reps},\n    \
+             \"metrics_off_secs\": {off_secs:.3},\n    \
+             \"metrics_on_secs\": {on_secs:.3},\n    \
+             \"raw_overhead_pct\": {raw_overhead_pct:.3},\n    \
+             \"overhead_pct\": {overhead_pct:.3},\n    \
+             \"noise_floor_pct\": {TRACE_NOISE_FLOOR_PCT},\n    \
+             \"p99_chunk_publish_us\": {p99_chunk_publish_us},\n    \
+             \"bit_identical\": true\n  }}"
+        );
+    }
+
     let json = format!(
         "{{\n  \"schema\": \"smt-avf/perfbench/v1\",\n  \"commit\": \"{}\",\n  \
          \"hardware\": {{\n    \"available_parallelism\": {parallelism},\n    \
@@ -548,7 +682,8 @@ fn main() {
          \"fastforward\": {fastforward_json},\n  \
          \"sweep\": {sweep_json},\n  \
          \"sfi\": {sfi_json},\n  \
-         \"lanes\": {lanes_json}\n}}\n",
+         \"lanes\": {lanes_json},\n  \
+         \"service\": {service_json}\n}}\n",
         git_sha(),
         sim_exec::JOB_CHUNK,
         w.name,

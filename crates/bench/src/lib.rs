@@ -212,6 +212,17 @@ pub fn maybe_trace(scale: ExperimentScale) {
                 workload.name,
                 observed.result.cycles
             );
+            if observed.trace_dropped > 0 {
+                eprintln!(
+                    "[trace] WARNING: ring dropped {} event(s); the trace starts mid-run. \
+                     Re-run with a ring of at least {} events to keep them all.",
+                    observed.trace_dropped,
+                    smt_avf::runner::suggest_trace_capacity(
+                        observed.trace_retained,
+                        observed.trace_dropped
+                    )
+                );
+            }
         }
         None => {
             eprintln!("[trace] SMT_AVF_TRACE_OUT set but tracing is compiled out; no trace written")

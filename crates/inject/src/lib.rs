@@ -485,6 +485,55 @@ pub struct CampaignMetrics {
     pub lane_stats: Option<LaneStats>,
 }
 
+impl CampaignMetrics {
+    /// Fold this run's metrics into `registry` under `prefix` — the bridge
+    /// the serving layer uses so campaign diagnostics surface in metrics
+    /// snapshots. Counters accumulate across campaigns; gauges hold the
+    /// latest run's value; the trial phase lands as one histogram sample
+    /// in microseconds. Like the struct itself, this is diagnostics only —
+    /// nothing here feeds back into results.
+    pub fn export(&self, registry: &sim_trace::metrics::MetricsRegistry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.trials"))
+            .add(self.trials);
+        registry
+            .counter(&format!("{prefix}.injected_trials"))
+            .add(self.injected_trials);
+        registry
+            .counter(&format!("{prefix}.early_exits"))
+            .add(self.early_exits);
+        registry
+            .gauge(&format!("{prefix}.workers"))
+            .set(self.workers as i64);
+        registry
+            .histogram(&format!("{prefix}.trial_phase_us"))
+            .observe((self.trial_secs * 1e6) as u64);
+        for (i, &jobs) in self.per_worker_jobs.iter().enumerate() {
+            registry
+                .counter(&format!("{prefix}.worker{i}.jobs"))
+                .add(jobs);
+        }
+        if let Some(r) = &self.restore {
+            registry
+                .counter(&format!("{prefix}.restores"))
+                .add(r.restores);
+        }
+        if let Some(ls) = &self.lane_stats {
+            let t = ls.totals();
+            for (name, n) in [
+                ("lane_prechecked", t.prechecked),
+                ("lane_batched", t.batched),
+                ("lane_resident", t.resident),
+                ("lane_forked", t.forked),
+                ("lane_reconverged", t.reconverged),
+                ("lane_deduped", t.deduped),
+            ] {
+                registry.counter(&format!("{prefix}.{name}")).add(n);
+            }
+        }
+    }
+}
+
 /// A completed campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {

@@ -7,9 +7,12 @@
 //!                  [--targets a,b,...] [--name LABEL]
 //!                  [--enqueue QUEUE_DIR]
 //! sim-serve serve  --store DIR --queue DIR [--worker-procs P] [--once]
-//! sim-serve status --store DIR
+//! sim-serve status --store DIR [--watch] [--interval-ms N]
 //! sim-serve result --store DIR --job ID_PREFIX
+//! sim-serve metrics --store DIR
+//! sim-serve gc     --store DIR
 //! sim-serve fsck   --store DIR
+//! sim-serve soak   --dir DIR [--jobs N] [--crash-jobs K] ...
 //! sim-serve worker             (internal: spawned by the sharding parent)
 //! ```
 //!
@@ -18,27 +21,41 @@
 //! a queue directory for a long-running `serve` process to pick up.
 //! Killing any of these at any point is safe: the same submission resumes
 //! from the store and finishes with byte-identical results.
+//!
+//! Wall-clock metrics (DESIGN.md §5k) are on by default for `submit`,
+//! `serve`, and `soak` (`--no-metrics` opts out) and snapshot to
+//! `<store>/metrics/*.json` — a directory fsck never walks, because
+//! observability is deliberately outside the result-equality contract.
 
 mod protocol;
 mod server;
+mod soak;
 
 use sim_store::{decode_record, encode_record, JobSpec, ObjectId, Store, DEFAULT_CHUNK_TRIALS};
+use sim_trace::metrics;
 use smt_avf::experiments::campaign::default_campaign;
 use smt_avf::ExperimentScale;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: sim-serve <submit|serve|status|result|fsck|worker> [flags]\n\
+    "usage: sim-serve <submit|serve|status|result|metrics|gc|fsck|soak|worker> [flags]\n\
      \n\
      submit --store DIR --workload NAME [--trials N] [--seed S] [--workers W]\n\
      \x20      [--worker-procs P] [--chunk N] [--scale quick|default]\n\
      \x20      [--checkpoints K] [--lanes L] [--targets a,b,...]\n\
-     \x20      [--name LABEL] [--enqueue QUEUE_DIR]\n\
-     serve  --store DIR --queue DIR [--worker-procs P] [--poll-ms N] [--once]\n\
-     status --store DIR\n\
+     \x20      [--name LABEL] [--enqueue QUEUE_DIR] [--no-metrics]\n\
+     serve  --store DIR --queue DIR [--worker-procs P] [--poll-ms N]\n\
+     \x20      [--metrics-every N] [--no-metrics] [--once]\n\
+     status --store DIR [--watch] [--interval-ms N]\n\
      result --store DIR --job ID_PREFIX\n\
-     fsck   --store DIR"
+     metrics --store DIR\n\
+     gc     --store DIR\n\
+     fsck   --store DIR\n\
+     soak   --dir DIR [--jobs N] [--crash-jobs K] [--worker-procs P]\n\
+     \x20      [--trials T] [--seed S] [--chunk C] [--workload NAME]\n\
+     \x20      [--targets a,b,...] [--slo-p99-ms N] [--slo-resume-ms N]\n\
+     \x20      [--report PATH]"
         .to_string()
 }
 
@@ -197,6 +214,7 @@ fn cmd_submit(flags: &Flags) -> Result<(), String> {
         "--targets",
         "--name",
         "--enqueue",
+        "--no-metrics",
     ])?;
     let spec = spec_from_flags(flags)?;
     let job = spec.id();
@@ -207,6 +225,7 @@ fn cmd_submit(flags: &Flags) -> Result<(), String> {
     }
     let store = PathBuf::from(flags.require("--store")?);
     let worker_procs: usize = flags.parse_num("--worker-procs", 0)?;
+    metrics::set_enabled(!flags.has("--no-metrics"));
     eprintln!(
         "sim-serve: job {} ({}): workload {}, {} trials x {} targets, chunk {}, {}",
         server::short(&job),
@@ -231,9 +250,22 @@ fn cmd_submit(flags: &Flags) -> Result<(), String> {
         report.metrics.trial_secs,
         report.metrics.trials_per_sec,
     );
+    if metrics::enabled() {
+        write_metrics_snapshot(&store, "submit.json");
+    }
     println!("job {}", report.job);
     print_result(&report.result);
     Ok(())
+}
+
+/// Write the global registry to `<store>/metrics/<name>` (best effort:
+/// a failed snapshot is a log line, never a failed job).
+fn write_metrics_snapshot(store: &Path, name: &str) {
+    let path = store.join("metrics").join(name);
+    match metrics::global().write_snapshot(&path) {
+        Ok(()) => eprintln!("sim-serve: metrics snapshot -> {}", path.display()),
+        Err(e) => eprintln!("sim-serve: metrics snapshot {} failed: {e}", path.display()),
+    }
 }
 
 /// Atomically drop a job spec into a queue directory.
@@ -253,13 +285,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         "--queue",
         "--worker-procs",
         "--poll-ms",
+        "--metrics-every",
+        "--no-metrics",
         "--once",
     ])?;
     let store = PathBuf::from(flags.require("--store")?);
     let queue = PathBuf::from(flags.require("--queue")?);
     let worker_procs: usize = flags.parse_num("--worker-procs", 0)?;
     let poll_ms: u64 = flags.parse_num("--poll-ms", 500)?;
+    let metrics_every: u64 = flags.parse_num("--metrics-every", 20)?;
     let once = flags.has("--once");
+    metrics::set_enabled(!flags.has("--no-metrics"));
     std::fs::create_dir_all(&queue).map_err(|e| format!("{}: {e}", queue.display()))?;
     eprintln!(
         "sim-serve: watching {} (store {}, poll {poll_ms} ms{})",
@@ -267,54 +303,29 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         store.display(),
         if once { ", single pass" } else { "" }
     );
+    let mut passes: u64 = 0;
     loop {
-        let mut jobs: Vec<PathBuf> = std::fs::read_dir(&queue)
-            .map_err(|e| format!("{}: {e}", queue.display()))?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "job"))
-            .collect();
-        jobs.sort();
-        for path in &jobs {
-            let bytes = match std::fs::read(path) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("sim-serve: skipping {}: {e}", path.display());
-                    continue;
-                }
-            };
-            let disposition = match decode_record::<JobSpec>(&bytes) {
-                Err(e) => {
-                    eprintln!("sim-serve: rejecting {}: {e}", path.display());
-                    "rejected"
-                }
-                Ok(spec) => {
-                    eprintln!(
-                        "sim-serve: running job {} ({})",
-                        server::short(&spec.id()),
-                        spec.name
-                    );
-                    match server::run_job(&store, &spec, worker_procs) {
-                        Ok(report) => {
-                            eprintln!(
-                                "sim-serve: job {} done ({} resumed, {} computed)",
-                                server::short(&report.job),
-                                report.resumed_chunks,
-                                report.computed_chunks
-                            );
-                            "done"
-                        }
-                        Err(e) => {
-                            eprintln!("sim-serve: job failed: {e}");
-                            "failed"
-                        }
-                    }
-                }
-            };
-            let parked = path.with_extension(disposition);
-            if let Err(e) = std::fs::rename(path, &parked) {
-                return Err(format!("parking {}: {e}", path.display()));
-            }
+        let stats = server::drain_queue(&store, &queue, worker_procs)?;
+        if !stats.drained.is_empty() {
+            let worst_ms = stats
+                .drained
+                .iter()
+                .map(|d| d.latency_us)
+                .max()
+                .unwrap_or(0)
+                / 1000;
+            eprintln!(
+                "sim-serve: pass drained {} job(s), worst submit-to-result {worst_ms} ms",
+                stats.drained.len()
+            );
+        }
+        passes += 1;
+        // Snapshot after any pass that did work and periodically while
+        // idle, so an observer (or a crash) is at most one pass stale.
+        if metrics::enabled()
+            && (!stats.drained.is_empty() || once || passes.is_multiple_of(metrics_every.max(1)))
+        {
+            write_metrics_snapshot(&store, "serve.json");
         }
         if once {
             return Ok(());
@@ -323,9 +334,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
 }
 
-fn cmd_status(flags: &Flags) -> Result<(), String> {
-    flags.check_known(&["--store"])?;
-    let store = Store::open(flags.require("--store")?).map_err(|e| e.to_string())?;
+/// Render the job table `status` prints — one build per refresh so
+/// `--watch` can clear and reprint an entire consistent frame.
+fn status_body(store_dir: &str) -> Result<String, String> {
+    let store = Store::open(store_dir).map_err(|e| e.to_string())?;
     let refs = store.refs("jobs/").map_err(|e| e.to_string())?;
     let mut jobs: Vec<String> = Vec::new();
     for (name, _) in &refs {
@@ -334,13 +346,15 @@ fn cmd_status(flags: &Flags) -> Result<(), String> {
             jobs.push(job);
         }
     }
+    let mut out = String::new();
+    use std::fmt::Write as _;
     if jobs.is_empty() {
-        println!("no jobs");
-        return Ok(());
+        out.push_str("no jobs\n");
+        return Ok(out);
     }
     for hex in jobs {
         let Some(job) = ObjectId::from_hex(&hex) else {
-            println!("{hex}: not a job id");
+            let _ = writeln!(out, "{hex}: not a job id");
             continue;
         };
         let spec = match store
@@ -361,7 +375,8 @@ fn cmd_status(flags: &Flags) -> Result<(), String> {
             .as_ref()
             .map(|s| sim_store::plan_chunks(s.total_trials(), s.chunk_trials).len());
         let has_result = refs.iter().any(|(n, _)| n == &format!("jobs/{hex}/result"));
-        println!(
+        let _ = writeln!(
+            out,
             "{}  {:<24} {:>9}  chunks {}/{}",
             &hex[..12],
             spec.as_ref().map(|s| s.name.as_str()).unwrap_or("?"),
@@ -370,7 +385,26 @@ fn cmd_status(flags: &Flags) -> Result<(), String> {
             planned.map_or("?".to_string(), |n| n.to_string()),
         );
     }
-    Ok(())
+    Ok(out)
+}
+
+fn cmd_status(flags: &Flags) -> Result<(), String> {
+    flags.check_known(&["--store", "--watch", "--interval-ms"])?;
+    let store_dir = flags.require("--store")?;
+    if !flags.has("--watch") {
+        print!("{}", status_body(store_dir)?);
+        return Ok(());
+    }
+    let interval_ms: u64 = flags.parse_num("--interval-ms", 1000)?;
+    loop {
+        // A status error mid-watch is transient by construction (e.g. a
+        // ref updated between listing and reading) — show it and retry.
+        let frame = status_body(store_dir).unwrap_or_else(|e| format!("status: {e}\n"));
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
 }
 
 fn cmd_result(flags: &Flags) -> Result<(), String> {
@@ -403,6 +437,55 @@ fn cmd_result(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// Print every metrics snapshot under `<store>/metrics/`. Snapshots are
+/// plain JSON files outside the object namespace; this just finds and
+/// dumps them with a header per file.
+fn cmd_metrics(flags: &Flags) -> Result<(), String> {
+    flags.check_known(&["--store"])?;
+    let dir = PathBuf::from(flags.require("--store")?).join("metrics");
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    files.sort();
+    if files.is_empty() {
+        println!(
+            "no metrics snapshots under {} (run submit/serve without --no-metrics)",
+            dir.display()
+        );
+        return Ok(());
+    }
+    // Snapshot dumps are exactly the output that gets piped into `head`
+    // or `jq`; write through the io layer and treat a closed pipe as a
+    // normal early exit instead of a println! panic.
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    for f in &files {
+        let body = std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        let newline = if body.ends_with('\n') { "" } else { "\n" };
+        if write!(out, "-- {}\n{body}{newline}", f.display()).is_err() {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gc(flags: &Flags) -> Result<(), String> {
+    flags.check_known(&["--store"])?;
+    let store = Store::open(flags.require("--store")?).map_err(|e| e.to_string())?;
+    let report = store.gc().map_err(|e| e.to_string())?;
+    println!(
+        "gc: {} live objects kept, {} unreferenced objects removed, \
+         {} tmp files removed, {} bytes reclaimed",
+        report.live_objects, report.removed_objects, report.tmp_removed, report.reclaimed_bytes
+    );
+    Ok(())
+}
+
 fn cmd_fsck(flags: &Flags) -> Result<(), String> {
     flags.check_known(&["--store"])?;
     let store = Store::open(flags.require("--store")?).map_err(|e| e.to_string())?;
@@ -430,7 +513,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cmd = args.remove(0);
-    let bare: &[&str] = &["--once"];
+    let bare: &[&str] = &["--once", "--watch", "--no-metrics"];
     let run = || -> Result<(), String> {
         match cmd.as_str() {
             "worker" => server::worker_main(),
@@ -438,7 +521,10 @@ fn main() -> ExitCode {
             "serve" => cmd_serve(&Flags::parse(args.clone(), bare)?),
             "status" => cmd_status(&Flags::parse(args.clone(), bare)?),
             "result" => cmd_result(&Flags::parse(args.clone(), bare)?),
+            "metrics" => cmd_metrics(&Flags::parse(args.clone(), bare)?),
+            "gc" => cmd_gc(&Flags::parse(args.clone(), bare)?),
             "fsck" => cmd_fsck(&Flags::parse(args.clone(), bare)?),
+            "soak" => soak::cmd_soak(&Flags::parse(args.clone(), bare)?),
             "--help" | "-h" | "help" => Err(usage()),
             other => Err(format!("unknown command '{other}'\n{}", usage())),
         }

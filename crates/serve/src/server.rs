@@ -15,15 +15,16 @@ use sim_inject::{CampaignMetrics, Landing, PreparedCampaign};
 use sim_model::{FetchPolicyKind, MachineConfig};
 use sim_pipeline::SmtCore;
 use sim_store::{
-    assemble_result, encode_record, load_chunk, load_result, maybe_crash_after, plan_chunks,
-    prepare_stored, run_chunk, store_chunk, ChunkPlan, ChunkRecord, GoldenFingerprint,
+    assemble_result, decode_record, encode_record, load_chunk, load_result, maybe_crash_after,
+    plan_chunks, prepare_stored, run_chunk, store_chunk, ChunkPlan, ChunkRecord, GoldenFingerprint,
     JobResultRecord, JobSpec, ObjectId, Store, StoredOutcome,
 };
+use sim_trace::metrics::{self, micros_since};
 use sim_workload::{table2, SmtWorkload, TraceGenerator};
 use smt_avf::runner::{run_workload_on, workload_generators};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -123,6 +124,17 @@ pub fn run_job(store_dir: &Path, spec: &JobSpec, worker_procs: usize) -> Result<
         restore: None,
         lane_stats: None,
     };
+    if metrics::enabled() {
+        let reg = metrics::global();
+        reg.counter("serve.jobs").inc();
+        reg.counter("serve.chunks_resumed")
+            .add(outcome.resumed_chunks as u64);
+        reg.counter("serve.chunks_computed")
+            .add(outcome.computed_chunks as u64);
+        reg.histogram("serve.job_us")
+            .observe((elapsed * 1e6) as u64);
+        metrics.export(reg, "campaign");
+    }
     Ok(JobReport {
         job: spec.id(),
         result: outcome.result,
@@ -173,6 +185,9 @@ fn spawn_worker(spec: &JobSpec) -> Result<Worker, String> {
         .env_remove("SIM_STORE_CRASH_AFTER_CHUNKS")
         .spawn()
         .map_err(|e| format!("spawning {}: {e}", exe.display()))?;
+    if metrics::enabled() {
+        metrics::global().counter("serve.worker.spawns").inc();
+    }
     let mut stdin = BufWriter::new(child.stdin.take().expect("piped"));
     let stdout = BufReader::new(child.stdout.take().expect("piped"));
     write_frame(&mut stdin, spec).map_err(|e| format!("sending spec to worker: {e}"))?;
@@ -251,16 +266,28 @@ fn run_sharded(
                          refusing to shard across divergent machines"
                     ));
                 }
+                let timed = metrics::enabled();
                 loop {
                     let plan = match queue.lock().expect("queue lock").pop_front() {
                         Some(p) => p,
                         None => break,
                     };
+                    let t_chunk = timed.then(Instant::now);
                     write_frame(&mut worker.stdin, &WorkerTask { plan })
                         .map_err(|e| format!("worker {wi}: {e}"))?;
                     let reply: WorkerChunk = read_frame(&mut worker.stdout)
                         .map_err(|e| format!("worker {wi}: {e}"))?
                         .ok_or_else(|| format!("worker {wi} died running chunk {}", plan.index))?;
+                    if let Some(t) = t_chunk {
+                        // Dispatch→reply wall time is this worker's busy
+                        // window: the parent thread does nothing else
+                        // between the frames.
+                        let us = micros_since(t);
+                        let reg = metrics::global();
+                        reg.histogram("serve.worker.chunk_us").observe(us);
+                        reg.counter(&format!("serve.worker{wi}.busy_us")).add(us);
+                        reg.counter(&format!("serve.worker{wi}.frames")).add(2);
+                    }
                     let chunk = reply.chunk;
                     if chunk.job != job
                         || chunk.index != plan.index
@@ -360,6 +387,122 @@ pub fn worker_main() -> Result<(), String> {
         .map_err(|e| format!("sending chunk {}: {e}", task.plan.index))?;
     }
     Ok(())
+}
+
+/// One job processed by a [`drain_queue`] pass.
+pub struct DrainedJob {
+    /// The job's identity (`None` when the queue file did not decode).
+    pub job: Option<ObjectId>,
+    /// Where the queue file was parked: `"done"`, `"failed"`, `"rejected"`.
+    pub disposition: &'static str,
+    /// Submit (queue-file mtime) → parked, in microseconds.
+    pub latency_us: u64,
+    /// Dispatch (decode start) → parked, in microseconds.
+    pub service_us: u64,
+}
+
+/// What one queue pass did.
+pub struct DrainStats {
+    /// Jobs parked by this pass, in dispatch order.
+    pub drained: Vec<DrainedJob>,
+}
+
+/// Run one pass over `queue`: every `*.job` file (sorted, so dispatch
+/// order is deterministic) is decoded, executed against the store, and
+/// parked as `.done` / `.failed` / `.rejected`. This is the single
+/// drain path shared by `sim-serve serve` and the soak harness, and the
+/// place submit→dispatch→result latencies are observed: submit time is
+/// the queue file's mtime (stamped by the atomic rename in `enqueue`),
+/// so the latency survives across serve restarts.
+pub fn drain_queue(
+    store_dir: &Path,
+    queue: &Path,
+    worker_procs: usize,
+) -> Result<DrainStats, String> {
+    let timed = metrics::enabled();
+    let mut jobs: Vec<PathBuf> = std::fs::read_dir(queue)
+        .map_err(|e| format!("{}: {e}", queue.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "job"))
+        .collect();
+    jobs.sort();
+    if timed {
+        metrics::global()
+            .gauge("serve.queue_depth")
+            .set(jobs.len() as i64);
+    }
+    let mut drained = Vec::new();
+    for path in &jobs {
+        let submitted = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sim-serve: skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        let dispatched = Instant::now();
+        if timed {
+            let wait_us = submitted
+                .and_then(|t| t.elapsed().ok())
+                .map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64);
+            metrics::global()
+                .histogram("serve.submit_to_dispatch_us")
+                .observe(wait_us);
+        }
+        let (job, disposition) = match decode_record::<JobSpec>(&bytes) {
+            Err(e) => {
+                eprintln!("sim-serve: rejecting {}: {e}", path.display());
+                (None, "rejected")
+            }
+            Ok(spec) => {
+                eprintln!(
+                    "sim-serve: running job {} ({})",
+                    short(&spec.id()),
+                    spec.name
+                );
+                match run_job(store_dir, &spec, worker_procs) {
+                    Ok(report) => {
+                        eprintln!(
+                            "sim-serve: job {} done ({} resumed, {} computed)",
+                            short(&report.job),
+                            report.resumed_chunks,
+                            report.computed_chunks
+                        );
+                        (Some(report.job), "done")
+                    }
+                    Err(e) => {
+                        eprintln!("sim-serve: job failed: {e}");
+                        (Some(spec.id()), "failed")
+                    }
+                }
+            }
+        };
+        let parked = path.with_extension(disposition);
+        if let Err(e) = std::fs::rename(path, &parked) {
+            return Err(format!("parking {}: {e}", path.display()));
+        }
+        let service_us = micros_since(dispatched);
+        let latency_us = submitted
+            .and_then(|t| t.elapsed().ok())
+            .map_or(service_us, |d| d.as_micros().min(u64::MAX as u128) as u64);
+        if timed {
+            let reg = metrics::global();
+            reg.histogram("serve.submit_to_result_us")
+                .observe(latency_us);
+            reg.histogram("serve.service_us").observe(service_us);
+            reg.counter(&format!("serve.jobs_{disposition}")).inc();
+            reg.gauge("serve.queue_depth").add(-1);
+        }
+        drained.push(DrainedJob {
+            job,
+            disposition,
+            latency_us,
+            service_us,
+        });
+    }
+    Ok(DrainStats { drained })
 }
 
 /// Abbreviated job id for log lines.

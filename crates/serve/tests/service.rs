@@ -208,6 +208,215 @@ fn fsck_fails_closed_on_a_corrupted_object() {
     assert!(stderr.contains("fail closed"), "{stderr}");
 }
 
+/// Every file under `root/objects` and `root/refs`, relative path →
+/// contents. The reachable universe for byte-level comparisons.
+fn object_and_ref_bytes(root: &Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+    let mut out = std::collections::BTreeMap::new();
+    for sub in ["objects", "refs"] {
+        let top = root.join(sub);
+        if !top.exists() {
+            continue;
+        }
+        let mut stack = vec![top];
+        while let Some(dir) = stack.pop() {
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let path = entry.unwrap().path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    let rel = path
+                        .strip_prefix(root)
+                        .unwrap()
+                        .to_string_lossy()
+                        .to_string();
+                    out.insert(rel, std::fs::read(&path).unwrap());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn gc_after_crash_and_resume_changes_no_reachable_byte() {
+    let dir = fresh_dir("gc");
+    let out = submit(&dir, &[("SIM_STORE_CRASH_AFTER_CHUNKS", "1")], 1);
+    assert!(!out.status.success(), "crash hook must fire");
+    let out = submit(&dir, &[], 1);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Plant garbage the crash could have left: a valid but unreferenced
+    // object (decodes fine, reachable from no ref) and a stale tmp file.
+    let doomed_path;
+    {
+        let store = Store::open(&dir).unwrap();
+        let mut rec: JobResultRecord = sim_store::decode_record(&result_bytes(&dir)).unwrap();
+        rec.job = ObjectId::of(b"some other job entirely");
+        let doomed = store.put(&encode_record(&rec)).unwrap();
+        let hex = doomed.to_hex();
+        doomed_path = dir.join("objects").join(&hex[..2]).join(&hex[2..]);
+    }
+    std::fs::write(dir.join("tmp").join("stale-leftover"), b"junk").unwrap();
+    assert!(doomed_path.exists());
+
+    let mut reachable = object_and_ref_bytes(&dir);
+    reachable.remove(
+        &doomed_path
+            .strip_prefix(&dir)
+            .unwrap()
+            .to_string_lossy()
+            .to_string(),
+    );
+
+    let out = Command::new(EXE)
+        .args(["gc", "--store", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn gc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 unreferenced objects removed"),
+        "{stdout}"
+    );
+
+    assert!(!doomed_path.exists(), "garbage object must be collected");
+    assert!(
+        !dir.join("tmp").join("stale-leftover").exists(),
+        "tmp leftovers must be collected"
+    );
+    assert_eq!(
+        object_and_ref_bytes(&dir),
+        reachable,
+        "gc must not change a single reachable byte"
+    );
+
+    let out = Command::new(EXE)
+        .args(["fsck", "--store", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn fsck");
+    assert!(out.status.success(), "store must stay clean after gc");
+}
+
+#[test]
+fn metrics_are_observability_only_and_never_reach_the_store_objects() {
+    // Same job with and without metrics: identical result bytes — the
+    // registry is outside the result-equality contract by construction.
+    let with = fresh_dir("metrics-on");
+    let out = submit(&with, &[], 1);
+    assert!(out.status.success());
+    let without = fresh_dir("metrics-off");
+    let mut cmd = Command::new(EXE);
+    cmd.args(["submit", "--store", without.to_str().unwrap()]);
+    cmd.args([
+        "--workload",
+        "2T-MIX-A",
+        "--trials",
+        "4",
+        "--seed",
+        "9",
+        "--targets",
+        "iq,regfile",
+        "--chunk",
+        "3",
+        "--workers",
+        "1",
+        "--no-metrics",
+    ]);
+    let out = cmd.output().expect("spawn sim-serve");
+    assert!(out.status.success());
+    assert_eq!(
+        result_bytes(&with),
+        result_bytes(&without),
+        "metrics on/off must not change result bytes"
+    );
+
+    // The metrics-on run snapshotted under <store>/metrics/, which fsck
+    // must not treat as part of the object namespace.
+    let snap = with.join("metrics").join("submit.json");
+    let body = std::fs::read_to_string(&snap).expect("submit writes a snapshot");
+    assert!(
+        body.contains("\"schema\": \"smt-avf/metrics/v1\""),
+        "{body}"
+    );
+    assert!(body.contains("serve.jobs"), "{body}");
+    assert!(body.contains("store.publish_us"), "{body}");
+    assert!(
+        !without.join("metrics").exists(),
+        "--no-metrics must write nothing"
+    );
+    let out = Command::new(EXE)
+        .args(["fsck", "--store", with.to_str().unwrap()])
+        .output()
+        .expect("spawn fsck");
+    assert!(
+        out.status.success(),
+        "metrics snapshots must be invisible to fsck: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // And the metrics subcommand finds what submit wrote.
+    let out = Command::new(EXE)
+        .args(["metrics", "--store", with.to_str().unwrap()])
+        .output()
+        .expect("spawn metrics");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("submit.json"), "{stdout}");
+    assert!(stdout.contains("serve.job_us"), "{stdout}");
+}
+
+#[test]
+fn soak_quick_passes_its_slos() {
+    let dir = fresh_dir("soak");
+    let out = Command::new(EXE)
+        .args([
+            "soak",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--crash-jobs",
+            "1",
+            "--worker-procs",
+            "2",
+            "--trials",
+            "2",
+            "--chunk",
+            "1",
+            "--seed",
+            "400",
+        ])
+        .env_remove("SIM_STORE_CRASH_AFTER_CHUNKS")
+        .output()
+        .expect("spawn soak");
+    assert!(
+        out.status.success(),
+        "soak failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"schema\": \"smt-avf/soak/v1\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"byte_identical\": true"), "{stdout}");
+    assert!(stdout.contains("\"pass\": true"), "{stdout}");
+    assert!(dir.join("soak-report.json").exists());
+    assert!(
+        dir.join("soak").join("metrics").join("soak.json").exists(),
+        "soak must snapshot its metrics"
+    );
+}
+
 #[test]
 fn result_record_decodes_from_the_store() {
     let dir = fresh_dir("decode");

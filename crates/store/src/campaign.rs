@@ -324,8 +324,16 @@ pub fn load_chunk(
 
 /// Publish `chunk` and point its ref at it.
 pub fn store_chunk(store: &Store, chunk: &ChunkRecord) -> Result<(), CampaignStoreError> {
+    use sim_trace::metrics;
+    let t = metrics::enabled().then(std::time::Instant::now);
     let id = store.put(&encode_record(chunk))?;
     store.set_ref(&chunk_ref(&chunk.job, chunk.index), &id)?;
+    if let Some(t) = t {
+        let g = metrics::global();
+        g.histogram("store.chunk_publish_us")
+            .observe(metrics::micros_since(t));
+        g.counter("store.chunks_published").inc();
+    }
     Ok(())
 }
 

@@ -35,5 +35,5 @@ pub use codec::{fsck_decode, Codec};
 pub use record::{decode_record, encode_record, fnv1a64, CodecError, FORMAT_VERSION, MAGIC};
 pub use sha256::sha256;
 pub use snapshot::{CoreSnapshot, GoldenFingerprint};
-pub use store::{FsckError, FsckReport, ObjectId, Store, StoreError, WriterLock};
+pub use store::{FsckError, FsckReport, GcReport, ObjectId, Store, StoreError, WriterLock};
 pub use wire::{Decoder, Encoder, WireError};

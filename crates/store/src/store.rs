@@ -207,6 +207,19 @@ impl FsckReport {
     }
 }
 
+/// What one [`Store::gc`] pass kept and removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Objects a ref reaches (kept).
+    pub live_objects: usize,
+    /// Unreferenced objects deleted.
+    pub removed_objects: usize,
+    /// Bytes reclaimed (objects + staging files).
+    pub reclaimed_bytes: u64,
+    /// Staging leftovers deleted from `tmp/`.
+    pub tmp_removed: usize,
+}
+
 /// A content-addressed store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
@@ -262,7 +275,15 @@ impl Store {
 
     /// Write `bytes` to a staging file, fsync, and atomically rename to
     /// `dest`. Readers and crash-resumed writers see all or nothing.
+    ///
+    /// When process metrics are enabled ([`sim_trace::metrics::enabled`]),
+    /// the publish and its fsync are timed into the global registry —
+    /// observability only, never on the bytes path (one relaxed load when
+    /// off).
     fn publish(&self, bytes: &[u8], dest: &Path) -> Result<(), StoreError> {
+        use sim_trace::metrics;
+        let timed = metrics::enabled();
+        let t_publish = timed.then(std::time::Instant::now);
         let tmp = self.root.join("tmp").join(format!(
             "{}-{}",
             std::process::id(),
@@ -274,7 +295,13 @@ impl Store {
         {
             let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
             f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+            let t_fsync = timed.then(std::time::Instant::now);
             f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+            if let Some(t) = t_fsync {
+                metrics::global()
+                    .histogram("store.fsync_us")
+                    .observe(metrics::micros_since(t));
+            }
         }
         fs::rename(&tmp, dest).map_err(|e| io_err("rename into place", dest, e))?;
         // Make the rename itself durable. Failure to sync the directory is
@@ -283,6 +310,13 @@ impl Store {
             if let Ok(d) = fs::File::open(parent) {
                 let _ = d.sync_all();
             }
+        }
+        if let Some(t) = t_publish {
+            let g = metrics::global();
+            g.histogram("store.publish_us")
+                .observe(metrics::micros_since(t));
+            g.counter("store.publishes").inc();
+            g.counter("store.published_bytes").add(bytes.len() as u64);
         }
         Ok(())
     }
@@ -503,6 +537,84 @@ impl Store {
         }
         Ok(report)
     }
+
+    /// Garbage-collect the store: remove every object no ref points at,
+    /// plus staging leftovers under `tmp/` (orphaned by killed writers).
+    ///
+    /// Fail closed: gc takes the writer lock and runs a full [`fsck`]
+    /// first — any fsck error aborts the collection untouched, because
+    /// deleting from a store that cannot be fully validated risks turning
+    /// recoverable corruption into data loss. Reachability is exactly the
+    /// ref targets (objects never point at other objects in this layout),
+    /// so gc after a crash+resume removes only superseded or orphaned
+    /// bytes and no reachable byte changes (covered by the service test).
+    ///
+    /// [`fsck`]: Store::fsck
+    pub fn gc(&self) -> Result<GcReport, StoreError> {
+        let _lock = self.lock()?;
+        let fsck = self.fsck()?;
+        if !fsck.is_clean() {
+            return Err(StoreError::Corrupt {
+                path: self.root.clone(),
+                reason: format!(
+                    "gc refused: fsck found {} error(s); fail closed — repair \
+                     (delete the damaged campaign) before collecting garbage",
+                    fsck.errors.len()
+                ),
+            });
+        }
+        let reachable: std::collections::HashSet<ObjectId> =
+            self.refs("")?.into_iter().map(|(_, id)| id).collect();
+        let mut report = GcReport::default();
+        let objects = self.root.join("objects");
+        let mut stack = vec![objects.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err("read dir", &dir, e)),
+            };
+            for entry in entries {
+                let entry = entry.map_err(|e| io_err("read dir", &dir, e))?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                let rel = path.strip_prefix(&objects).expect("under objects/");
+                let hex: String = rel.to_string_lossy().replace(['/', '\\'], "");
+                let id = ObjectId::from_hex(&hex).expect("fsck validated object names");
+                if reachable.contains(&id) {
+                    report.live_objects += 1;
+                    continue;
+                }
+                let bytes = entry
+                    .metadata()
+                    .map_err(|e| io_err("stat", &path, e))?
+                    .len();
+                fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+                report.removed_objects += 1;
+                report.reclaimed_bytes += bytes;
+            }
+        }
+        let tmp = self.root.join("tmp");
+        let entries = match fs::read_dir(&tmp) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(report);
+            }
+            Err(e) => return Err(io_err("read dir", &tmp, e)),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read dir", &tmp, e))?;
+            let path = entry.path();
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+            report.tmp_removed += 1;
+            report.reclaimed_bytes += bytes;
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +667,45 @@ mod tests {
         let lock = s.lock().unwrap();
         drop(lock);
         assert!(!s.root().join("LOCK").exists());
+    }
+
+    #[test]
+    fn gc_removes_only_unreachable_and_fails_closed() {
+        use crate::record::encode_record;
+        use crate::snapshot::CoreSnapshot;
+        let s = tmp_store("gc");
+        let live_bytes = encode_record(&CoreSnapshot {
+            cycle: 1,
+            digest: 2,
+        });
+        let dead_bytes = encode_record(&CoreSnapshot {
+            cycle: 3,
+            digest: 4,
+        });
+        let live = s.put(&live_bytes).unwrap();
+        s.set_ref("keep/it", &live).unwrap();
+        let dead = s.put(&dead_bytes).unwrap();
+        fs::write(s.root().join("tmp").join("123-0"), b"leftover").unwrap();
+        let report = s.gc().unwrap();
+        assert_eq!(report.live_objects, 1);
+        assert_eq!(report.removed_objects, 1);
+        assert_eq!(report.tmp_removed, 1);
+        assert_eq!(report.reclaimed_bytes, dead_bytes.len() as u64 + 8);
+        assert!(s.contains(&live) && !s.contains(&dead));
+        assert_eq!(s.get(&live).unwrap(), live_bytes);
+        // The lock is released afterwards; a clean second pass is a no-op.
+        let again = s.gc().unwrap();
+        assert_eq!(again.removed_objects, 0);
+        assert_eq!(again.tmp_removed, 0);
+        // Fail closed: any fsck error refuses collection outright.
+        let mut corrupt = live_bytes.clone();
+        corrupt[0] ^= 1;
+        fs::write(s.object_path(&live), &corrupt).unwrap();
+        assert!(matches!(s.gc(), Err(StoreError::Corrupt { .. })));
+        assert!(
+            s.object_path(&live).exists(),
+            "gc must not delete anything from an unvalidated store"
+        );
     }
 
     #[test]

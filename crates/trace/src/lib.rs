@@ -15,6 +15,12 @@
 //!   empty. Instrumentation behind a `NullSink` (or behind the pipeline's
 //!   disabled `trace` cargo feature) compiles to nothing.
 //!
+//! The [`metrics`] module is the wall-clock counterpart for the serving
+//! layer: counters, gauges and log2-bucket histograms behind a
+//! [`MetricsRegistry`](metrics::MetricsRegistry) with deterministic
+//! snapshot ordering — service observability held deliberately outside
+//! the result-equality contract (see the module docs).
+//!
 //! The event vocabulary is deliberately small and `Copy`: emitting an
 //! event is a couple of word writes, cheap enough for the simulator's hot
 //! cycle loop to stay allocation-free (the pipeline's counting-allocator
@@ -26,6 +32,7 @@
 //! formatting every number deterministically.
 
 pub mod chrome;
+pub mod metrics;
 
 /// Why a thread's speculative state was squashed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,368 @@
+//! Zero-dependency service metrics: counters, gauges and log2-bucket
+//! histograms behind a [`MetricsRegistry`] with deterministic ordering
+//! and a versioned JSON snapshot writer.
+//!
+//! The registry is the serving-layer companion of the tracing module:
+//! where [`TraceSink`](crate::TraceSink) records *simulated* activity
+//! (cycles, never wall clock) and is therefore inside the byte-for-byte
+//! determinism contract, metrics record *wall-clock* service behavior —
+//! latencies, queue depths, fsync times — and are deliberately **outside**
+//! the result-equality contract: no metric value ever feeds back into a
+//! job identity, a stored object, or a result byte. Snapshots live in
+//! their own namespace (`<store>/metrics/`, which fsck does not walk).
+//!
+//! Cost model:
+//!
+//! * Metric values are plain atomics — updating one from any thread is a
+//!   single relaxed/monotonic RMW, no locks.
+//! * The registry's name map takes a mutex only on registration and
+//!   snapshot, never on update; callers hold `Arc` handles to the metric
+//!   and update lock-free.
+//! * Library-level instrumentation (e.g. `sim-store`'s fsync timings)
+//!   goes through the process-global registry behind [`enabled`] — one
+//!   relaxed load when off, so a simulation run that never asked for
+//!   metrics pays nothing measurable (the perfbench `service` section
+//!   asserts the enabled path stays under its overhead budget too).
+//!
+//! Determinism of the snapshot bytes: names are emitted in sorted order,
+//! numbers are formatted with a fixed scheme, and the schema string is
+//! versioned — two registries holding the same values snapshot to
+//! byte-identical JSON (covered by the metrics tests).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Schema identifier stamped into every snapshot.
+pub const METRICS_SCHEMA: &str = "smt-avf/metrics/v1";
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, live workers).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for the value 0 plus one per power of
+/// two — bucket `i` (1..=64) holds values in `[2^(i-1), 2^i - 1]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucket histogram of `u64` samples (latencies in microseconds,
+/// sizes in bytes). Fixed storage, lock-free `observe`, conservative
+/// quantiles: `quantile` returns the *upper bound* of the bucket the
+/// requested rank lands in, so a reported p99 never understates the true
+/// one by more than the bucket width.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index `v` lands in: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `i` holds: 0, then `2^i - 1` (u64::MAX for
+/// the last bucket).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow, like the updates).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Conservative quantile: the upper bound of the bucket where the
+    /// cumulative count first reaches `ceil(q * count)`. Returns 0 when
+    /// empty. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            seen += self.bucket(i);
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// One registered metric (the registry's map value).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics with deterministic (sorted-name)
+/// snapshot order. Registration is get-or-create: asking twice for the
+/// same name returns the same underlying metric, so independent
+/// components can share a tally by agreeing on its name.
+///
+/// # Panics
+/// Registering a name that already exists with a *different* kind panics:
+/// that is a naming bug, not a runtime condition to limp through.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.register(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.register(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.register(name, || Metric::Histogram(Arc::new(Histogram::default()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("metrics registry poisoned").len()
+    }
+
+    /// Whether nothing is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the versioned JSON snapshot. Names are emitted in sorted
+    /// order and every number deterministically, so two registries holding
+    /// the same values produce byte-identical output. Values are read per
+    /// metric (relaxed), not as one consistent cut — fine for
+    /// observability, never for results.
+    pub fn snapshot_json(&self) -> String {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::with_capacity(256 + map.len() * 64);
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(METRICS_SCHEMA);
+        out.push_str("\",\n  \"metrics\": {");
+        let mut first = true;
+        for (name, metric) in map.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"counter\", \"value\": {}}}",
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{{\"type\": \"gauge\", \"value\": {}}}", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": {{",
+                        h.count(),
+                        h.sum(),
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99),
+                    ));
+                    let mut first_b = true;
+                    for i in 0..HISTOGRAM_BUCKETS {
+                        let n = h.bucket(i);
+                        if n == 0 {
+                            continue;
+                        }
+                        if !first_b {
+                            out.push_str(", ");
+                        }
+                        first_b = false;
+                        out.push_str(&format!("\"{}\": {n}", bucket_bound(i)));
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Write the snapshot atomically (tmp file + rename) at `path`,
+    /// creating parent directories. Readers never observe a half-written
+    /// snapshot.
+    pub fn write_snapshot(&self, path: &Path) -> std::io::Result<()> {
+        let json = self.snapshot_json();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json.as_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-global registry library instrumentation reports into.
+/// Binaries that want the library-level metrics (store publish/fsync
+/// timings) call [`set_enabled`]`(true)` and snapshot this.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Turn library-level instrumentation on or off (off by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether library-level instrumentation should record. One relaxed load:
+/// instrumented code guards its work behind this so a run that never
+/// asked for metrics pays a branch, nothing more.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Elapsed microseconds since `start`, saturated into a `u64` histogram
+/// sample.
+#[inline]
+pub fn micros_since(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,186 @@
+//! Metrics-core coverage: histogram bucket boundaries, snapshot JSON
+//! byte-determinism, and registry behavior under concurrent worker
+//! updates.
+
+use sim_trace::metrics::{
+    bucket_bound, bucket_index, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS, METRICS_SCHEMA,
+};
+
+#[test]
+fn bucket_index_boundaries() {
+    // The value 0 has its own bucket.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    // Bucket i holds [2^(i-1), 2^i - 1]: both edges land in the same
+    // bucket, and the next value starts the next one.
+    for i in 1..64usize {
+        let lo = 1u64 << (i - 1);
+        let hi = if i == 64 { u64::MAX } else { (1u64 << i) - 1 };
+        assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+        assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+        if hi < u64::MAX {
+            assert_eq!(bucket_index(hi + 1), i + 1, "first value past bucket {i}");
+        }
+    }
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert_eq!(bucket_index(1u64 << 63), 64);
+}
+
+#[test]
+fn bucket_bounds_cover_the_domain() {
+    assert_eq!(bucket_bound(0), 0);
+    assert_eq!(bucket_bound(1), 1);
+    assert_eq!(bucket_bound(2), 3);
+    assert_eq!(bucket_bound(10), 1023);
+    assert_eq!(bucket_bound(64), u64::MAX);
+    // Every value's bucket bound is >= the value (quantiles never
+    // understate).
+    for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX - 1, u64::MAX] {
+        assert!(bucket_bound(bucket_index(v)) >= v, "bound covers {v}");
+    }
+}
+
+#[test]
+fn histogram_counts_and_quantiles() {
+    let h = Histogram::default();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.quantile(0.99), 0, "empty histogram quantile is 0");
+    h.observe(0);
+    h.observe(1);
+    h.observe(u64::MAX);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.bucket(0), 1);
+    assert_eq!(h.bucket(1), 1);
+    assert_eq!(h.bucket(HISTOGRAM_BUCKETS - 1), 1);
+    // Ranks: p<=1/3 -> bucket 0, <=2/3 -> bucket 1, else the last.
+    assert_eq!(h.quantile(0.0), 0);
+    assert_eq!(h.quantile(0.5), 1);
+    assert_eq!(h.quantile(0.99), u64::MAX);
+    assert_eq!(h.quantile(1.0), u64::MAX);
+
+    // A skewed distribution: 99 fast samples, one slow. p99 lands on the
+    // fast bucket's bound at exactly rank 99, p100 on the slow one.
+    let h = Histogram::default();
+    for _ in 0..99 {
+        h.observe(100); // bucket 7, bound 127
+    }
+    h.observe(1_000_000); // bucket 20, bound 2^20 - 1
+    assert_eq!(h.quantile(0.99), 127);
+    assert_eq!(h.quantile(1.0), (1 << 20) - 1);
+    assert_eq!(h.sum(), 99 * 100 + 1_000_000);
+}
+
+#[test]
+fn snapshot_json_is_byte_deterministic() {
+    let build = || {
+        let r = MetricsRegistry::new();
+        // Register in one order...
+        r.counter("b.count").add(7);
+        r.gauge("a.depth").set(-3);
+        let h = r.histogram("c.latency_us");
+        h.observe(0);
+        h.observe(5);
+        h.observe(5);
+        h.observe(300);
+        r
+    };
+    let build_reordered = || {
+        let r = MetricsRegistry::new();
+        // ...and the identical values in a different registration order.
+        let h = r.histogram("c.latency_us");
+        h.observe(300);
+        h.observe(5);
+        h.observe(0);
+        h.observe(5);
+        r.gauge("a.depth").set(-3);
+        r.counter("b.count").add(7);
+        r
+    };
+    let a = build().snapshot_json();
+    let b = build().snapshot_json();
+    let c = build_reordered().snapshot_json();
+    assert_eq!(a, b, "identical runs snapshot to identical bytes");
+    assert_eq!(a, c, "snapshot order is sorted by name, not registration");
+    assert!(a.contains(METRICS_SCHEMA));
+    // Sorted name order in the output.
+    let ia = a.find("a.depth").unwrap();
+    let ib = a.find("b.count").unwrap();
+    let ic = a.find("c.latency_us").unwrap();
+    assert!(ia < ib && ib < ic);
+}
+
+#[test]
+fn snapshot_write_is_atomic_and_readable() {
+    let dir = std::env::temp_dir().join(format!("sim-trace-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let r = MetricsRegistry::new();
+    r.counter("jobs").add(2);
+    let path = dir.join("metrics").join("snap.json");
+    r.write_snapshot(&path).unwrap();
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(on_disk, r.snapshot_json());
+    // Overwrite goes through the same atomic path.
+    r.counter("jobs").inc();
+    r.write_snapshot(&path).unwrap();
+    assert!(std::fs::read_to_string(&path)
+        .unwrap()
+        .contains("\"value\": 3"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_is_shared_by_name_and_panics_on_kind_clash() {
+    let r = MetricsRegistry::new();
+    let c1 = r.counter("same");
+    let c2 = r.counter("same");
+    c1.inc();
+    c2.inc();
+    assert_eq!(c1.get(), 2, "same name resolves to the same counter");
+    assert_eq!(r.len(), 1);
+    let clash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = r.gauge("same");
+    }));
+    assert!(clash.is_err(), "kind mismatch on a name must panic");
+}
+
+#[test]
+fn concurrent_worker_updates_lose_nothing() {
+    // The registry contract under parallel workers: updates are atomic
+    // RMWs, so N workers hammering shared metrics lose no increments and
+    // no histogram samples — at 1, 2 and 4 workers the totals agree.
+    const PER_WORKER: u64 = 10_000;
+    for workers in [1usize, 2, 4] {
+        let r = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let r = &r;
+                scope.spawn(move || {
+                    let c = r.counter("work.items");
+                    let g = r.gauge("work.inflight");
+                    let h = r.histogram("work.latency_us");
+                    for i in 0..PER_WORKER {
+                        g.add(1);
+                        c.inc();
+                        h.observe((w as u64) * 1000 + i % 7);
+                        g.add(-1);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            r.counter("work.items").get(),
+            workers as u64 * PER_WORKER,
+            "{workers} workers: counter lost increments"
+        );
+        assert_eq!(
+            r.histogram("work.latency_us").count(),
+            workers as u64 * PER_WORKER,
+            "{workers} workers: histogram lost samples"
+        );
+        assert_eq!(
+            r.gauge("work.inflight").get(),
+            0,
+            "{workers} workers: gauge deltas did not cancel"
+        );
+    }
+}

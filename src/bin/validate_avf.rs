@@ -190,6 +190,17 @@ fn observe(
                      (https://ui.perfetto.dev) or chrome://tracing",
                     json.len()
                 );
+                if observed.trace_dropped > 0 {
+                    eprintln!(
+                        "WARNING: trace ring dropped {} event(s); the trace starts mid-run. \
+                         Re-run with a ring of at least {} events to keep them all.",
+                        observed.trace_dropped,
+                        smt_avf::runner::suggest_trace_capacity(
+                            observed.trace_retained,
+                            observed.trace_dropped
+                        )
+                    );
+                }
             }
             None => {
                 return Err(

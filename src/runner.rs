@@ -131,6 +131,23 @@ pub struct ObservedRun {
     /// `chrome://tracing`), if tracing was requested *and* compiled in.
     /// Windowed-AVF counter tracks are merged into the same timeline.
     pub chrome_trace: Option<String>,
+    /// Events retained in the trace ring (0 when tracing was off).
+    pub trace_retained: usize,
+    /// Events the ring evicted because it was full. A nonzero count means
+    /// the exported trace starts mid-run; callers should warn and suggest
+    /// a bigger [`TraceSettings::capacity`] (see
+    /// [`suggest_trace_capacity`]).
+    pub trace_dropped: u64,
+}
+
+/// The smallest power-of-two ring capacity that would have retained every
+/// event of a run that kept `retained` and dropped `dropped`.
+pub fn suggest_trace_capacity(retained: usize, dropped: u64) -> usize {
+    (retained as u64 + dropped)
+        .max(1)
+        .next_power_of_two()
+        .try_into()
+        .unwrap_or(usize::MAX)
 }
 
 /// Convert telemetry windows into per-structure counter tracks for the
@@ -180,16 +197,23 @@ pub fn run_workload_observed(
     let result = core.run(budget);
     let windows = core.take_telemetry();
     #[cfg(feature = "trace")]
-    let chrome_trace = core.take_trace().map(|(events, dropped)| {
-        let counters = windows_to_counters(windows.as_deref().unwrap_or(&[]));
-        sim_trace::chrome::render(&events, dropped, &core.thread_names(), &counters)
-    });
+    let (chrome_trace, trace_retained, trace_dropped) = match core.take_trace() {
+        Some((events, dropped)) => {
+            let counters = windows_to_counters(windows.as_deref().unwrap_or(&[]));
+            let retained = events.len();
+            let json = sim_trace::chrome::render(&events, dropped, &core.thread_names(), &counters);
+            (Some(json), retained, dropped)
+        }
+        None => (None, 0, 0),
+    };
     #[cfg(not(feature = "trace"))]
-    let chrome_trace = None;
+    let (chrome_trace, trace_retained, trace_dropped) = (None, 0, 0);
     Ok(ObservedRun {
         result,
         windows,
         chrome_trace,
+        trace_retained,
+        trace_dropped,
     })
 }
 
@@ -246,6 +270,52 @@ mod tests {
         let r = run_single_thread("bzip2", 1, b).unwrap();
         assert_eq!(r.threads.len(), 1);
         assert!(r.ipc() > 0.1);
+    }
+
+    #[test]
+    fn suggested_capacity_covers_retained_plus_dropped() {
+        assert_eq!(suggest_trace_capacity(0, 0), 1);
+        assert_eq!(suggest_trace_capacity(4, 0), 4);
+        assert_eq!(suggest_trace_capacity(4, 1), 8);
+        assert_eq!(suggest_trace_capacity(1000, 24), 1024);
+        assert_eq!(suggest_trace_capacity(1000, 25), 2048);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn overflowing_trace_ring_reports_drops_and_a_sufficient_capacity() {
+        let w = first_2t();
+        let cfg = MachineConfig::ispass07_baseline()
+            .with_contexts(w.contexts)
+            .with_fetch_policy(FetchPolicyKind::Icount);
+        let budget = SimBudget::total_instructions(6_000).with_warmup(2_000);
+        let tiny = Observers {
+            telemetry_window: None,
+            trace: Some(TraceSettings {
+                capacity: 16,
+                sample_interval: 1,
+            }),
+        };
+        let observed = run_workload_observed(&cfg, &w, budget, &tiny).unwrap();
+        assert!(
+            observed.trace_dropped > 0,
+            "a 16-event ring must overflow on thousands of cycles"
+        );
+        assert_eq!(observed.trace_retained, 16);
+        let enough = suggest_trace_capacity(observed.trace_retained, observed.trace_dropped);
+        assert!(enough as u64 >= observed.trace_retained as u64 + observed.trace_dropped);
+        // The suggestion is sufficient: rerunning with it drops nothing,
+        // and observation never perturbed the simulated result.
+        let big = Observers {
+            telemetry_window: None,
+            trace: Some(TraceSettings {
+                capacity: enough,
+                sample_interval: 1,
+            }),
+        };
+        let rerun = run_workload_observed(&cfg, &w, budget, &big).unwrap();
+        assert_eq!(rerun.trace_dropped, 0);
+        assert_eq!(rerun.result, observed.result);
     }
 
     #[test]
